@@ -1,0 +1,147 @@
+package matstore
+
+import (
+	"errors"
+
+	"matstore/internal/model"
+	"matstore/internal/storage"
+)
+
+// Advice is the analytical model's evaluation of a query: the predicted
+// cost of every strategy and the argmin. This is the optimizer integration
+// the paper proposes ("an analytical model that can be used … in a query
+// optimizer to select a materialization strategy").
+type Advice struct {
+	// Best is the strategy with the lowest predicted total cost.
+	Best Strategy
+	// Costs maps every strategy to its predicted cost.
+	Costs map[Strategy]Cost
+	// Inputs are the derived model inputs (for inspection/debugging).
+	Inputs model.SelectionInputs
+}
+
+// Advise predicts per-strategy costs for q over a warm buffer pool using
+// the paper's Table 2 constants, deriving all model inputs from catalog
+// statistics.
+func (db *DB) Advise(projection string, q Query) (Advice, error) {
+	return db.AdviseWith(PaperConstants(), projection, q, true)
+}
+
+// AdviseWith is Advise with explicit model constants and pool temperature
+// (hot=false charges full scan I/O, the cold-start case).
+func (db *DB) AdviseWith(consts Constants, projection string, q Query, hot bool) (Advice, error) {
+	p, err := db.inner.Projection(projection)
+	if err != nil {
+		return Advice{}, err
+	}
+	if len(q.Filters) == 0 {
+		return Advice{}, errors.New("matstore: Advise needs at least one filter")
+	}
+	in, err := deriveInputs(p, q, hot)
+	if err != nil {
+		return Advice{}, err
+	}
+	adv := Advice{Costs: make(map[Strategy]Cost, len(Strategies)), Inputs: in}
+	best, bestCost := consts.Advise(in)
+	adv.Best = best
+	_ = bestCost
+	for _, s := range Strategies {
+		adv.Costs[s] = consts.SelectionCost(s, in)
+	}
+	return adv, nil
+}
+
+// deriveInputs maps catalog statistics onto the model's SelectionInputs:
+// column sizes and run lengths come from column headers, selectivities from
+// predicate bounds against column min/max, and position-run lengths from
+// the projection sort key (a predicate over the k-th sort-key column emits
+// contiguous position runs within each combination of the preceding key
+// columns, so the cluster count is the product of their distinct counts).
+func deriveInputs(p *storage.Projection, q Query, hot bool) (model.SelectionInputs, error) {
+	f0 := q.Filters[0]
+	colA, err := p.Column(f0.Col)
+	if err != nil {
+		return model.SelectionInputs{}, err
+	}
+	statsA := columnStats(colA, hot)
+	loA, hiA := colA.MinMax()
+	sfA := f0.Pred.Selectivity(loA, hiA)
+
+	statsB := statsA
+	sfB := 1.0
+	colBName := f0.Col
+	if len(q.Filters) > 1 {
+		f1 := q.Filters[1]
+		colB, err := p.Column(f1.Col)
+		if err != nil {
+			return model.SelectionInputs{}, err
+		}
+		statsB = columnStats(colB, hot)
+		loB, hiB := colB.MinMax()
+		sfB = f1.Pred.Selectivity(loB, hiB)
+		colBName = f1.Col
+		// Fold any further predicates into SFB (the model is two-column;
+		// extra predicates only scale the surviving fraction).
+		for _, f := range q.Filters[2:] {
+			c, err := p.Column(f.Col)
+			if err != nil {
+				return model.SelectionInputs{}, err
+			}
+			lo, hi := c.MinMax()
+			sfB *= f.Pred.Selectivity(lo, hi)
+		}
+	}
+
+	sortedA, clustersA := sortPosition(p, f0.Col)
+	sortedB, clustersB := sortPosition(p, colBName)
+	in := model.SelectionInputs{
+		A: statsA, B: statsB, SFA: sfA, SFB: sfB,
+		PosRunsA: model.EstimatePosRuns(statsA, sfA, sortedA, clustersA),
+		PosRunsB: model.EstimatePosRuns(statsB, sfB, sortedB, clustersB),
+	}
+	if q.Aggregating() {
+		in.Aggregating = true
+		g, err := p.Column(q.GroupBy)
+		if err != nil {
+			return model.SelectionInputs{}, err
+		}
+		groups := float64(g.Distinct()) * sfA * sfB
+		if groups < 1 {
+			groups = 1
+		}
+		in.Groups = groups
+	}
+	return in, nil
+}
+
+func columnStats(c *storage.Column, hot bool) model.ColumnStats {
+	f := 0.0
+	if hot {
+		f = 1.0
+	}
+	return model.ColumnStats{
+		Blocks: float64(c.NumBlocks()),
+		Tuples: float64(c.TupleCount()),
+		RunLen: c.AvgRunLen(),
+		F:      f,
+	}
+}
+
+// sortPosition reports whether col is part of the projection's sort key
+// and, if so, how many clusters a predicate's matches split across (the
+// product of the distinct counts of the preceding sort-key columns).
+func sortPosition(p *storage.Projection, col string) (sorted bool, clusters float64) {
+	clusters = 1
+	for _, key := range p.Meta.SortKey {
+		if key == col {
+			return true, clusters
+		}
+		for _, cm := range p.Meta.Columns {
+			if cm.Name == key {
+				clusters *= float64(cm.Distinct)
+				break
+			}
+		}
+	}
+	return false, 1
+}

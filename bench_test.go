@@ -1,0 +1,363 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation:
+//
+//	BenchmarkTable2Constants — the Table 2 model-constant microbenchmarks
+//	BenchmarkFig10           — model-vs-measured selection (RLE), LM and EM
+//	BenchmarkFig11           — selection × {plain, RLE, bit-vector} × strategy
+//	BenchmarkFig12           — aggregation × {plain, RLE, bit-vector} × strategy
+//	BenchmarkFig13           — join × inner-table strategy
+//	BenchmarkAblation*       — the DESIGN.md ablations
+//
+// Figure benchmarks report the measured time per query; Fig10 additionally
+// reports the analytical model's prediction as the custom metric
+// "model_ms/op" so shape agreement is visible in benchmark output. The
+// full sweeps behind EXPERIMENTS.md come from cmd/csbench, which prints
+// whole curves.
+package matstore_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"matstore"
+	"matstore/internal/bench"
+	"matstore/internal/core"
+	"matstore/internal/encoding"
+	"matstore/internal/operators"
+	"matstore/internal/pred"
+	"matstore/internal/tpch"
+)
+
+const benchScale = 0.01 // 60k lineitem rows per query: each op is a full query
+
+var (
+	benchOnce sync.Once
+	benchDir  string
+	benchErr  error
+	benchE    *bench.Env
+)
+
+func benchEnv(b *testing.B) *bench.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDir, benchErr = os.MkdirTemp("", "matstore-bench")
+		if benchErr != nil {
+			return
+		}
+		benchE, benchErr = bench.Setup(filepath.Join(benchDir, "data"), benchScale, 11)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchE
+}
+
+// benchCleanup is called from TestMain in matstore_test.go.
+func benchCleanup() {
+	if benchE != nil {
+		benchE.Close()
+	}
+	if benchDir != "" {
+		os.RemoveAll(benchDir)
+	}
+}
+
+func benchDB(b *testing.B) *matstore.DB {
+	b.Helper()
+	e := benchEnv(b)
+	db, err := matstore.Open(e.Dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+func selQuery(enc encoding.Kind, sel float64, agg bool) matstore.Query {
+	linenum := tpch.LinenumColumn(enc)
+	q := matstore.Query{
+		Filters: []matstore.Filter{
+			{Col: tpch.ColShipdate, Pred: pred.LessThan(tpch.ShipdateForSelectivity(sel))},
+			{Col: linenum, Pred: pred.LessThan(tpch.LinenumMax)},
+		},
+	}
+	if agg {
+		q.GroupBy = tpch.ColShipdate
+		q.AggCol = linenum
+	} else {
+		q.Output = []string{tpch.ColShipdate, linenum}
+	}
+	return q
+}
+
+func runSelect(b *testing.B, db *matstore.DB, q matstore.Query, s matstore.Strategy) {
+	b.Helper()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		_, stats, err := db.Select(tpch.LineitemProj, q, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += stats.OutputChecksum
+	}
+	_ = sink
+}
+
+// BenchmarkTable2Constants regenerates Table 2: the per-call costs of the
+// four CPU constants of the analytical model.
+func BenchmarkTable2Constants(b *testing.B) {
+	b.Run("FC/function-call", func(b *testing.B) {
+		var acc int64
+		f := func(x int64) int64 { return x + 1 }
+		for i := 0; i < b.N; i++ {
+			acc = f(acc)
+		}
+		_ = acc
+	})
+	b.Run("TICCOL/column-iterator", func(b *testing.B) {
+		vals := make([]int64, 1<<16)
+		var acc int64
+		for i := 0; i < b.N; i++ {
+			acc += vals[i&(1<<16-1)]
+		}
+		_ = acc
+	})
+	b.Run("TICTUP/tuple-iterator", func(b *testing.B) {
+		x := make([]int64, 1<<16)
+		y := make([]int64, 1<<16)
+		type tup struct{ a, b int64 }
+		var acc int64
+		for i := 0; i < b.N; i++ {
+			j := i & (1<<16 - 1)
+			t := tup{x[j], y[j]}
+			acc += t.a + t.b
+		}
+		_ = acc
+	})
+	b.Run("BIC/block-iterator", func(b *testing.B) {
+		e := benchEnv(b)
+		db, err := matstore.Open(e.Dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		// One full-column scan per op, cost dominated by per-block dispatch.
+		q := matstore.Query{Output: []string{tpch.ColRetflag}}
+		runSelectRaw(b, db, q)
+	})
+}
+
+func runSelectRaw(b *testing.B, db *matstore.DB, q matstore.Query) {
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		_, stats, err := db.Select(tpch.LineitemProj, q, matstore.LMParallel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += stats.TuplesOut
+	}
+	_ = sink
+}
+
+// BenchmarkFig10 regenerates Figure 10: measured runtime per strategy on
+// the RLE selection query, with the analytical prediction reported as
+// model_ms/op.
+func BenchmarkFig10(b *testing.B) {
+	e := benchEnv(b)
+	db := benchDB(b)
+	for _, sel := range []float64{0.1, 0.5, 0.9} {
+		in, err := e.ModelInputs(encoding.RLE, sel, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := selQuery(encoding.RLE, sel, false)
+		for _, s := range matstore.Strategies {
+			b.Run(fmt.Sprintf("%s/sel=%.1f", s, sel), func(b *testing.B) {
+				runSelect(b, db, q, s)
+				predicted := e.Constants.SelectionCost(s, in).Total() / 1e3
+				b.ReportMetric(predicted, "model_ms/op")
+			})
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates Figure 11: the selection query across LINENUM
+// encodings and strategies.
+func BenchmarkFig11(b *testing.B) {
+	db := benchDB(b)
+	for _, enc := range []encoding.Kind{encoding.Plain, encoding.RLE, encoding.BitVector} {
+		strategies := matstore.Strategies
+		if enc == encoding.BitVector {
+			strategies = []matstore.Strategy{matstore.EMPipelined, matstore.EMParallel, matstore.LMParallel}
+		}
+		for _, sel := range []float64{0.1, 0.9} {
+			q := selQuery(enc, sel, false)
+			for _, s := range strategies {
+				b.Run(fmt.Sprintf("%s/%s/sel=%.1f", enc, s, sel), func(b *testing.B) {
+					runSelect(b, db, q, s)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates Figure 12: the aggregation query across
+// LINENUM encodings and strategies.
+func BenchmarkFig12(b *testing.B) {
+	db := benchDB(b)
+	for _, enc := range []encoding.Kind{encoding.Plain, encoding.RLE, encoding.BitVector} {
+		strategies := matstore.Strategies
+		if enc == encoding.BitVector {
+			strategies = []matstore.Strategy{matstore.EMPipelined, matstore.EMParallel, matstore.LMParallel}
+		}
+		for _, sel := range []float64{0.1, 0.9} {
+			q := selQuery(enc, sel, true)
+			for _, s := range strategies {
+				b.Run(fmt.Sprintf("%s/%s/sel=%.1f", enc, s, sel), func(b *testing.B) {
+					runSelect(b, db, q, s)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig13 regenerates Figure 13: the orders ⋈ customer join under
+// the three inner-table materialization strategies.
+func BenchmarkFig13(b *testing.B) {
+	e := benchEnv(b)
+	db := benchDB(b)
+	nCust := tpch.Config{Scale: benchScale}.CustomerRows()
+	_ = e
+	for _, rs := range []matstore.RightStrategy{
+		matstore.RightMaterialized, matstore.RightMultiColumn, matstore.RightSingleColumn,
+	} {
+		for _, sel := range []float64{0.1, 0.9} {
+			q := matstore.JoinQuery{
+				LeftKey:     tpch.ColCustkey,
+				LeftPred:    pred.LessThan(tpch.CustkeyForSelectivity(sel, nCust)),
+				LeftOutput:  []string{tpch.ColOrderShipdate},
+				RightKey:    tpch.ColCustkey,
+				RightOutput: []string{tpch.ColNationcode},
+			}
+			b.Run(fmt.Sprintf("%s/sel=%.1f", rs, sel), func(b *testing.B) {
+				var sink int64
+				for i := 0; i < b.N; i++ {
+					_, stats, err := db.Join(tpch.OrdersProj, tpch.CustomerProj, q, rs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sink += stats.TuplesOut
+				}
+				_ = sink
+			})
+		}
+	}
+}
+
+// BenchmarkAblationMultiColumn isolates the LM re-access penalty the
+// multi-column structure avoids (Sections 2.2 and 3.6).
+func BenchmarkAblationMultiColumn(b *testing.B) {
+	e := benchEnv(b)
+	q := selQuery(encoding.RLE, 0.5, false)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"multi-column", false}, {"re-access", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, err := matstore.Open(e.Dir, matstore.Options{Exec: core.Options{DisableMultiColumn: mode.disable}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			runSelect(b, db, q, matstore.LMParallel)
+		})
+	}
+}
+
+// BenchmarkAblationPositionRep compares adaptive position representations
+// against forced bitmaps (Section 3.3).
+func BenchmarkAblationPositionRep(b *testing.B) {
+	e := benchEnv(b)
+	q := selQuery(encoding.RLE, 0.5, false)
+	for _, mode := range []struct {
+		name  string
+		force bool
+	}{{"adaptive", false}, {"forced-bitmap", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, err := matstore.Open(e.Dir, matstore.Options{Exec: core.Options{ForceBitmapPositions: mode.force}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			runSelect(b, db, q, matstore.LMParallel)
+		})
+	}
+}
+
+// BenchmarkAblationChunkSize sweeps the horizontal-partition width.
+func BenchmarkAblationChunkSize(b *testing.B) {
+	e := benchEnv(b)
+	q := selQuery(encoding.RLE, 0.5, false)
+	for _, cs := range []int64{4096, 16384, 65536, 262144} {
+		b.Run(fmt.Sprintf("chunk=%d", cs), func(b *testing.B) {
+			db, err := matstore.Open(e.Dir, matstore.Options{Exec: core.Options{ChunkSize: cs}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			runSelect(b, db, q, matstore.LMParallel)
+		})
+	}
+}
+
+// BenchmarkAblationZoneIndex compares scan-derived vs index-derived
+// positions (Section 2.1.1).
+func BenchmarkAblationZoneIndex(b *testing.B) {
+	e := benchEnv(b)
+	q := selQuery(encoding.RLE, 0.3, false)
+	for _, mode := range []struct {
+		name string
+		zone bool
+	}{{"scan-derived", false}, {"index-derived", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, err := matstore.Open(e.Dir, matstore.Options{Exec: core.Options{UseZoneIndex: mode.zone}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			runSelect(b, db, q, matstore.LMParallel)
+		})
+	}
+}
+
+// BenchmarkAblationAggCompressed compares aggregation directly on
+// compressed data (LM) against decompress-then-hash (EM), Section 4.2.
+func BenchmarkAblationAggCompressed(b *testing.B) {
+	db := benchDB(b)
+	q := selQuery(encoding.RLE, 0.5, true)
+	b.Run("direct-on-compressed", func(b *testing.B) { runSelect(b, db, q, matstore.LMParallel) })
+	b.Run("decompress-then-hash", func(b *testing.B) { runSelect(b, db, q, matstore.EMParallel) })
+}
+
+// BenchmarkJoinBuildSide isolates per-strategy join cost at mid selectivity
+// including the right-table build.
+func BenchmarkJoinBuildSide(b *testing.B) {
+	e := benchEnv(b)
+	for _, rs := range []operators.RightStrategy{
+		operators.RightMaterialized, operators.RightMultiColumn, operators.RightSingleColumn,
+	} {
+		b.Run(rs.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				stats, err := e.JoinStatsAt(0.5, rs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.TuplesOut == 0 {
+					b.Fatal("empty join")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,94 @@
+// Command csmodel explores the analytical cost model: it prints per-strategy
+// predicted costs across a selectivity sweep for the paper's selection and
+// aggregation queries, and the advisor's choice at each point — the
+// optimizer decision surface of Section 3.
+//
+// Usage:
+//
+//	csmodel                      # paper constants, paper-sized columns
+//	csmodel -calibrate           # constants measured on this host
+//	csmodel -dir ./data -enc rle # derive column stats from a real dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"matstore"
+	"matstore/internal/bench"
+	"matstore/internal/core"
+	"matstore/internal/encoding"
+	"matstore/internal/model"
+	"matstore/internal/tpch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("csmodel: ")
+	dir := flag.String("dir", "", "derive column statistics from a dataset directory (optional)")
+	scale := flag.Float64("scale", 0.04, "scale for -dir generation if missing")
+	encFlag := flag.String("enc", "rle", "LINENUM encoding for -dir stats: plain|rle|bv")
+	calibrate := flag.Bool("calibrate", false, "measure constants on this host instead of Table 2 values")
+	agg := flag.Bool("agg", false, "model the aggregation query instead of the selection")
+	flag.Parse()
+
+	consts := matstore.PaperConstants()
+	if *calibrate {
+		consts = matstore.Calibrate()
+		fmt.Printf("calibrated constants: BIC=%.4f TICTUP=%.4f TICCOL=%.4f FC=%.4f µs\n\n",
+			consts.BIC, consts.TICTUP, consts.TICCOL, consts.FC)
+	}
+
+	inputsAt := paperInputs
+	if *dir != "" {
+		env, err := bench.Setup(*dir, *scale, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer env.Close()
+		k, err := encoding.ParseKind(*encFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inputsAt = func(sel float64, agg bool) model.SelectionInputs {
+			in, err := env.ModelInputs(k, sel, agg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return in
+		}
+	}
+
+	kind := "selection"
+	if *agg {
+		kind = "aggregation"
+	}
+	fmt.Printf("predicted cost (ms) for the %s query, by strategy and selectivity:\n\n", kind)
+	fmt.Printf("%-12s%16s%16s%16s%16s%18s\n", "selectivity",
+		core.EMPipelined, core.EMParallel, core.LMPipelined, core.LMParallel, "advisor")
+	for _, sel := range bench.DefaultSelectivities {
+		in := inputsAt(sel, *agg)
+		fmt.Printf("%-12.3f", sel)
+		for _, s := range core.Strategies {
+			fmt.Printf("%16.3f", consts.SelectionCost(s, in).Total()/1e3)
+		}
+		best, _ := consts.Advise(in)
+		fmt.Printf("%18s\n", best)
+	}
+}
+
+// paperInputs models the paper's scale-10 lineitem projection: 60M tuples,
+// RLE shipdate and linenum with the Section 3.7 encoded sizes scaled up.
+func paperInputs(sel float64, agg bool) model.SelectionInputs {
+	a := model.ColumnStats{Blocks: 10, Tuples: 60_000_000, RunLen: 60_000_000 / (3 * tpch.ShipdateDays), F: 0}
+	b := model.ColumnStats{Blocks: 50, Tuples: 60_000_000, RunLen: 8, F: 0}
+	sfB := 1.0 - 1.0/float64(tpch.LinenumWeightSum)
+	return model.SelectionInputs{
+		A: a, B: b, SFA: sel, SFB: sfB,
+		PosRunsA:    model.EstimatePosRuns(a, sel, true, 3),
+		PosRunsB:    model.EstimatePosRuns(b, sfB, true, 3*tpch.ShipdateDays),
+		Aggregating: agg,
+		Groups:      sel * tpch.ShipdateDays,
+	}
+}

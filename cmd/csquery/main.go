@@ -1,0 +1,156 @@
+// Command csquery runs a single selection/aggregation query against a
+// generated database under a chosen materialization strategy and prints the
+// first rows plus execution statistics.
+//
+// Usage:
+//
+//	csquery -dir ./data -proj lineitem -out shipdate,linenum \
+//	        -where 'shipdate<400,linenum<7' -strategy lm-parallel
+//	csquery -dir ./data -proj lineitem -where 'shipdate<400' \
+//	        -groupby shipdate -sum linenum -strategy lm-pipelined
+//	csquery ... -strategy advise   # let the cost model pick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"matstore"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("csquery: ")
+	dir := flag.String("dir", "./data", "database directory")
+	proj := flag.String("proj", "lineitem", "projection name")
+	out := flag.String("out", "", "comma-separated output columns")
+	where := flag.String("where", "", "comma-separated predicates, e.g. 'shipdate<400,linenum<7'")
+	groupby := flag.String("groupby", "", "GROUP BY column (with -sum)")
+	sum := flag.String("sum", "", "aggregated column (with -groupby)")
+	aggFn := flag.String("agg", "sum", "aggregate function: sum|count|avg|min|max")
+	strategy := flag.String("strategy", "lm-parallel", "em-pipelined|em-parallel|lm-pipelined|lm-parallel|advise")
+	limit := flag.Int("limit", 10, "max rows to print")
+	flag.Parse()
+
+	db, err := matstore.Open(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	fn, err := matstore.ParseAggFunc(*aggFn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := matstore.Query{GroupBy: *groupby, AggCol: *sum, Agg: fn}
+	if *out != "" {
+		q.Output = strings.Split(*out, ",")
+	}
+	filters, err := parseWhere(*where)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q.Filters = filters
+
+	var s matstore.Strategy
+	if *strategy == "advise" {
+		adv, err := db.Advise(*proj, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s = adv.Best
+		fmt.Printf("advisor chose %v; predicted costs:\n", s)
+		for _, st := range matstore.Strategies {
+			fmt.Printf("  %-14v %s\n", st, adv.Costs[st])
+		}
+	} else {
+		if s, err = matstore.ParseStrategy(*strategy); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, stats, err := db.Select(*proj, q, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(strings.Join(res.Columns, "\t"))
+	n := res.NumRows()
+	shown := n
+	if shown > *limit {
+		shown = *limit
+	}
+	for i := 0; i < shown; i++ {
+		row := res.Row(i)
+		parts := make([]string, len(row))
+		for c, v := range row {
+			parts[c] = strconv.FormatInt(v, 10)
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+	if shown < n {
+		fmt.Printf("... (%d rows total)\n", n)
+	}
+	fmt.Printf("\nstrategy=%v wall=%v tuples_out=%d tuples_constructed=%d positions=%d chunks_skipped=%d\n",
+		stats.Strategy, stats.Wall, stats.TuplesOut, stats.TuplesConstructed,
+		stats.PositionsMatched, stats.ChunksSkipped)
+	consts := matstore.PaperConstants()
+	simIO := stats.Buffer.SimulatedIO(1,
+		time.Duration(consts.SEEK)*time.Microsecond,
+		time.Duration(consts.READ)*time.Microsecond)
+	fmt.Printf("buffer: reads=%d hits=%d seeks=%d (modelled cold-disk I/O: %v)\n",
+		stats.Buffer.Reads, stats.Buffer.Hits, stats.Buffer.Seeks, simIO)
+}
+
+// parseWhere parses 'col<op>value' predicates separated by commas.
+// Supported operators: <, <=, =, !=, >=, >.
+func parseWhere(s string) ([]matstore.Filter, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []matstore.Filter
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		f, err := parsePredicate(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func parsePredicate(s string) (matstore.Filter, error) {
+	// Two-character operators first.
+	for _, op := range []string{"<=", ">=", "!=", "<", ">", "="} {
+		i := strings.Index(s, op)
+		if i <= 0 {
+			continue
+		}
+		col := strings.TrimSpace(s[:i])
+		val, err := strconv.ParseInt(strings.TrimSpace(s[i+len(op):]), 10, 64)
+		if err != nil {
+			return matstore.Filter{}, fmt.Errorf("predicate %q: %v", s, err)
+		}
+		var p matstore.Predicate
+		switch op {
+		case "<":
+			p = matstore.LessThan(val)
+		case "<=":
+			p = matstore.AtMost(val)
+		case "=":
+			p = matstore.Equals(val)
+		case "!=":
+			p = matstore.NotEquals(val)
+		case ">=":
+			p = matstore.AtLeast(val)
+		case ">":
+			p = matstore.GreaterThan(val)
+		}
+		return matstore.Filter{Col: col, Pred: p}, nil
+	}
+	return matstore.Filter{}, fmt.Errorf("cannot parse predicate %q", s)
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"matstore"
+)
+
+func TestParsePredicate(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want matstore.Filter
+	}{
+		{"shipdate<400", matstore.Filter{Col: "shipdate", Pred: matstore.LessThan(400)}},
+		{"linenum<=7", matstore.Filter{Col: "linenum", Pred: matstore.AtMost(7)}},
+		{"flag=2", matstore.Filter{Col: "flag", Pred: matstore.Equals(2)}},
+		{"flag!=2", matstore.Filter{Col: "flag", Pred: matstore.NotEquals(2)}},
+		{"qty>=10", matstore.Filter{Col: "qty", Pred: matstore.AtLeast(10)}},
+		{"qty>10", matstore.Filter{Col: "qty", Pred: matstore.GreaterThan(10)}},
+		{" qty > -5 ", matstore.Filter{Col: "qty", Pred: matstore.GreaterThan(-5)}},
+	} {
+		got, err := parsePredicate(tc.in)
+		if err != nil {
+			t.Errorf("parsePredicate(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parsePredicate(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParsePredicateErrors(t *testing.T) {
+	for _, in := range []string{"", "shipdate", "<5", "shipdate<abc", "shipdate~5"} {
+		if _, err := parsePredicate(in); err == nil {
+			t.Errorf("parsePredicate(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseWhere(t *testing.T) {
+	got, err := parseWhere("a<1,b>=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []matstore.Filter{
+		{Col: "a", Pred: matstore.LessThan(1)},
+		{Col: "b", Pred: matstore.AtLeast(2)},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseWhere = %+v", got)
+	}
+	if got, err := parseWhere(""); err != nil || got != nil {
+		t.Errorf("empty where = %v, %v", got, err)
+	}
+	if _, err := parseWhere("a<1,junk"); err == nil {
+		t.Error("junk clause accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package matstore_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"matstore"
+)
+
+// Example demonstrates the end-to-end flow: generate sample data, run the
+// paper's selection query under a late-materialization strategy, and
+// aggregate directly on compressed data. Output is deterministic because
+// generation is seeded.
+func Example() {
+	dir, err := os.MkdirTemp("", "matstore-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	if err := matstore.Generate(dir, 0.002, 42); err != nil {
+		log.Fatal(err)
+	}
+	db, err := matstore.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// SELECT shipdate, linenum FROM lineitem
+	// WHERE shipdate < 1263 AND linenum < 7
+	sel := matstore.Query{
+		Output: []string{"shipdate", "linenum"},
+		Filters: []matstore.Filter{
+			{Col: "shipdate", Pred: matstore.LessThan(1263)}, // ~50% of days
+			{Col: "linenum", Pred: matstore.LessThan(7)},     // ~96% of rows
+		},
+	}
+	res, stats, err := db.Select("lineitem", sel, matstore.LMParallel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selection: %d rows, %d tuples constructed\n",
+		res.NumRows(), stats.TuplesConstructed)
+
+	// SELECT returnflag, SUM(quantity) FROM lineitem GROUP BY returnflag
+	agg := matstore.Query{
+		Filters: []matstore.Filter{{Col: "returnflag", Pred: matstore.MatchAll}},
+		GroupBy: "returnflag",
+		AggCol:  "quantity",
+		Agg:     matstore.Sum,
+	}
+	res, stats, err = db.Select("lineitem", agg, matstore.LMPipelined)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("aggregation: %d groups from %d tuples constructed\n",
+		res.NumRows(), stats.TuplesConstructed)
+
+	// The cost model picks a strategy (the paper's optimizer use-case).
+	adv, err := db.Advise("lineitem", agg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("advisor class: %v\n", adv.Best == matstore.LMParallel || adv.Best == matstore.LMPipelined)
+
+	// Output:
+	// selection: 6703 rows, 6703 tuples constructed
+	// aggregation: 3 groups from 3 tuples constructed
+	// advisor class: true
+}

@@ -1,0 +1,72 @@
+// Aggregation on compressed data: the paper's Section 4.2 experiment as a
+// warehouse-style report — daily shipped-quantity totals. Late
+// materialization aggregates RLE runs and bit-vector popcounts directly,
+// constructing only one tuple per group; early materialization must build
+// every qualifying tuple first. The gap is the Figure 12 effect.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"matstore"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "matstore-aggregation")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	data := filepath.Join(dir, "data")
+	if err := matstore.Generate(data, 0.02, 7); err != nil {
+		log.Fatal(err)
+	}
+	db, err := matstore.Open(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// SELECT shipdate, SUM(linenum) FROM lineitem
+	// WHERE shipdate < 1500 AND linenum < 7 GROUP BY shipdate
+	q := matstore.Query{
+		Filters: []matstore.Filter{
+			{Col: "shipdate", Pred: matstore.LessThan(1500)},
+			{Col: "linenum_rle", Pred: matstore.LessThan(7)},
+		},
+		GroupBy: "shipdate",
+		AggCol:  "linenum_rle",
+	}
+
+	fmt.Println("daily SUM(linenum) report, per strategy:")
+	for _, s := range matstore.Strategies {
+		// Warm-up, then timed run.
+		if _, _, err := db.Select("lineitem", q, s); err != nil {
+			log.Fatal(err)
+		}
+		_, stats, err := db.Select("lineitem", q, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14v %8.2fms  groups=%d  tuples constructed=%d\n",
+			s, float64(stats.Wall.Microseconds())/1000, stats.Groups, stats.TuplesConstructed)
+	}
+
+	// Show the report head from the cheapest plan.
+	res, _, err := db.Select("lineitem", q, matstore.LMParallel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nshipdate  sum(linenum)")
+	for i := 0; i < 5 && i < res.NumRows(); i++ {
+		row := res.Row(i)
+		fmt.Printf("%8d  %12d\n", row[0], row[1])
+	}
+	fmt.Printf("... (%d groups)\n", res.NumRows())
+	fmt.Println("\nNote the tuples-constructed column: LM plans construct one tuple per group;")
+	fmt.Println("EM plans construct one tuple per qualifying row before aggregating (Figure 12).")
+}

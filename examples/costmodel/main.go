@@ -1,0 +1,101 @@
+// Cost-model-driven strategy selection: the optimizer use-case of the
+// paper's conclusion. For a batch of warehouse queries with very different
+// shapes, ask the analytical model to pick a materialization strategy, then
+// run all four and check whether the advisor's choice was actually (near-)
+// best.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"matstore"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "matstore-costmodel")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	data := filepath.Join(dir, "data")
+	if err := matstore.Generate(data, 0.02, 21); err != nil {
+		log.Fatal(err)
+	}
+	db, err := matstore.Open(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	queries := []struct {
+		name string
+		q    matstore.Query
+	}{
+		{"selective scan (1% shipdate)", matstore.Query{
+			Output: []string{"shipdate", "linenum"},
+			Filters: []matstore.Filter{
+				{Col: "shipdate", Pred: matstore.LessThan(25)},
+				{Col: "linenum", Pred: matstore.LessThan(7)},
+			},
+		}},
+		{"full scan (100% shipdate, uncompressed linenum)", matstore.Query{
+			Output: []string{"shipdate", "linenum"},
+			Filters: []matstore.Filter{
+				{Col: "shipdate", Pred: matstore.LessThan(99999)},
+				{Col: "linenum", Pred: matstore.LessThan(7)},
+			},
+		}},
+		{"aggregation over RLE data", matstore.Query{
+			Filters: []matstore.Filter{
+				{Col: "shipdate", Pred: matstore.LessThan(1800)},
+				{Col: "linenum_rle", Pred: matstore.LessThan(7)},
+			},
+			GroupBy: "shipdate",
+			AggCol:  "linenum_rle",
+		}},
+	}
+
+	for _, tc := range queries {
+		adv, err := db.Advise("lineitem", tc.q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s\n  advisor picks: %v\n", tc.name, adv.Best)
+		type run struct {
+			s  matstore.Strategy
+			ms float64
+		}
+		var best run
+		for _, s := range matstore.Strategies {
+			if _, _, err := db.Select("lineitem", tc.q, s); err != nil { // warm-up
+				log.Fatal(err)
+			}
+			var min time.Duration
+			for r := 0; r < 3; r++ {
+				_, stats, err := db.Select("lineitem", tc.q, s)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if min == 0 || stats.Wall < min {
+					min = stats.Wall
+				}
+			}
+			ms := float64(min.Microseconds()) / 1000
+			mark := " "
+			if s == adv.Best {
+				mark = "*"
+			}
+			fmt.Printf("  %s %-14v measured %8.2fms   model %8.2fms\n",
+				mark, s, ms, adv.Costs[s].Total()/1000)
+			if best.ms == 0 || ms < best.ms {
+				best = run{s, ms}
+			}
+		}
+		fmt.Printf("  fastest measured: %v\n", best.s)
+	}
+}

@@ -1,0 +1,188 @@
+// Package buffer implements the buffer pool under the column readers. The
+// pool caches decoded 64KB blocks keyed by (file, block index) with LRU
+// eviction, and maintains the I/O accounting the paper's analytical model
+// depends on: the number of block reads (the READ term), the number of
+// non-sequential reads (the SEEK term, amortized by the prefetch factor PF),
+// and hits (which realize the model's F, the fraction of a column resident
+// in the pool; re-accessed columns in properly pipelined plans hit here,
+// which is what makes LM's DS3 re-access I/O-free in Section 3.6).
+package buffer
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Key identifies one block of one registered file.
+type Key struct {
+	File  uint64
+	Block int
+}
+
+// Stats counts buffer pool traffic. All fields are monotone counters.
+type Stats struct {
+	// Hits is the number of Get calls served from the pool.
+	Hits int64
+	// Misses is the number of Get calls that invoked the loader.
+	Misses int64
+	// Reads equals Misses: each miss reads one block from the file.
+	Reads int64
+	// Seeks is the number of misses whose block was not sequential with the
+	// previous miss on the same file (the disk-arm movement the model's
+	// SEEK term charges, before prefetch amortization).
+	Seeks int64
+	// Evictions counts blocks dropped by LRU pressure.
+	Evictions int64
+	// BytesCached is the current (not cumulative) cache footprint estimate.
+	BytesCached int64
+}
+
+// SimulatedIO returns the modelled I/O time for the traffic so far, using
+// the paper's cost terms: (Seeks/PF)*SEEK + Reads*READ. PF is the prefetch
+// size in blocks; seek and read are per-operation durations.
+func (s Stats) SimulatedIO(pf int, seek, read time.Duration) time.Duration {
+	if pf < 1 {
+		pf = 1
+	}
+	seeks := (s.Seeks + int64(pf) - 1) / int64(pf) // prefetch amortizes seeks
+	return time.Duration(seeks)*seek + time.Duration(s.Reads)*read
+}
+
+// Pool is a byte-capacity-bounded LRU cache of decoded blocks. It is safe
+// for concurrent use.
+type Pool struct {
+	mu       sync.Mutex
+	capBytes int64
+	used     int64
+	lru      *list.List // front = most recent; values are *entry
+	m        map[Key]*list.Element
+	stats    Stats
+	lastMiss map[uint64]int // file -> last missed block index
+	nextFile uint64
+}
+
+type entry struct {
+	key  Key
+	val  any
+	size int64
+}
+
+// New returns a pool bounded to capBytes of decoded-block payload.
+// capBytes <= 0 means unbounded.
+func New(capBytes int64) *Pool {
+	return &Pool{
+		capBytes: capBytes,
+		lru:      list.New(),
+		m:        make(map[Key]*list.Element),
+		lastMiss: make(map[uint64]int),
+	}
+}
+
+// RegisterFile allocates a file ID for use in Keys.
+func (p *Pool) RegisterFile() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextFile++
+	return p.nextFile
+}
+
+// Get returns the cached value for key, loading and caching it via load on a
+// miss. load returns the decoded block and its approximate size in bytes.
+func (p *Pool) Get(key Key, load func() (any, int64, error)) (any, error) {
+	p.mu.Lock()
+	if el, ok := p.m[key]; ok {
+		p.lru.MoveToFront(el)
+		p.stats.Hits++
+		v := el.Value.(*entry).val
+		p.mu.Unlock()
+		return v, nil
+	}
+	p.stats.Misses++
+	p.stats.Reads++
+	if last, ok := p.lastMiss[key.File]; !ok || key.Block != last+1 {
+		p.stats.Seeks++
+	}
+	p.lastMiss[key.File] = key.Block
+	p.mu.Unlock()
+
+	// Load outside the lock; concurrent loaders of the same block may
+	// duplicate work but converge (single-query engine: rare, harmless).
+	val, size, err := load()
+	if err != nil {
+		return nil, err
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.m[key]; ok {
+		// Raced with another loader; keep the existing entry.
+		p.lru.MoveToFront(el)
+		return el.Value.(*entry).val, nil
+	}
+	p.m[key] = p.lru.PushFront(&entry{key: key, val: val, size: size})
+	p.used += size
+	p.stats.BytesCached = p.used
+	p.evictLocked()
+	return val, nil
+}
+
+// evictLocked drops least-recently-used entries until within capacity,
+// always retaining at least one entry so a block larger than the capacity
+// can still be served.
+func (p *Pool) evictLocked() {
+	if p.capBytes <= 0 {
+		return
+	}
+	for p.used > p.capBytes && p.lru.Len() > 1 {
+		el := p.lru.Back()
+		e := el.Value.(*entry)
+		p.lru.Remove(el)
+		delete(p.m, e.key)
+		p.used -= e.size
+		p.stats.Evictions++
+	}
+	p.stats.BytesCached = p.used
+}
+
+// Contains reports whether key is cached, without touching LRU order.
+func (p *Pool) Contains(key Key) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.m[key]
+	return ok
+}
+
+// Len returns the number of cached blocks.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the counters (cache contents are retained). Used by the
+// experiment harness between runs.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{BytesCached: p.used}
+	p.lastMiss = make(map[uint64]int)
+}
+
+// Drop removes every cached block (for cold-cache experiment runs).
+func (p *Pool) Drop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lru.Init()
+	p.m = make(map[Key]*list.Element)
+	p.used = 0
+	p.stats.BytesCached = 0
+	p.lastMiss = make(map[uint64]int)
+}

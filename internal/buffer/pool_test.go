@@ -1,0 +1,189 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func load(v int, size int64) func() (any, int64, error) {
+	return func() (any, int64, error) { return v, size, nil }
+}
+
+func TestGetHitMiss(t *testing.T) {
+	p := New(0)
+	f := p.RegisterFile()
+	v, err := p.Get(Key{f, 0}, load(42, 100))
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("Get = %v, %v", v, err)
+	}
+	v, err = p.Get(Key{f, 0}, func() (any, int64, error) {
+		t.Error("loader called on hit")
+		return nil, 0, nil
+	})
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("Get(hit) = %v, %v", v, err)
+	}
+	s := p.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Reads != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestSeekAccounting(t *testing.T) {
+	p := New(0)
+	f := p.RegisterFile()
+	g := p.RegisterFile()
+	// Sequential misses on f: blocks 0,1,2 -> 1 seek.
+	for i := 0; i < 3; i++ {
+		p.Get(Key{f, i}, load(i, 10))
+	}
+	// Jump back: another seek.
+	p.Get(Key{f, 0}, func() (any, int64, error) {
+		t.Error("block 0 should be cached")
+		return nil, 0, nil
+	})
+	p.Get(Key{f, 10}, load(0, 10)) // non-sequential: seek
+	// New file: first miss is a seek.
+	p.Get(Key{g, 0}, load(0, 10))
+	s := p.Stats()
+	if s.Seeks != 3 {
+		t.Errorf("Seeks = %d, want 3 (initial + jump + new file)", s.Seeks)
+	}
+	if s.Reads != 5 {
+		t.Errorf("Reads = %d, want 5", s.Reads)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	p := New(250)
+	f := p.RegisterFile()
+	for i := 0; i < 3; i++ {
+		p.Get(Key{f, i}, load(i, 100))
+	}
+	// Capacity 250, three 100-byte blocks: block 0 must have been evicted.
+	if p.Contains(Key{f, 0}) {
+		t.Error("block 0 not evicted")
+	}
+	if !p.Contains(Key{f, 1}) || !p.Contains(Key{f, 2}) {
+		t.Error("recent blocks evicted")
+	}
+	if s := p.Stats(); s.Evictions != 1 || s.BytesCached != 200 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestLRUOrderUpdatedOnHit(t *testing.T) {
+	p := New(250)
+	f := p.RegisterFile()
+	p.Get(Key{f, 0}, load(0, 100))
+	p.Get(Key{f, 1}, load(1, 100))
+	p.Get(Key{f, 0}, load(0, 100)) // touch 0: now 1 is LRU
+	p.Get(Key{f, 2}, load(2, 100)) // evicts 1
+	if p.Contains(Key{f, 1}) {
+		t.Error("block 1 should be evicted")
+	}
+	if !p.Contains(Key{f, 0}) {
+		t.Error("recently touched block 0 evicted")
+	}
+}
+
+func TestOversizedBlockStillServed(t *testing.T) {
+	p := New(10)
+	f := p.RegisterFile()
+	v, err := p.Get(Key{f, 0}, load(7, 1000))
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("oversized Get = %v, %v", v, err)
+	}
+	if p.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (retain at least one entry)", p.Len())
+	}
+}
+
+func TestLoaderError(t *testing.T) {
+	p := New(0)
+	f := p.RegisterFile()
+	wantErr := errors.New("disk on fire")
+	_, err := p.Get(Key{f, 0}, func() (any, int64, error) { return nil, 0, wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	// A failed load must not poison the cache.
+	v, err := p.Get(Key{f, 0}, load(1, 1))
+	if err != nil || v.(int) != 1 {
+		t.Fatalf("retry Get = %v, %v", v, err)
+	}
+}
+
+func TestDropAndResetStats(t *testing.T) {
+	p := New(0)
+	f := p.RegisterFile()
+	p.Get(Key{f, 0}, load(0, 10))
+	p.ResetStats()
+	if s := p.Stats(); s.Misses != 0 || s.BytesCached != 10 {
+		t.Errorf("after ResetStats: %+v", s)
+	}
+	// After ResetStats the next miss counts a fresh seek.
+	p.Get(Key{f, 1}, load(1, 10))
+	if s := p.Stats(); s.Seeks != 1 {
+		t.Errorf("Seeks after reset = %d, want 1", s.Seeks)
+	}
+	p.Drop()
+	if p.Len() != 0 {
+		t.Error("Drop left entries")
+	}
+	if p.Contains(Key{f, 0}) {
+		t.Error("Drop left block 0")
+	}
+}
+
+func TestSimulatedIO(t *testing.T) {
+	s := Stats{Seeks: 10, Reads: 100}
+	// PF=1: 10 seeks * 2500us + 100 reads * 1000us.
+	got := s.SimulatedIO(1, 2500*time.Microsecond, 1000*time.Microsecond)
+	want := 10*2500*time.Microsecond + 100*1000*time.Microsecond
+	if got != want {
+		t.Errorf("SimulatedIO(pf=1) = %v, want %v", got, want)
+	}
+	// PF=4 amortizes seeks: ceil(10/4)=3.
+	got = s.SimulatedIO(4, 2500*time.Microsecond, 1000*time.Microsecond)
+	want = 3*2500*time.Microsecond + 100*1000*time.Microsecond
+	if got != want {
+		t.Errorf("SimulatedIO(pf=4) = %v, want %v", got, want)
+	}
+	if s.SimulatedIO(0, time.Second, 0) != 10*time.Second {
+		t.Error("pf<1 not clamped")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	p := New(1 << 20)
+	f := p.RegisterFile()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Key{f, i % 50}
+				v, err := p.Get(k, func() (any, int64, error) {
+					return fmt.Sprintf("block-%d", k.Block), 64, nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v.(string) != fmt.Sprintf("block-%d", k.Block) {
+					t.Errorf("wrong value for %v: %v", k, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := p.Stats().Hits + p.Stats().Misses; got != 1600 {
+		t.Errorf("total accesses = %d, want 1600", got)
+	}
+}

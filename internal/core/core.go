@@ -1,0 +1,282 @@
+// Package core implements the paper's primary contribution: the four
+// materialization strategies for selection/aggregation plans (Section 3.5)
+// and the join materialization wrapper (Section 4.3), executed
+// chunk-at-a-time over C-Store-style projections.
+//
+//   - EM-pipelined: DS2 on the first predicate column produces early
+//     (position, value) tuples; each further column is a DS4 that jumps to
+//     tuple positions, filters, and widens the tuples.
+//   - EM-parallel: an SPC leaf scans all needed columns in lockstep and
+//     constructs tuples at the very bottom of the plan.
+//   - LM-pipelined: DS1 on the first column produces positions; each
+//     further predicate column filters those positions in place
+//     (DS3+predicate); values are extracted and merged only at the top.
+//   - LM-parallel: DS1 on every predicate column in parallel, position
+//     lists ANDed, then DS3 extraction and a final MERGE.
+//
+// Both LM strategies use the multi-column optimization of Section 3.6 by
+// default (mini-columns are retained so DS3 never re-reads a block);
+// Options.DisableMultiColumn forces the column re-access the paper
+// describes as the fundamental LM penalty.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"matstore/internal/buffer"
+	"matstore/internal/datasource"
+	"matstore/internal/operators"
+	"matstore/internal/pred"
+	"matstore/internal/rows"
+	"matstore/internal/storage"
+)
+
+// Strategy selects a materialization strategy.
+type Strategy uint8
+
+const (
+	// EMPipelined is early materialization, one predicate column at a time.
+	EMPipelined Strategy = iota
+	// EMParallel is early materialization with an SPC leaf.
+	EMParallel
+	// LMPipelined is late materialization with pipelined position filtering.
+	LMPipelined
+	// LMParallel is late materialization with a position-list AND.
+	LMParallel
+)
+
+// Strategies lists all four strategies in presentation order.
+var Strategies = []Strategy{EMPipelined, EMParallel, LMPipelined, LMParallel}
+
+func (s Strategy) String() string {
+	switch s {
+	case EMPipelined:
+		return "EM-pipelined"
+	case EMParallel:
+		return "EM-parallel"
+	case LMPipelined:
+		return "LM-pipelined"
+	case LMParallel:
+		return "LM-parallel"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(s))
+	}
+}
+
+// ParseStrategy converts a string (as used by CLI flags) to a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "em-pipelined", "emp", "EM-pipelined":
+		return EMPipelined, nil
+	case "em-parallel", "eml", "EM-parallel":
+		return EMParallel, nil
+	case "lm-pipelined", "lmp", "LM-pipelined":
+		return LMPipelined, nil
+	case "lm-parallel", "lml", "LM-parallel":
+		return LMParallel, nil
+	default:
+		return 0, fmt.Errorf("core: unknown strategy %q", s)
+	}
+}
+
+// Filter is one single-column SARGable predicate of a query's WHERE clause.
+type Filter struct {
+	Col  string
+	Pred pred.Predicate
+}
+
+// SelectQuery describes a selection (and optional single-key aggregation)
+// over one projection, the query shape of Sections 3.5–4.2:
+//
+//	SELECT Output... FROM projection WHERE Filters...
+//	[GROUP BY GroupBy -> SELECT GroupBy, Agg(AggCol)]
+type SelectQuery struct {
+	// Output lists the projected columns (ignored when GroupBy is set).
+	Output []string
+	// Filters are ANDed single-column predicates, applied in order (order
+	// matters for pipelined strategies: put the most selective first).
+	Filters []Filter
+	// GroupBy, when non-empty, turns the query into an aggregation with
+	// Agg(AggCol) grouped by GroupBy.
+	GroupBy string
+	// AggCol is the aggregated column (required with GroupBy).
+	AggCol string
+	// Agg is the aggregate function; the zero value is SUM, the paper's
+	// experiment aggregate.
+	Agg operators.AggFunc
+}
+
+// Aggregating reports whether the query has an aggregation on top.
+func (q SelectQuery) Aggregating() bool { return q.GroupBy != "" }
+
+// Validate checks structural sanity against a projection.
+func (q SelectQuery) Validate(p *storage.Projection) error {
+	if q.Aggregating() {
+		if q.AggCol == "" {
+			return errors.New("core: GROUP BY requires AggCol")
+		}
+	} else if len(q.Output) == 0 {
+		return errors.New("core: query needs output columns or an aggregation")
+	}
+	for _, name := range q.referenced() {
+		if _, err := p.Column(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// referenced returns every column the query touches, filters first,
+// deduplicated in first-use order.
+func (q SelectQuery) referenced() []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(n string) {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, f := range q.Filters {
+		add(f.Col)
+	}
+	if q.Aggregating() {
+		add(q.GroupBy)
+		add(q.AggCol)
+	} else {
+		for _, n := range q.Output {
+			add(n)
+		}
+	}
+	return out
+}
+
+// outputNames returns the result schema.
+func (q SelectQuery) outputNames() []string {
+	if q.Aggregating() {
+		return []string{q.GroupBy, q.Agg.String() + "(" + q.AggCol + ")"}
+	}
+	return q.Output
+}
+
+// Options tunes the executor.
+type Options struct {
+	// ChunkSize is the horizontal-partition width in positions (default
+	// datasource.DefaultChunkSize). Must be a positive multiple of 64.
+	ChunkSize int64
+	// DisableMultiColumn forces LM strategies to re-access columns through
+	// the buffer pool at materialization time instead of reusing
+	// mini-columns (the Section 2.2 penalty; ablation).
+	DisableMultiColumn bool
+	// ForceBitmapPositions forces every DS1 position output into bitmap
+	// representation (position-representation ablation; Section 3.3).
+	ForceBitmapPositions bool
+	// UseZoneIndex lets late-materialization scans derive positions from
+	// block min/max metadata without reading values where possible
+	// (Section 2.1.1's index-derived positions).
+	UseZoneIndex bool
+	// SkipOutputIteration drops the final scan over output tuples. The
+	// paper charges numOutTuples × TIC_TUP for result iteration in both
+	// model and experiments, so the default (false) mirrors that.
+	SkipOutputIteration bool
+}
+
+func (o Options) chunkSize() int64 {
+	if o.ChunkSize <= 0 {
+		return datasource.DefaultChunkSize
+	}
+	return o.ChunkSize
+}
+
+// Stats describes one query execution.
+type Stats struct {
+	Strategy Strategy
+	// Wall is the end-to-end execution time.
+	Wall time.Duration
+	// TuplesOut is the number of result tuples.
+	TuplesOut int64
+	// TuplesConstructed counts every intermediate or output tuple stitched
+	// together (the quantity LM tries to minimize).
+	TuplesConstructed int64
+	// PositionsMatched is the number of positions surviving all predicates.
+	PositionsMatched int64
+	// ChunksSkipped counts chunks whose remaining columns were never read
+	// because no positions survived (pipelined block skipping).
+	ChunksSkipped int64
+	// Groups is the number of aggregation groups (0 for selections).
+	Groups int
+	// Buffer is the buffer-pool traffic delta attributable to this query.
+	Buffer buffer.Stats
+	// OutputChecksum is a fold over all output values from the final
+	// result-iteration pass (prevents dead-code elimination in benchmarks
+	// and doubles as a cheap cross-strategy equivalence probe).
+	OutputChecksum int64
+}
+
+// Executor runs queries against projections through a shared buffer pool.
+type Executor struct {
+	Pool *buffer.Pool
+	Opt  Options
+}
+
+// NewExecutor returns an executor with the given pool and options.
+func NewExecutor(pool *buffer.Pool, opt Options) *Executor {
+	return &Executor{Pool: pool, Opt: opt}
+}
+
+// Select runs q against p with the chosen materialization strategy.
+func (e *Executor) Select(p *storage.Projection, q SelectQuery, s Strategy) (*rows.Result, *Stats, error) {
+	if err := q.Validate(p); err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{Strategy: s}
+	before := e.Pool.Stats()
+	start := time.Now()
+
+	var res *rows.Result
+	var err error
+	switch s {
+	case EMPipelined:
+		res, err = e.runEMPipelined(p, q, stats)
+	case EMParallel:
+		res, err = e.runEMParallel(p, q, stats)
+	case LMPipelined:
+		res, err = e.runLM(p, q, stats, true)
+	case LMParallel:
+		res, err = e.runLM(p, q, stats, false)
+	default:
+		err = fmt.Errorf("core: unknown strategy %v", s)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if !e.Opt.SkipOutputIteration {
+		stats.OutputChecksum = drainResult(res)
+	}
+	stats.Wall = time.Since(start)
+	stats.TuplesOut = int64(res.NumRows())
+	after := e.Pool.Stats()
+	stats.Buffer = buffer.Stats{
+		Hits:   after.Hits - before.Hits,
+		Misses: after.Misses - before.Misses,
+		Reads:  after.Reads - before.Reads,
+		Seeks:  after.Seeks - before.Seeks,
+	}
+	return res, stats, nil
+}
+
+// drainResult iterates over every output tuple, as the paper's experiments
+// do after query execution, returning a checksum of all values.
+func drainResult(res *rows.Result) int64 {
+	var sum int64
+	n := res.NumRows()
+	for i := 0; i < n; i++ {
+		for c := range res.Cols {
+			sum += res.Cols[c][i]
+		}
+	}
+	return sum
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"matstore/internal/datasource"
+	"matstore/internal/operators"
+	"matstore/internal/positions"
+	"matstore/internal/pred"
+	"matstore/internal/rows"
+	"matstore/internal/storage"
+)
+
+// runEMPipelined is the strategy of Figure 7(a): a DS2 leaf scans the first
+// predicate column producing (position, value) tuples; every further column
+// is a DS4 that jumps to each tuple's position, applies its predicate (or
+// none, for pure output columns), and widens the tuple. Chunks whose batch
+// runs empty skip the remaining columns' blocks — the property that makes
+// EM-pipelined competitive under selective predicates.
+func (e *Executor) runEMPipelined(p *storage.Projection, q SelectQuery, stats *Stats) (*rows.Result, error) {
+	// Column visit order: filter columns first (in filter order), then any
+	// remaining columns the output/aggregation needs.
+	order := q.referenced()
+	preds := make(map[string]pred.Predicate, len(q.Filters))
+	for _, f := range q.Filters {
+		preds[f.Col] = f.Pred // queries repeat a column at most once per WHERE
+	}
+
+	cols := make(map[string]*storage.Column, len(order))
+	for _, name := range order {
+		c, err := p.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		cols[name] = c
+	}
+
+	var agg *operators.Aggregator
+	var res *rows.Result
+	if q.Aggregating() {
+		agg = operators.NewAggregator(q.Agg)
+	} else {
+		res = rows.NewResult(q.outputNames()...)
+	}
+
+	ch := datasource.NewChunker(positions.Range{Start: 0, End: p.TupleCount()}, e.Opt.chunkSize())
+	for ci := 0; ci < ch.NumChunks(); ci++ {
+		r := ch.Chunk(ci)
+		var batch *rows.Batch
+		skipped := false
+		for i, name := range order {
+			colPred, hasPred := preds[name]
+			if !hasPred {
+				colPred = pred.MatchAll
+			}
+			if i == 0 {
+				ds2 := datasource.DS2{Col: cols[name], Pred: colPred}
+				b, err := ds2.ScanChunk(r, name)
+				if err != nil {
+					return nil, err
+				}
+				batch = b
+				stats.TuplesConstructed += int64(batch.Len())
+				continue
+			}
+			if batch.Len() == 0 {
+				stats.ChunksSkipped++
+				skipped = true
+				break
+			}
+			mini, err := cols[name].Window(r)
+			if err != nil {
+				return nil, err
+			}
+			ds4 := datasource.DS4{Col: cols[name], Pred: colPred}
+			batch = ds4.ExtendChunk(mini, batch, name)
+			stats.TuplesConstructed += int64(batch.Len())
+		}
+		if skipped || batch.Len() == 0 {
+			continue
+		}
+		stats.PositionsMatched += int64(batch.Len())
+		if err := emitBatch(batch, q, agg, res); err != nil {
+			return nil, err
+		}
+	}
+	return finishEM(q, agg, res, stats)
+}
+
+// runEMParallel is the strategy of Figure 7(b): a single SPC leaf reads
+// every needed column, applies all predicates while scanning, and
+// constructs complete tuples at the very bottom of the plan. All blocks of
+// all input columns are read and processed regardless of selectivity.
+func (e *Executor) runEMParallel(p *storage.Projection, q SelectQuery, stats *Stats) (*rows.Result, error) {
+	order := q.referenced()
+	cols := make([]*storage.Column, len(order))
+	idx := make(map[string]int, len(order))
+	for i, name := range order {
+		c, err := p.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+		idx[name] = i
+	}
+	filters := make([]operators.IndexedPred, len(q.Filters))
+	for i, f := range q.Filters {
+		filters[i] = operators.IndexedPred{Col: idx[f.Col], Pred: f.Pred}
+	}
+	var outNames []string
+	if q.Aggregating() {
+		outNames = []string{q.GroupBy, q.AggCol}
+	} else {
+		outNames = q.Output
+	}
+	outIdx := make([]int, len(outNames))
+	for i, name := range outNames {
+		outIdx[i] = idx[name]
+	}
+
+	var agg *operators.Aggregator
+	var res *rows.Result
+	if q.Aggregating() {
+		agg = operators.NewAggregator(q.Agg)
+	} else {
+		res = rows.NewResult(q.outputNames()...)
+	}
+
+	ch := datasource.NewChunker(positions.Range{Start: 0, End: p.TupleCount()}, e.Opt.chunkSize())
+	scratch := make([][]int64, len(order))
+	// SPC constructs tuples column-wise straight into the result (or, for
+	// aggregations, into per-chunk key/value vectors feeding the hash
+	// aggregator).
+	aggDst := make([][]int64, 2)
+	for ci := 0; ci < ch.NumChunks(); ci++ {
+		r := ch.Chunk(ci)
+		// EM decompresses early: every column's chunk becomes a value
+		// vector before predicate evaluation (Section 2.1.2's cost).
+		for i, c := range cols {
+			mini, err := c.Window(r)
+			if err != nil {
+				return nil, err
+			}
+			scratch[i] = mini.Decompress(scratch[i][:0])
+		}
+		var constructed int64
+		if q.Aggregating() {
+			aggDst[0] = aggDst[0][:0]
+			aggDst[1] = aggDst[1][:0]
+			constructed = operators.SPCChunk(scratch, filters, outIdx, aggDst)
+			agg.AddBatch(aggDst[0], aggDst[1])
+		} else {
+			constructed = operators.SPCChunk(scratch, filters, outIdx, res.Cols)
+		}
+		stats.TuplesConstructed += constructed
+		stats.PositionsMatched += constructed
+	}
+	return finishEM(q, agg, res, stats)
+}
+
+// emitBatch routes a constructed-tuple batch into the aggregator or the
+// result, in output order.
+func emitBatch(batch *rows.Batch, q SelectQuery, agg *operators.Aggregator, res *rows.Result) error {
+	if q.Aggregating() {
+		keys, err := batch.Col(q.GroupBy)
+		if err != nil {
+			return err
+		}
+		vals, err := batch.Col(q.AggCol)
+		if err != nil {
+			return err
+		}
+		agg.AddBatch(keys, vals)
+		return nil
+	}
+	for i, name := range q.Output {
+		vals, err := batch.Col(name)
+		if err != nil {
+			return err
+		}
+		res.Cols[i] = append(res.Cols[i], vals...)
+	}
+	return nil
+}
+
+func finishEM(q SelectQuery, agg *operators.Aggregator, res *rows.Result, stats *Stats) (*rows.Result, error) {
+	if q.Aggregating() {
+		out := agg.Emit(q.outputNames()[0], q.outputNames()[1])
+		stats.Groups = agg.Groups()
+		stats.TuplesConstructed += int64(out.NumRows())
+		return out, nil
+	}
+	return res, nil
+}

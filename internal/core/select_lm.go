@@ -1,0 +1,156 @@
+package core
+
+import (
+	"matstore/internal/datasource"
+	"matstore/internal/encoding"
+	"matstore/internal/multicol"
+	"matstore/internal/operators"
+	"matstore/internal/positions"
+	"matstore/internal/rows"
+	"matstore/internal/storage"
+)
+
+// runLM drives both late-materialization strategies. With pipelined=false
+// (LM-parallel, Figure 8(b)) every predicate column is scanned by a DS1 and
+// the position lists are ANDed. With pipelined=true (LM-pipelined, Figure
+// 8(a)) the first column's positions restrict where later predicates are
+// even evaluated, the AND disappears, and chunks whose position set runs
+// dry skip the remaining columns' blocks entirely.
+func (e *Executor) runLM(p *storage.Projection, q SelectQuery, stats *Stats, pipelined bool) (*rows.Result, error) {
+	cols := make(map[string]*storage.Column)
+	for _, name := range q.referenced() {
+		c, err := p.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		cols[name] = c
+	}
+
+	var agg *operators.Aggregator
+	var merger *operators.Merger
+	if q.Aggregating() {
+		agg = operators.NewAggregator(q.Agg)
+	} else {
+		merger = operators.NewMerger(q.outputNames()...)
+	}
+
+	// matCols are the columns needed at materialization time.
+	var matCols []string
+	if q.Aggregating() {
+		matCols = []string{q.GroupBy, q.AggCol}
+	} else {
+		matCols = q.Output
+	}
+
+	ch := datasource.NewChunker(positions.Range{Start: 0, End: p.TupleCount()}, e.Opt.chunkSize())
+	valBufs := make([][]int64, len(matCols))
+	for ci := 0; ci < ch.NumChunks(); ci++ {
+		r := ch.Chunk(ci)
+		mc := multicol.New(r)
+		var desc positions.Set
+
+		if pipelined {
+			skipped := false
+			for i, f := range q.Filters {
+				if i > 0 && desc.Count() == 0 {
+					// Remaining predicate columns' blocks are never read.
+					stats.ChunksSkipped++
+					skipped = true
+					break
+				}
+				if i == 0 {
+					// The leading scan is a DS1 (optionally index-derived).
+					ds1 := datasource.DS1{
+						Col: cols[f.Col], Pred: f.Pred,
+						ForceBitmap:  e.Opt.ForceBitmapPositions,
+						UseZoneIndex: e.Opt.UseZoneIndex,
+					}
+					ps, mini, err := ds1.ScanChunk(r)
+					if err != nil {
+						return nil, err
+					}
+					if mini != nil {
+						mc.Attach(f.Col, mini)
+					}
+					desc = ps
+					continue
+				}
+				// Later predicates narrow the surviving positions in place
+				// (DS3+predicate), which requires the column's values.
+				mini, err := cols[f.Col].Window(r)
+				if err != nil {
+					return nil, err
+				}
+				mc.Attach(f.Col, mini)
+				desc = mini.FilterAt(desc, f.Pred)
+			}
+			if skipped {
+				continue
+			}
+		} else {
+			sets := make([]positions.Set, 0, len(q.Filters))
+			for _, f := range q.Filters {
+				ds1 := datasource.DS1{
+					Col: cols[f.Col], Pred: f.Pred,
+					ForceBitmap:  e.Opt.ForceBitmapPositions,
+					UseZoneIndex: e.Opt.UseZoneIndex,
+				}
+				ps, mini, err := ds1.ScanChunk(r)
+				if err != nil {
+					return nil, err
+				}
+				if mini != nil {
+					mc.Attach(f.Col, mini)
+				}
+				sets = append(sets, ps)
+			}
+			// The AND operator of Section 3.3 / multi-column AND of 3.6.
+			desc = positions.AndAll(sets...)
+		}
+
+		if len(q.Filters) == 0 {
+			desc = positions.NewRanges(r)
+		}
+		if desc == nil || desc.Count() == 0 {
+			continue
+		}
+		mc.SetDescriptor(desc)
+		stats.PositionsMatched += desc.Count()
+
+		// Materialization: DS3 per needed column, from the multi-column's
+		// mini-columns when available (zero re-access), else re-windowed.
+		minis := make([]encoding.MiniColumn, len(matCols))
+		for i, name := range matCols {
+			mini, ok := mc.Mini(name)
+			if !ok || e.Opt.DisableMultiColumn {
+				var err error
+				if mini, err = cols[name].Window(r); err != nil {
+					return nil, err
+				}
+			}
+			minis[i] = mini
+		}
+
+		if q.Aggregating() {
+			// Aggregate directly on compressed data; no tuples constructed.
+			operators.AggregateCompressedChunk(agg, minis[0], minis[1], desc)
+			continue
+		}
+		ds3 := datasource.DS3{}
+		for i := range matCols {
+			valBufs[i] = ds3.ValuesFromMini(minis[i], desc, valBufs[i][:0])
+		}
+		if err := merger.MergeChunk(valBufs...); err != nil {
+			return nil, err
+		}
+	}
+
+	if q.Aggregating() {
+		res := agg.Emit(q.outputNames()[0], q.outputNames()[1])
+		stats.Groups = agg.Groups()
+		stats.TuplesConstructed += int64(res.NumRows())
+		return res, nil
+	}
+	stats.TuplesConstructed += merger.TuplesConstructed
+	return merger.Result(), nil
+}

@@ -1,0 +1,190 @@
+// Package datasource implements the four data-source operator cases of
+// Section 3.2 of the paper, as chunk-at-a-time operators over stored
+// columns:
+//
+//	DS1 — scan a column, apply a predicate, produce positions.
+//	DS2 — scan a column, apply a predicate, produce (position, value) pairs.
+//	DS3 — given a position list, produce the corresponding values, either
+//	      from an already-materialized mini-column (the multi-column
+//	      optimization, zero re-access I/O) or by re-accessing the column.
+//	DS4 — given early-materialized tuples, jump to each position, apply a
+//	      predicate, and widen the tuples that pass.
+//
+// All data sources work one chunk (horizontal partition) at a time; the
+// executor in internal/core drives them across the position space.
+package datasource
+
+import (
+	"fmt"
+
+	"matstore/internal/encoding"
+	"matstore/internal/positions"
+	"matstore/internal/pred"
+	"matstore/internal/rows"
+	"matstore/internal/storage"
+)
+
+// DefaultChunkSize is the default horizontal-partition width in positions.
+// It must be a multiple of 64 so bit-vector windows and bitmap descriptors
+// stay word-aligned.
+const DefaultChunkSize = 1 << 16
+
+// Chunker enumerates the aligned chunks of a column extent.
+type Chunker struct {
+	extent positions.Range
+	size   int64
+}
+
+// NewChunker partitions extent into chunks of the given size (which must be
+// a positive multiple of 64).
+func NewChunker(extent positions.Range, size int64) Chunker {
+	if size <= 0 || size%64 != 0 {
+		panic(fmt.Sprintf("datasource: chunk size %d must be a positive multiple of 64", size))
+	}
+	return Chunker{extent: extent, size: size}
+}
+
+// NumChunks returns the number of chunks.
+func (c Chunker) NumChunks() int {
+	if c.extent.Empty() {
+		return 0
+	}
+	return int((c.extent.Len() + c.size - 1) / c.size)
+}
+
+// Chunk returns the position range of chunk i.
+func (c Chunker) Chunk(i int) positions.Range {
+	start := c.extent.Start + int64(i)*c.size
+	end := start + c.size
+	if end > c.extent.End {
+		end = c.extent.End
+	}
+	return positions.Range{Start: start, End: end}
+}
+
+// DS1 scans a column and produces, per chunk, the positions whose values
+// satisfy the predicate, along with the chunk's mini-column (so the caller
+// can attach it to a multi-column for later value extraction).
+type DS1 struct {
+	Col  *storage.Column
+	Pred pred.Predicate
+	// ForceBitmap requests bitmap position output regardless of shape (the
+	// position-representation ablation).
+	ForceBitmap bool
+	// UseZoneIndex derives positions from the block index's min/max zones
+	// where possible (Section 2.1.1), reading only straddling blocks. When
+	// the fast path applies, no mini-column is produced (the values were
+	// never accessed) and the returned mini-column is nil.
+	UseZoneIndex bool
+}
+
+// ScanChunk reads the chunk window and applies the predicate. The returned
+// mini-column is nil when the zone-index fast path resolved the predicate
+// without materializing the window.
+func (ds *DS1) ScanChunk(r positions.Range) (positions.Set, encoding.MiniColumn, error) {
+	if ds.UseZoneIndex {
+		ps, used, err := ds.Col.ZonePositions(r, ds.Pred)
+		if err != nil {
+			return nil, nil, err
+		}
+		if used {
+			if ds.ForceBitmap && ps.Kind() != positions.KindBitmap && ps.Kind() != positions.KindEmpty {
+				ps = positions.ToBitmap(ps, r.Intersect(ds.Col.Extent()))
+			}
+			return ps, nil, nil
+		}
+	}
+	mc, err := ds.Col.Window(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	ps := mc.Filter(ds.Pred)
+	if ds.ForceBitmap && ps.Kind() != positions.KindBitmap && ps.Kind() != positions.KindEmpty {
+		ps = positions.ToBitmap(ps, mc.Covering())
+	}
+	return ps, mc, nil
+}
+
+// DS2 scans a column and produces, per chunk, early-materialized
+// (position, value) pairs for the values satisfying the predicate. This is
+// the EM leaf: values are glued to positions immediately (the TIC_TUP cost
+// in the model's Case 2).
+type DS2 struct {
+	Col  *storage.Column
+	Pred pred.Predicate
+}
+
+// ScanChunk returns a batch with one column named after the stored column.
+func (ds *DS2) ScanChunk(r positions.Range, name string) (*rows.Batch, error) {
+	mc, err := ds.Col.Window(r)
+	if err != nil {
+		return nil, err
+	}
+	ps := mc.Filter(ds.Pred)
+	batch := rows.NewBatch(name)
+	it := ps.Runs()
+	scratch := positions.Ranges{{}}
+	for {
+		run, ok := it.Next()
+		if !ok {
+			return batch, nil
+		}
+		scratch[0] = run
+		batch.Cols[0] = mc.Extract(batch.Cols[0], scratch)
+		for p := run.Start; p < run.End; p++ {
+			batch.Pos = append(batch.Pos, p)
+		}
+	}
+}
+
+// DS3 produces values for a list of positions (Case 3). With the
+// multi-column optimization the values come from an in-memory mini-column
+// and the I/O cost is zero; without it the column is re-accessed through
+// the buffer pool (warm, but paying the CPU cost of re-scanning — the LM
+// re-access penalty of Section 2.2).
+type DS3 struct {
+	Col *storage.Column
+}
+
+// ValuesFromMini extracts the values at ps from an attached mini-column.
+func (DS3) ValuesFromMini(mc encoding.MiniColumn, ps positions.Set, dst []int64) []int64 {
+	return mc.Extract(dst, ps)
+}
+
+// ValuesReaccess re-reads the chunk window from the column and extracts the
+// values at ps.
+func (ds DS3) ValuesReaccess(r positions.Range, ps positions.Set, dst []int64) ([]int64, error) {
+	mc, err := ds.Col.Window(r)
+	if err != nil {
+		return nil, err
+	}
+	return mc.Extract(dst, ps), nil
+}
+
+// DS4 widens early-materialized tuples (Case 4): for each input tuple it
+// jumps to the tuple's position in this column, applies the predicate, and
+// emits the input tuple extended with this column's value when it passes.
+type DS4 struct {
+	Col  *storage.Column
+	Pred pred.Predicate
+}
+
+// ExtendChunk processes one input batch against the chunk's mini-column.
+// The returned batch carries the input attributes plus colName.
+func (ds *DS4) ExtendChunk(mc encoding.MiniColumn, in *rows.Batch, colName string) *rows.Batch {
+	out := rows.NewBatch(append(append([]string{}, in.Names...), colName)...)
+	last := len(out.Cols) - 1
+	for i := 0; i < in.Len(); i++ {
+		pos := in.Pos[i]
+		v := mc.ValueAt(pos)
+		if !ds.Pred.Match(v) {
+			continue
+		}
+		out.Pos = append(out.Pos, pos)
+		for c := range in.Cols {
+			out.Cols[c] = append(out.Cols[c], in.Cols[c][i])
+		}
+		out.Cols[last] = append(out.Cols[last], v)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package encoding
+
+import (
+	"testing"
+
+	"matstore/internal/positions"
+	"matstore/internal/pred"
+)
+
+// Micro-benchmarks for the per-encoding mini-column primitives that
+// dominate query CPU.
+
+func benchVals(n, distinct int) []int64 {
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i * distinct / n) // sorted, runs of n/distinct
+	}
+	return vals
+}
+
+func BenchmarkFilterPlain(b *testing.B) {
+	m := PlainMiniFromValues(0, benchVals(1<<16, 7))
+	p := pred.LessThan(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Filter(p).Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFilterRLE(b *testing.B) {
+	m := RLEMiniFromValues(0, benchVals(1<<16, 7))
+	p := pred.LessThan(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Filter(p).Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFilterBV(b *testing.B) {
+	m := BVMiniFromValues(0, benchVals(1<<16, 7))
+	p := pred.LessThan(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Filter(p).Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func benchExtract(b *testing.B, m MiniColumn) {
+	b.Helper()
+	ps := positions.NewRanges(
+		positions.Range{Start: 1000, End: 20000},
+		positions.Range{Start: 30000, End: 50000},
+	)
+	var dst []int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = m.Extract(dst[:0], ps)
+		if len(dst) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkExtractPlain(b *testing.B) {
+	benchExtract(b, PlainMiniFromValues(0, benchVals(1<<16, 7)))
+}
+func BenchmarkExtractRLE(b *testing.B) { benchExtract(b, RLEMiniFromValues(0, benchVals(1<<16, 7))) }
+func BenchmarkExtractBV(b *testing.B)  { benchExtract(b, BVMiniFromValues(0, benchVals(1<<16, 7))) }
+
+func benchSumRange(b *testing.B, m MiniColumn) {
+	b.Helper()
+	r := positions.Range{Start: 100, End: 60000}
+	b.ResetTimer()
+	var acc int64
+	for i := 0; i < b.N; i++ {
+		acc += SumRange(m, r)
+	}
+	_ = acc
+}
+
+func BenchmarkSumRangePlain(b *testing.B) {
+	benchSumRange(b, PlainMiniFromValues(0, benchVals(1<<16, 7)))
+}
+func BenchmarkSumRangeRLE(b *testing.B) { benchSumRange(b, RLEMiniFromValues(0, benchVals(1<<16, 7))) }
+func BenchmarkSumRangeBV(b *testing.B)  { benchSumRange(b, BVMiniFromValues(0, benchVals(1<<16, 7))) }
+
+func BenchmarkDecodePlainBlock(b *testing.B) {
+	buf := make([]byte, BlockSize)
+	vals := benchVals(PlainBlockCap, 100)
+	EncodePlainBlock(buf, 0, vals)
+	b.SetBytes(int64(8 * PlainBlockCap))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodePlainBlock(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeRLEBlock(b *testing.B) {
+	buf := make([]byte, BlockSize)
+	ts := make([]Triple, RLEBlockCap)
+	pos := int64(0)
+	for i := range ts {
+		ts[i] = Triple{Value: int64(i % 7), Start: pos, Len: 10}
+		pos += 10
+	}
+	EncodeRLEBlock(buf, ts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeRLEBlock(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

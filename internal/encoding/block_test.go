@@ -1,0 +1,218 @@
+package encoding
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestBlockConstants(t *testing.T) {
+	if BlockSize != 65536 {
+		t.Errorf("BlockSize = %d, want 65536 (the paper's 64KB blocks)", BlockSize)
+	}
+	if BVBlockBits%64 != 0 {
+		t.Errorf("BVBlockBits = %d not a multiple of 64", BVBlockBits)
+	}
+	if PlainBlockCap*8 > BlockPayload || RLEBlockCap*24 > BlockPayload {
+		t.Error("block capacities exceed payload")
+	}
+}
+
+func TestPlainBlockRoundTrip(t *testing.T) {
+	buf := make([]byte, BlockSize)
+	vals := make([]int64, PlainBlockCap+100)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vals {
+		vals[i] = rng.Int63() - rng.Int63()
+	}
+	n := EncodePlainBlock(buf, 1000, vals)
+	if n != PlainBlockCap {
+		t.Fatalf("consumed %d, want %d", n, PlainBlockCap)
+	}
+	got, err := DecodePlainBlock(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Start != 1000 {
+		t.Errorf("Start = %d", got.Start)
+	}
+	if !reflect.DeepEqual(got.Vals, vals[:n]) {
+		t.Error("values mismatch after round trip")
+	}
+	if got.Cover() != (rangeOf(1000, 1000+int64(n))) {
+		t.Errorf("Cover = %v", got.Cover())
+	}
+}
+
+func TestPlainBlockPartial(t *testing.T) {
+	buf := make([]byte, BlockSize)
+	vals := []int64{1, -2, 3}
+	if n := EncodePlainBlock(buf, 0, vals); n != 3 {
+		t.Fatalf("consumed %d", n)
+	}
+	got, err := DecodePlainBlock(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Vals, vals) {
+		t.Errorf("Vals = %v", got.Vals)
+	}
+}
+
+func TestRLEBlockRoundTrip(t *testing.T) {
+	buf := make([]byte, BlockSize)
+	ts := []Triple{{Value: 5, Start: 0, Len: 10}, {Value: -7, Start: 10, Len: 3}, {Value: 5, Start: 13, Len: 1}}
+	if n := EncodeRLEBlock(buf, ts); n != 3 {
+		t.Fatalf("consumed %d", n)
+	}
+	got, err := DecodeRLEBlock(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Triples, ts) {
+		t.Errorf("Triples = %v", got.Triples)
+	}
+	if got.Cover() != rangeOf(0, 14) {
+		t.Errorf("Cover = %v", got.Cover())
+	}
+}
+
+func TestRLEBlockCapacity(t *testing.T) {
+	buf := make([]byte, BlockSize)
+	ts := make([]Triple, RLEBlockCap+10)
+	pos := int64(0)
+	for i := range ts {
+		ts[i] = Triple{Value: int64(i % 3), Start: pos, Len: 2}
+		pos += 2
+	}
+	if n := EncodeRLEBlock(buf, ts); n != RLEBlockCap {
+		t.Fatalf("consumed %d, want %d", n, RLEBlockCap)
+	}
+	got, err := DecodeRLEBlock(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Triples) != RLEBlockCap {
+		t.Errorf("decoded %d triples", len(got.Triples))
+	}
+}
+
+func TestBVBlockRoundTrip(t *testing.T) {
+	buf := make([]byte, BlockSize)
+	nbits := int64(1000)
+	words := make([]uint64, (nbits+63)/64)
+	rng := rand.New(rand.NewSource(2))
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	// Clamp trailing bits (invariant for bitmaps).
+	words[len(words)-1] &= (1 << uint(nbits%64)) - 1
+	n := EncodeBVBlock(buf, 42, 0, words, nbits)
+	if n != nbits {
+		t.Fatalf("consumed %d bits", n)
+	}
+	got, err := DecodeBVBlock(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != 42 || got.StartBit != 0 || got.NBits != nbits {
+		t.Errorf("header = %+v", got)
+	}
+	if !reflect.DeepEqual(got.Words, words) {
+		t.Error("words mismatch")
+	}
+}
+
+func TestBVBlockSpansMultiple(t *testing.T) {
+	buf := make([]byte, BlockSize)
+	nbits := int64(BVBlockBits + 100)
+	words := make([]uint64, (nbits+63)/64)
+	for i := range words {
+		words[i] = ^uint64(0)
+	}
+	n := EncodeBVBlock(buf, 1, 0, words, nbits)
+	if n != BVBlockBits {
+		t.Fatalf("first block consumed %d bits, want %d", n, BVBlockBits)
+	}
+	n2 := EncodeBVBlock(buf, 1, n, words, nbits-n)
+	if n2 != 100 {
+		t.Fatalf("second block consumed %d bits, want 100", n2)
+	}
+	got, err := DecodeBVBlock(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StartBit != BVBlockBits || got.NBits != 100 {
+		t.Errorf("second block header = %+v", got)
+	}
+}
+
+func TestDecodeBlockDispatch(t *testing.T) {
+	buf := make([]byte, BlockSize)
+	EncodePlainBlock(buf, 0, []int64{1})
+	if v, err := DecodeBlock(buf); err != nil {
+		t.Fatal(err)
+	} else if _, ok := v.(*PlainBlock); !ok {
+		t.Errorf("got %T", v)
+	}
+	EncodeRLEBlock(buf, []Triple{{Value: 1, Start: 0, Len: 1}})
+	if v, err := DecodeBlock(buf); err != nil {
+		t.Fatal(err)
+	} else if _, ok := v.(*RLEBlock); !ok {
+		t.Errorf("got %T", v)
+	}
+}
+
+func TestCorruptionDetection(t *testing.T) {
+	buf := make([]byte, BlockSize)
+	EncodePlainBlock(buf, 0, []int64{1, 2, 3})
+	buf[BlockHeaderSize] ^= 0xff // flip a payload bit
+	if _, err := DecodePlainBlock(buf); !errors.Is(err, ErrCorruptBlock) {
+		t.Errorf("corrupt payload: err = %v, want ErrCorruptBlock", err)
+	}
+
+	EncodeRLEBlock(buf, []Triple{{Value: 1, Start: 0, Len: 5}})
+	buf[40] ^= 0x01
+	if _, err := DecodeRLEBlock(buf); !errors.Is(err, ErrCorruptBlock) {
+		t.Errorf("corrupt rle: err = %v", err)
+	}
+
+	// Wrong kind.
+	EncodePlainBlock(buf, 0, []int64{1})
+	if _, err := DecodeRLEBlock(buf); !errors.Is(err, ErrCorruptBlock) {
+		t.Errorf("wrong kind: err = %v", err)
+	}
+	// Unknown kind byte.
+	buf[0] = 0x7f
+	if _, err := DecodeBlock(buf); !errors.Is(err, ErrCorruptBlock) {
+		t.Errorf("unknown kind: err = %v", err)
+	}
+	// Short buffer.
+	if _, err := DecodeBlock(buf[:10]); !errors.Is(err, ErrCorruptBlock) {
+		t.Errorf("short block: err = %v", err)
+	}
+	// Absurd count.
+	EncodePlainBlock(buf, 0, []int64{1})
+	buf[4] = 0xff
+	buf[5] = 0xff
+	buf[6] = 0xff
+	if _, err := DecodePlainBlock(buf); !errors.Is(err, ErrCorruptBlock) {
+		t.Errorf("oversized count: err = %v", err)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, tc := range []struct {
+		s    string
+		want Kind
+	}{{"plain", Plain}, {"uncompressed", Plain}, {"rle", RLE}, {"bitvector", BitVector}, {"bv", BitVector}} {
+		got, err := ParseKind(tc.s)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseKind(%q) = %v, %v", tc.s, got, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("ParseKind accepted junk")
+	}
+}

@@ -1,0 +1,214 @@
+package model
+
+import (
+	"fmt"
+
+	"matstore/internal/core"
+)
+
+// SelectionInputs describes the paper's two-predicate selection query
+//
+//	SELECT A, B FROM proj WHERE predA(A) AND predB(B)
+//	[GROUP BY A -> SELECT A, SUM(B)]
+//
+// to the plan-level model. A is the first (pipelined) predicate column.
+type SelectionInputs struct {
+	A, B ColumnStats
+	// SFA and SFB are the predicate selectivities.
+	SFA, SFB float64
+	// PosRunsA is RLp for the position list produced by A's predicate: the
+	// average run length of matching positions. For predicates over sorted
+	// or RLE data matches are contiguous, so this is large; for unsorted
+	// data it approaches 1.
+	PosRunsA float64
+	// PosRunsB is the same for B's predicate output.
+	PosRunsB float64
+	// Aggregating adds a SUM(B) GROUP BY A on top.
+	Aggregating bool
+	// Groups is the expected number of groups (used for the aggregation
+	// output size; ignored unless Aggregating).
+	Groups float64
+}
+
+func (in SelectionInputs) outTuples() float64 {
+	if in.Aggregating {
+		return in.Groups
+	}
+	return in.SFA * in.SFB * in.A.Tuples
+}
+
+// Cost is a decomposed plan cost in microseconds.
+type Cost struct {
+	CPU float64
+	IO  float64
+}
+
+// Total returns CPU+IO.
+func (c Cost) Total() float64 { return c.CPU + c.IO }
+
+// Add accumulates another cost.
+func (c Cost) Add(cpu, io float64) Cost { return Cost{c.CPU + cpu, c.IO + io} }
+
+func (c Cost) String() string { return fmt.Sprintf("cpu=%.0fµs io=%.0fµs", c.CPU, c.IO) }
+
+// SelectionCost predicts the cost of running the selection under the given
+// strategy, composing the Figure 1–6 operator formulas the same way the
+// executor composes the operators (Section 3.5 plans).
+func (m Constants) SelectionCost(s core.Strategy, in SelectionInputs) Cost {
+	switch s {
+	case core.EMParallel:
+		return m.emParallel(in)
+	case core.EMPipelined:
+		return m.emPipelined(in)
+	case core.LMParallel:
+		return m.lmParallel(in)
+	case core.LMPipelined:
+		return m.lmPipelined(in)
+	default:
+		return Cost{}
+	}
+}
+
+// emParallel: SPC over both columns, then aggregation or output iteration.
+func (m Constants) emParallel(in SelectionInputs) Cost {
+	var c Cost
+	cpu, io := m.SPC([]ColumnStats{in.A, in.B}, []float64{in.SFA, in.SFB})
+	c = c.Add(cpu, io)
+	c = c.Add(m.aggOrIterate(in, in.SFA*in.SFB*in.A.Tuples), 0)
+	return c
+}
+
+// emPipelined: DS2 on A producing (pos,val) tuples, DS4 on B widening them.
+func (m Constants) emPipelined(in SelectionInputs) Cost {
+	var c Cost
+	cpu, io := m.DS2(in.A, in.SFA)
+	c = c.Add(cpu, io)
+	em := in.SFA * in.A.Tuples
+	cpu, io = m.DS4(in.B, em, in.SFB)
+	// Pipelined block skipping: only the fraction of B's blocks containing
+	// qualifying positions is read and iterated. With clustered matches
+	// (sorted first column) that fraction approaches SFA.
+	skip := in.SFA
+	if skip > 1 {
+		skip = 1
+	}
+	cpu -= (1 - skip) * in.B.Blocks * m.BIC
+	io *= skip
+	c = c.Add(cpu, io)
+	c = c.Add(m.aggOrIterate(in, em*in.SFB), 0)
+	return c
+}
+
+// lmParallel: DS1 on A and B, AND, DS3 on A and B from multi-columns,
+// MERGE, then aggregation or output iteration.
+func (m Constants) lmParallel(in SelectionInputs) Cost {
+	var c Cost
+	cpu, io := m.DS1(in.A, in.SFA)
+	c = c.Add(cpu, io)
+	cpu, io = m.DS1(in.B, in.SFB)
+	c = c.Add(cpu, io)
+	c = c.Add(m.AND(
+		PosList{Positions: in.SFA * in.A.Tuples, RunLen: in.PosRunsA},
+		PosList{Positions: in.SFB * in.B.Tuples, RunLen: in.PosRunsB},
+	), 0)
+	matched := in.SFA * in.SFB * in.A.Tuples
+	rlp := in.PosRunsA
+	if in.PosRunsB < rlp {
+		rlp = in.PosRunsB
+	}
+	if in.Aggregating {
+		// Aggregation operates directly on the compressed mini-columns: the
+		// per-run cost of walking key runs plus emitting group tuples.
+		c = c.Add(matched/in.A.rl()*(m.TICCOL+m.FC)+in.Groups*m.TICTUP, 0)
+		c = c.Add(m.OutputIteration(in.Groups), 0)
+		return c
+	}
+	cpu, io = m.DS3(in.A, matched, rlp, in.SFA*in.SFB, true)
+	c = c.Add(cpu, io)
+	cpu, io = m.DS3(in.B, matched, rlp, in.SFA*in.SFB, true)
+	c = c.Add(cpu, io)
+	c = c.Add(m.Merge(matched, 2), 0)
+	c = c.Add(m.OutputIteration(matched), 0)
+	return c
+}
+
+// lmPipelined: DS1 on A; DS3+predicate on B restricted to A's positions
+// (which also skips B blocks outside those positions); DS3 value extraction
+// at the final positions; MERGE.
+func (m Constants) lmPipelined(in SelectionInputs) Cost {
+	var c Cost
+	cpu, io := m.DS1(in.A, in.SFA)
+	c = c.Add(cpu, io)
+	posA := in.SFA * in.A.Tuples
+	// DS3 over B at A's positions plus a predicate application per value.
+	cpu, io = m.DS3(in.B, posA, in.PosRunsA, in.SFA, false)
+	cpu += posA * m.FC // predicate on the extracted subset
+	c = c.Add(cpu, io)
+	matched := in.SFA * in.SFB * in.A.Tuples
+	rlp := in.PosRunsA
+	if in.PosRunsB < rlp {
+		rlp = in.PosRunsB
+	}
+	if in.Aggregating {
+		c = c.Add(matched/in.A.rl()*(m.TICCOL+m.FC)+in.Groups*m.TICTUP, 0)
+		c = c.Add(m.OutputIteration(in.Groups), 0)
+		return c
+	}
+	cpu, io = m.DS3(in.A, matched, rlp, in.SFA*in.SFB, true)
+	c = c.Add(cpu, io)
+	cpu, io = m.DS3(in.B, matched, rlp, in.SFA*in.SFB, true)
+	c = c.Add(cpu, io)
+	c = c.Add(m.Merge(matched, 2), 0)
+	c = c.Add(m.OutputIteration(matched), 0)
+	return c
+}
+
+// aggOrIterate returns the post-plan CPU for EM strategies: hash
+// aggregation over constructed tuples plus group iteration, or plain output
+// iteration.
+func (m Constants) aggOrIterate(in SelectionInputs, tuples float64) float64 {
+	if in.Aggregating {
+		return tuples*(m.TICTUP+m.FC) + in.Groups*m.TICTUP + m.OutputIteration(in.Groups)
+	}
+	return m.OutputIteration(tuples)
+}
+
+// Advise returns the strategy with the lowest predicted total cost — the
+// optimizer decision procedure the paper proposes.
+func (m Constants) Advise(in SelectionInputs) (core.Strategy, Cost) {
+	best := core.EMParallel
+	bestCost := m.SelectionCost(best, in)
+	for _, s := range []core.Strategy{core.EMPipelined, core.LMPipelined, core.LMParallel} {
+		if c := m.SelectionCost(s, in); c.Total() < bestCost.Total() {
+			best, bestCost = s, c
+		}
+	}
+	return best, bestCost
+}
+
+// EstimatePosRuns estimates RLp, the average run length of the position
+// list produced by a predicate with selectivity sf over a column: for
+// sorted/RLE columns matches are contiguous within each sorted segment
+// (clusters estimates how many such segments the matches split across,
+// e.g. the number of primary-sort-key groups when the column is the
+// secondary sort key); for unsorted columns runs average ~1/(1-sf)
+// (geometric runs of independent matches).
+func EstimatePosRuns(c ColumnStats, sf float64, sorted bool, clusters float64) float64 {
+	if sf <= 0 {
+		return 1
+	}
+	if sorted {
+		if clusters < 1 {
+			clusters = 1
+		}
+		rl := sf * c.Tuples / clusters
+		if rl < 1 {
+			return 1
+		}
+		return rl
+	}
+	if sf >= 1 {
+		return c.Tuples
+	}
+	return 1 / (1 - sf)
+}

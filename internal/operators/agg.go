@@ -1,0 +1,218 @@
+package operators
+
+import (
+	"fmt"
+	"sort"
+
+	"matstore/internal/encoding"
+	"matstore/internal/positions"
+	"matstore/internal/rows"
+)
+
+// AggFunc is an aggregate function over a group's values.
+type AggFunc uint8
+
+const (
+	// AggSum is SUM(col) — the paper's experiment aggregate.
+	AggSum AggFunc = iota
+	// AggCount is COUNT(col).
+	AggCount
+	// AggAvg is AVG(col), reported as the truncated integer quotient.
+	AggAvg
+	// AggMin is MIN(col).
+	AggMin
+	// AggMax is MAX(col).
+	AggMax
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(f))
+	}
+}
+
+// ParseAggFunc converts a string such as "sum" to an AggFunc.
+func ParseAggFunc(s string) (AggFunc, error) {
+	switch s {
+	case "sum", "SUM":
+		return AggSum, nil
+	case "count", "COUNT":
+		return AggCount, nil
+	case "avg", "AVG":
+		return AggAvg, nil
+	case "min", "MIN":
+		return AggMin, nil
+	case "max", "MAX":
+		return AggMax, nil
+	default:
+		return 0, fmt.Errorf("operators: unknown aggregate %q", s)
+	}
+}
+
+// Aggregator implements FN(val) GROUP BY key over int64 keys. It accepts
+// input either tuple-at-a-time (the EM path: constructed tuples flow into
+// the aggregator) or run-at-a-time (the LM path: whole compressed runs
+// contribute pre-aggregated statistics without any tuple ever being
+// constructed — Section 4.2's "operate directly on compressed data").
+type Aggregator struct {
+	// Fn selects the emitted aggregate; all statistics are maintained so
+	// the same pass can serve any function.
+	Fn AggFunc
+	m  map[int64]encoding.RunStats
+	// TuplesIn counts tuple-at-a-time contributions (EM accounting).
+	TuplesIn int64
+	// RunsIn counts run-at-a-time contributions (LM accounting).
+	RunsIn int64
+}
+
+// NewAggregator returns an empty aggregator for fn.
+func NewAggregator(fn AggFunc) *Aggregator {
+	return &Aggregator{Fn: fn, m: make(map[int64]encoding.RunStats)}
+}
+
+// NewSumAggregator returns an empty SUM aggregator.
+func NewSumAggregator() *Aggregator { return NewAggregator(AggSum) }
+
+func (a *Aggregator) add(key int64, st encoding.RunStats) {
+	cur, ok := a.m[key]
+	if !ok || cur.Count == 0 {
+		a.m[key] = st
+		return
+	}
+	cur.Sum += st.Sum
+	cur.Count += st.Count
+	if st.Min < cur.Min {
+		cur.Min = st.Min
+	}
+	if st.Max > cur.Max {
+		cur.Max = st.Max
+	}
+	a.m[key] = cur
+}
+
+// AddTuple contributes one constructed tuple.
+func (a *Aggregator) AddTuple(key, val int64) {
+	a.add(key, encoding.RunStats{Sum: val, Count: 1, Min: val, Max: val})
+	a.TuplesIn++
+}
+
+// AddBatch contributes aligned key/value vectors.
+func (a *Aggregator) AddBatch(keys, vals []int64) {
+	for i := range keys {
+		a.add(keys[i], encoding.RunStats{Sum: vals[i], Count: 1, Min: vals[i], Max: vals[i]})
+	}
+	a.TuplesIn += int64(len(keys))
+}
+
+// AddRun contributes pre-aggregated statistics for key (one compressed
+// run's worth of work in a single call).
+func (a *Aggregator) AddRun(key int64, st encoding.RunStats) {
+	if st.Count == 0 {
+		return
+	}
+	a.add(key, st)
+	a.RunsIn++
+}
+
+// Groups returns the number of distinct keys seen.
+func (a *Aggregator) Groups() int { return len(a.m) }
+
+// Emit materializes the aggregate result, sorted by key, with the given
+// output column names. These are the only tuples an LM aggregation plan
+// ever constructs.
+func (a *Aggregator) Emit(keyName, outName string) *rows.Result {
+	keys := make([]int64, 0, len(a.m))
+	for k := range a.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	res := rows.NewResult(keyName, outName)
+	for _, k := range keys {
+		st := a.m[k]
+		var v int64
+		switch a.Fn {
+		case AggSum:
+			v = st.Sum
+		case AggCount:
+			v = st.Count
+		case AggAvg:
+			v = st.Sum / st.Count
+		case AggMin:
+			v = st.Min
+		case AggMax:
+			v = st.Max
+		}
+		res.AppendRow(k, v)
+	}
+	return res
+}
+
+// AggregateCompressedChunk aggregates one chunk entirely on compressed
+// data: keyMC supplies group keys, valMC the aggregated values, and desc
+// the valid positions. No tuples are constructed:
+//
+//   - RLE keys contribute one AddRun per (run ∩ descriptor-run) overlap,
+//     with the value side folded by StatsRange (which itself multiplies
+//     value×length for RLE values and popcounts for bit-vector values).
+//   - Bit-vector keys contribute one AddRun per distinct key value, using
+//     bit-string ∧ descriptor.
+//   - Plain keys fall back to value-at-a-time accumulation within
+//     descriptor runs.
+func AggregateCompressedChunk(a *Aggregator, keyMC, valMC encoding.MiniColumn, desc positions.Set) {
+	switch key := keyMC.(type) {
+	case *encoding.RLEMini:
+		triples := key.Triples()
+		ti := 0
+		it := desc.Runs()
+		for {
+			r, ok := it.Next()
+			if !ok {
+				return
+			}
+			for ti < len(triples) && triples[ti].End() <= r.Start {
+				ti++
+			}
+			for tj := ti; tj < len(triples) && triples[tj].Start < r.End; tj++ {
+				o := triples[tj].Cover().Intersect(r)
+				if o.Empty() {
+					continue
+				}
+				a.AddRun(triples[tj].Value, encoding.StatsRange(valMC, o))
+			}
+		}
+	case *encoding.BVMini:
+		for i, v := range key.DistinctValues() {
+			ps := positions.And(key.BitString(i), desc)
+			if ps.Count() == 0 {
+				continue
+			}
+			a.AddRun(v, encoding.StatsSet(valMC, ps))
+		}
+	default:
+		var keyBuf, valBuf []int64
+		it := desc.Runs()
+		for {
+			r, ok := it.Next()
+			if !ok {
+				return
+			}
+			keyBuf = keyMC.Extract(keyBuf[:0], positions.Ranges{r})
+			valBuf = valMC.Extract(valBuf[:0], positions.Ranges{r})
+			for i := range keyBuf {
+				a.add(keyBuf[i], encoding.RunStats{Sum: valBuf[i], Count: 1, Min: valBuf[i], Max: valBuf[i]})
+			}
+			a.RunsIn++
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package operators
+
+import (
+	"fmt"
+
+	"matstore/internal/datasource"
+	"matstore/internal/encoding"
+	"matstore/internal/positions"
+	"matstore/internal/pred"
+	"matstore/internal/rows"
+	"matstore/internal/storage"
+)
+
+// RightStrategy selects how the inner (right) table is materialized for a
+// hash join, matching the three curves of Figure 13.
+type RightStrategy uint8
+
+const (
+	// RightMaterialized constructs right tuples before the join (EM): every
+	// payload column is decompressed at build time into row-addressable
+	// arrays, so a probe match reads its payload with a direct index.
+	RightMaterialized RightStrategy = iota
+	// RightMultiColumn sends the right table as multi-columns: payload
+	// mini-columns are retained compressed in memory, and values are
+	// extracted as probes match (the hybrid of Section 4.3).
+	RightMultiColumn
+	// RightSingleColumn sends only the join-predicate column (pure LM): the
+	// join emits right positions, and payloads are fetched after the join
+	// by jumping to out-of-order positions in the stored column — the extra
+	// non-merge positional join the paper charges this strategy for.
+	RightSingleColumn
+)
+
+func (s RightStrategy) String() string {
+	switch s {
+	case RightMaterialized:
+		return "right-materialized"
+	case RightMultiColumn:
+		return "right-multicolumn"
+	case RightSingleColumn:
+		return "right-singlecolumn"
+	default:
+		return fmt.Sprintf("right-strategy(%d)", uint8(s))
+	}
+}
+
+// RightTable is the built (inner) side of a hash join.
+type RightTable struct {
+	strategy  RightStrategy
+	payload   []string
+	keyToPos  map[int64][]int64
+	dense     [][]int64               // RightMaterialized: payload[c][rightPos]
+	chunks    [][]encoding.MiniColumn // RightMultiColumn: [chunk][payloadIdx]
+	chunkSize int64
+	cols      []*storage.Column // RightSingleColumn: deferred fetch targets
+	// BuildTuples counts right tuples materialized during build.
+	BuildTuples int64
+}
+
+// BuildRightTable scans the right projection's key column (and, per
+// strategy, its payload columns) and builds the hash side.
+func BuildRightTable(p *storage.Projection, key string, payload []string, strat RightStrategy, chunkSize int64) (*RightTable, error) {
+	keyCol, err := p.Column(key)
+	if err != nil {
+		return nil, err
+	}
+	rt := &RightTable{
+		strategy:  strat,
+		payload:   payload,
+		keyToPos:  make(map[int64][]int64, p.TupleCount()),
+		chunkSize: chunkSize,
+	}
+	payloadCols := make([]*storage.Column, len(payload))
+	for i, name := range payload {
+		if payloadCols[i], err = p.Column(name); err != nil {
+			return nil, err
+		}
+	}
+	switch strat {
+	case RightMaterialized:
+		rt.dense = make([][]int64, len(payload))
+	case RightSingleColumn:
+		rt.cols = payloadCols
+	}
+
+	ch := datasource.NewChunker(keyCol.Extent(), chunkSize)
+	var keyBuf []int64
+	for ci := 0; ci < ch.NumChunks(); ci++ {
+		r := ch.Chunk(ci)
+		mc, err := keyCol.Window(r)
+		if err != nil {
+			return nil, err
+		}
+		keyBuf = mc.Decompress(keyBuf[:0])
+		for i, k := range keyBuf {
+			rt.keyToPos[k] = append(rt.keyToPos[k], r.Start+int64(i))
+		}
+		switch strat {
+		case RightMaterialized:
+			// Construct right tuples now (early materialization): payload
+			// columns are decompressed into position-addressable arrays.
+			for c := range payloadCols {
+				pm, err := payloadCols[c].Window(r)
+				if err != nil {
+					return nil, err
+				}
+				rt.dense[c] = pm.Decompress(rt.dense[c])
+			}
+			rt.BuildTuples += int64(len(keyBuf))
+		case RightMultiColumn:
+			// Retain the payload mini-columns, compressed, in memory.
+			minis := make([]encoding.MiniColumn, len(payloadCols))
+			for c := range payloadCols {
+				if minis[c], err = payloadCols[c].Window(r); err != nil {
+					return nil, err
+				}
+			}
+			rt.chunks = append(rt.chunks, minis)
+		}
+	}
+	return rt, nil
+}
+
+// Probe returns the right positions matching key (nil if none).
+func (rt *RightTable) Probe(key int64) []int64 { return rt.keyToPos[key] }
+
+// JoinStats reports join-side work counters.
+type JoinStats struct {
+	// LeftProbes is the number of left tuples passing the left predicate
+	// and probed against the hash table.
+	LeftProbes int64
+	// OutputTuples is the number of join result tuples.
+	OutputTuples int64
+	// RightBuildTuples is the number of right tuples constructed at build.
+	RightBuildTuples int64
+	// DeferredFetches is the number of out-of-order position jumps into
+	// stored right columns (single-column strategy only).
+	DeferredFetches int64
+}
+
+// JoinSpec describes one hash join: the outer (left) table's key column
+// with an optional predicate, the left payload columns to output, and a
+// built right table.
+type JoinSpec struct {
+	LeftKey     *storage.Column
+	LeftPred    pred.Predicate
+	LeftOutputs []NamedColumn
+	Right       *RightTable
+	ChunkSize   int64
+}
+
+// NamedColumn pairs an output name with its stored column.
+type NamedColumn struct {
+	Name string
+	Col  *storage.Column
+}
+
+// RunHashJoin executes the join chunk-at-a-time over the left table. The
+// output schema is the left output columns followed by the right payload
+// columns. For the single-column right strategy the right payload columns
+// are filled in a post-pass via out-of-order position fetches — positions
+// emerge from the probe in left order, not right order, so no merge join on
+// position is possible (Section 4.3).
+func RunHashJoin(spec JoinSpec) (*rows.Result, JoinStats, error) {
+	var stats JoinStats
+	rt := spec.Right
+	stats.RightBuildTuples = rt.BuildTuples
+	outNames := make([]string, 0, len(spec.LeftOutputs)+len(rt.payload))
+	for _, nc := range spec.LeftOutputs {
+		outNames = append(outNames, nc.Name)
+	}
+	outNames = append(outNames, rt.payload...)
+	res := rows.NewResult(outNames...)
+
+	// Deferred right-position list for the single-column strategy:
+	// rightPosPending[i] is the right position for result row i.
+	var rightPosPending []int64
+	deferred := rt.strategy == RightSingleColumn
+
+	ch := datasource.NewChunker(spec.LeftKey.Extent(), spec.ChunkSize)
+	ds1 := datasource.DS1{Col: spec.LeftKey, Pred: spec.LeftPred}
+	var keyBuf []int64
+	row := make([]int64, len(outNames))
+	base := len(spec.LeftOutputs)
+	for ci := 0; ci < ch.NumChunks(); ci++ {
+		r := ch.Chunk(ci)
+		ps, _, err := ds1.ScanChunk(r)
+		if err != nil {
+			return nil, stats, err
+		}
+		if ps.Count() == 0 {
+			continue
+		}
+		// Window the left output columns only for chunks with matches.
+		leftMinis := make([]encoding.MiniColumn, len(spec.LeftOutputs))
+		for i, nc := range spec.LeftOutputs {
+			if leftMinis[i], err = nc.Col.Window(r); err != nil {
+				return nil, stats, err
+			}
+		}
+		keyMini, err := spec.LeftKey.Window(r)
+		if err != nil {
+			return nil, stats, err
+		}
+		it := ps.Runs()
+		for {
+			run, ok := it.Next()
+			if !ok {
+				break
+			}
+			keyBuf = keyMini.Extract(keyBuf[:0], positions.Ranges{run})
+			for i, k := range keyBuf {
+				pos := run.Start + int64(i)
+				stats.LeftProbes++
+				for _, rpos := range rt.Probe(k) {
+					for c := range spec.LeftOutputs {
+						row[c] = leftMinis[c].ValueAt(pos)
+					}
+					switch rt.strategy {
+					case RightMaterialized:
+						for c := range rt.payload {
+							row[base+c] = rt.dense[c][rpos]
+						}
+					case RightMultiColumn:
+						minis := rt.chunks[rpos/rt.chunkSize]
+						for c := range rt.payload {
+							row[base+c] = minis[c].ValueAt(rpos)
+						}
+					default:
+						for c := range rt.payload {
+							row[base+c] = 0 // filled in post-pass
+						}
+						rightPosPending = append(rightPosPending, rpos)
+					}
+					res.AppendRow(row...)
+					stats.OutputTuples++
+				}
+			}
+		}
+	}
+
+	if deferred {
+		// Post-join fetch of right payloads at out-of-order positions: each
+		// jump re-accesses the stored column through the buffer pool.
+		for c := range rt.payload {
+			col := rt.cols[c]
+			dst := res.Cols[base+c]
+			for i, rpos := range rightPosPending {
+				v, err := col.ValueAt(rpos)
+				if err != nil {
+					return nil, stats, err
+				}
+				dst[i] = v
+				stats.DeferredFetches++
+			}
+		}
+	}
+	return res, stats, nil
+}

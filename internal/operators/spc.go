@@ -1,0 +1,43 @@
+package operators
+
+import (
+	"matstore/internal/pred"
+)
+
+// IndexedPred applies Pred to column index Col of an SPC input.
+type IndexedPred struct {
+	Col  int
+	Pred pred.Predicate
+}
+
+// SPCChunk is the Scan-Predicate-Construct leaf of EM-parallel plans
+// (Figure 6 of the paper): it walks k decompressed column vectors in
+// lockstep, applies every predicate to each row, and constructs an output
+// tuple for the rows where all predicates pass. Predicates short-circuit in
+// order, mirroring the model's Π SF_j term: the j-th column's values are
+// touched only for rows that survived predicates 1..j-1.
+//
+// cols are full-chunk decompressed vectors (EM decompresses early — that is
+// the point); outIdx selects which input columns feed each output column.
+// Constructed tuples are appended column-wise directly into dst (which must
+// have len(outIdx) columns); the number of constructed tuples is returned.
+func SPCChunk(cols [][]int64, filters []IndexedPred, outIdx []int, dst [][]int64) int64 {
+	if len(cols) == 0 {
+		return 0
+	}
+	n := len(cols[0])
+	var constructed int64
+rowLoop:
+	for i := 0; i < n; i++ {
+		for _, f := range filters {
+			if !f.Pred.Match(cols[f.Col][i]) {
+				continue rowLoop
+			}
+		}
+		for c, idx := range outIdx {
+			dst[c] = append(dst[c], cols[idx][i])
+		}
+		constructed++
+	}
+	return constructed
+}

@@ -1,0 +1,88 @@
+package positions
+
+import "testing"
+
+// Micro-benchmarks for the Section 3.3 position-intersection primitives.
+
+func benchBitmaps(n int64) (*Bitmap, *Bitmap) {
+	a := NewBitmap(0, n)
+	b := NewBitmap(0, n)
+	for i := int64(0); i < n; i += 2 {
+		a.Set(i)
+	}
+	for i := int64(0); i < n; i += 3 {
+		b.Set(i)
+	}
+	return a, b
+}
+
+func BenchmarkAndBitmapBitmap(b *testing.B) {
+	x, y := benchBitmaps(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if And(x, y).Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkAndRangesRanges(b *testing.B) {
+	x := make(Ranges, 0, 512)
+	y := make(Ranges, 0, 512)
+	for i := int64(0); i < 512; i++ {
+		x = append(x, Range{i * 128, i*128 + 100})
+		y = append(y, Range{i*128 + 50, i*128 + 120})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if And(x, y).Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkAndRangesBitmap(b *testing.B) {
+	bm, _ := benchBitmaps(1 << 16)
+	rs := NewRanges(Range{100, 30000}, Range{40000, 60000})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if And(rs, bm).Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkBitmapRunIteration(b *testing.B) {
+	bm, _ := benchBitmaps(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := bm.Runs()
+		var n int64
+		for {
+			r, ok := it.Next()
+			if !ok {
+				break
+			}
+			n += r.Len()
+		}
+		if n == 0 {
+			b.Fatal("no runs")
+		}
+	}
+}
+
+func BenchmarkBuilderRangesOutput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bld := NewBuilder(Range{0, 1 << 16})
+		for p := int64(0); p < 1<<16; p += 1024 {
+			bld.AddRange(Range{p, p + 512})
+		}
+		if bld.Build().Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package pred
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatch(t *testing.T) {
+	for _, tc := range []struct {
+		p    Predicate
+		v    int64
+		want bool
+	}{
+		{MatchAll, 123, true},
+		{Predicate{}, -5, true}, // zero value matches all
+		{LessThan(10), 9, true},
+		{LessThan(10), 10, false},
+		{AtMost(10), 10, true},
+		{AtMost(10), 11, false},
+		{Equals(7), 7, true},
+		{Equals(7), 8, false},
+		{Predicate{Op: Ne, A: 7}, 8, true},
+		{Predicate{Op: Ne, A: 7}, 7, false},
+		{AtLeast(3), 3, true},
+		{AtLeast(3), 2, false},
+		{GreaterThan(3), 4, true},
+		{GreaterThan(3), 3, false},
+		{InRange(5, 10), 5, true},
+		{InRange(5, 10), 9, true},
+		{InRange(5, 10), 10, false},
+		{Predicate{Op: None}, 0, false},
+	} {
+		if got := tc.p.Match(tc.v); got != tc.want {
+			t.Errorf("(%v).Match(%d) = %v, want %v", tc.p, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestTrivial(t *testing.T) {
+	if !MatchAll.Trivial() || LessThan(3).Trivial() {
+		t.Error("Trivial wrong")
+	}
+}
+
+func TestSelectivityExact(t *testing.T) {
+	// Domain [0, 99], 100 values.
+	for _, tc := range []struct {
+		p    Predicate
+		want float64
+	}{
+		{MatchAll, 1},
+		{Predicate{Op: None}, 0},
+		{LessThan(50), 0.5},
+		{LessThan(0), 0},
+		{LessThan(1000), 1},
+		{AtMost(49), 0.5},
+		{Equals(3), 0.01},
+		{Equals(-1), 0},
+		{AtLeast(90), 0.1},
+		{GreaterThan(89), 0.1},
+		{InRange(10, 30), 0.2},
+		{InRange(-10, 5), 0.05},
+		{Predicate{Op: Ne, A: 5}, 0.99},
+	} {
+		if got := tc.p.Selectivity(0, 99); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("(%v).Selectivity = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := LessThan(5).Selectivity(10, 5); got != 0 {
+		t.Errorf("inverted domain selectivity = %v", got)
+	}
+}
+
+// TestSelectivityMatchesCountQuick verifies the selectivity estimate is the
+// exact match fraction over a dense uniform domain.
+func TestSelectivityMatchesCountQuick(t *testing.T) {
+	f := func(op uint8, a int8) bool {
+		p := Predicate{Op: Op(op % 7), A: int64(a)}
+		if p.Op == Between {
+			p.B = p.A + 10
+		}
+		lo, hi := int64(-50), int64(49)
+		var matches int
+		for v := lo; v <= hi; v++ {
+			if p.Match(v) {
+				matches++
+			}
+		}
+		want := float64(matches) / 100
+		return math.Abs(p.Selectivity(lo, hi)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	for _, tc := range []struct {
+		p    Predicate
+		want string
+	}{
+		{MatchAll, "true"},
+		{Predicate{Op: None}, "false"},
+		{LessThan(5), "< 5"},
+		{InRange(1, 3), "in [1,3)"},
+	} {
+		if got := tc.p.String(); got != tc.want {
+			t.Errorf("String = %q, want %q", got, tc.want)
+		}
+	}
+}

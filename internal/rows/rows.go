@@ -1,0 +1,112 @@
+// Package rows defines the materialized-tuple containers exchanged by
+// early-materialization operators and returned as query results. A Batch is
+// a block of constructed tuples in columnar layout (position column plus one
+// value column per materialized attribute) — the "intermediate tuple
+// representation" that EM plans build up one attribute at a time.
+package rows
+
+import "fmt"
+
+// Batch is a set of (partially) constructed tuples: Pos[i] is the original
+// column position of tuple i, and Cols[c][i] its value for the c-th
+// materialized attribute. Names[c] labels attribute c.
+type Batch struct {
+	Names []string
+	Pos   []int64
+	Cols  [][]int64
+}
+
+// NewBatch returns an empty batch with the given attribute names.
+func NewBatch(names ...string) *Batch {
+	return &Batch{Names: names, Cols: make([][]int64, len(names))}
+}
+
+// Len returns the number of tuples.
+func (b *Batch) Len() int { return len(b.Pos) }
+
+// Col returns the values of the named attribute.
+func (b *Batch) Col(name string) ([]int64, error) {
+	for i, n := range b.Names {
+		if n == name {
+			return b.Cols[i], nil
+		}
+	}
+	return nil, fmt.Errorf("rows: batch has no column %q", name)
+}
+
+// HasCol reports whether the batch carries the named attribute.
+func (b *Batch) HasCol(name string) bool {
+	for _, n := range b.Names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Append adds one tuple. vals must parallel Names.
+func (b *Batch) Append(pos int64, vals ...int64) {
+	if len(vals) != len(b.Cols) {
+		panic(fmt.Sprintf("rows: Append got %d values, want %d", len(vals), len(b.Cols)))
+	}
+	b.Pos = append(b.Pos, pos)
+	for i, v := range vals {
+		b.Cols[i] = append(b.Cols[i], v)
+	}
+}
+
+// Reset clears the batch for reuse, keeping capacity.
+func (b *Batch) Reset() {
+	b.Pos = b.Pos[:0]
+	for i := range b.Cols {
+		b.Cols[i] = b.Cols[i][:0]
+	}
+}
+
+// Result is a completed query result in columnar layout.
+type Result struct {
+	Columns []string
+	Cols    [][]int64
+}
+
+// NewResult allocates an empty result with the given output schema.
+func NewResult(columns ...string) *Result {
+	return &Result{Columns: columns, Cols: make([][]int64, len(columns))}
+}
+
+// NumRows returns the number of result tuples.
+func (r *Result) NumRows() int {
+	if len(r.Cols) == 0 {
+		return 0
+	}
+	return len(r.Cols[0])
+}
+
+// Col returns the values of the named output column.
+func (r *Result) Col(name string) ([]int64, error) {
+	for i, n := range r.Columns {
+		if n == name {
+			return r.Cols[i], nil
+		}
+	}
+	return nil, fmt.Errorf("rows: result has no column %q", name)
+}
+
+// Row materializes row i (mainly for tests and display).
+func (r *Result) Row(i int) []int64 {
+	out := make([]int64, len(r.Cols))
+	for c := range r.Cols {
+		out[c] = r.Cols[c][i]
+	}
+	return out
+}
+
+// AppendRow adds one output tuple.
+func (r *Result) AppendRow(vals ...int64) {
+	if len(vals) != len(r.Cols) {
+		panic(fmt.Sprintf("rows: AppendRow got %d values, want %d", len(vals), len(r.Cols)))
+	}
+	for i, v := range vals {
+		r.Cols[i] = append(r.Cols[i], v)
+	}
+}

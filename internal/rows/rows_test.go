@@ -1,0 +1,96 @@
+package rows
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBatchBasics(t *testing.T) {
+	b := NewBatch("a", "b")
+	if b.Len() != 0 {
+		t.Fatal("new batch not empty")
+	}
+	b.Append(10, 1, 2)
+	b.Append(20, 3, 4)
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	av, err := b.Col("a")
+	if err != nil || !reflect.DeepEqual(av, []int64{1, 3}) {
+		t.Errorf("Col(a) = %v, %v", av, err)
+	}
+	bv, _ := b.Col("b")
+	if !reflect.DeepEqual(bv, []int64{2, 4}) {
+		t.Errorf("Col(b) = %v", bv)
+	}
+	if !reflect.DeepEqual(b.Pos, []int64{10, 20}) {
+		t.Errorf("Pos = %v", b.Pos)
+	}
+	if !b.HasCol("a") || b.HasCol("z") {
+		t.Error("HasCol wrong")
+	}
+	if _, err := b.Col("z"); err == nil {
+		t.Error("missing column lookup succeeded")
+	}
+}
+
+func TestBatchReset(t *testing.T) {
+	b := NewBatch("a")
+	b.Append(1, 5)
+	b.Reset()
+	if b.Len() != 0 {
+		t.Error("Reset left tuples")
+	}
+	b.Append(2, 7)
+	v, _ := b.Col("a")
+	if !reflect.DeepEqual(v, []int64{7}) {
+		t.Errorf("after reset+append: %v", v)
+	}
+}
+
+func TestBatchAppendArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong arity accepted")
+		}
+	}()
+	NewBatch("a", "b").Append(0, 1)
+}
+
+func TestResultBasics(t *testing.T) {
+	r := NewResult("x", "y")
+	if r.NumRows() != 0 {
+		t.Fatal("new result not empty")
+	}
+	r.AppendRow(1, 2)
+	r.AppendRow(3, 4)
+	if r.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", r.NumRows())
+	}
+	if !reflect.DeepEqual(r.Row(1), []int64{3, 4}) {
+		t.Errorf("Row(1) = %v", r.Row(1))
+	}
+	x, err := r.Col("x")
+	if err != nil || !reflect.DeepEqual(x, []int64{1, 3}) {
+		t.Errorf("Col(x) = %v, %v", x, err)
+	}
+	if _, err := r.Col("nope"); err == nil {
+		t.Error("missing column lookup succeeded")
+	}
+}
+
+func TestResultZeroColumns(t *testing.T) {
+	r := NewResult()
+	if r.NumRows() != 0 {
+		t.Error("zero-column result rows != 0")
+	}
+}
+
+func TestResultAppendArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong arity accepted")
+		}
+	}()
+	NewResult("x").AppendRow(1, 2)
+}

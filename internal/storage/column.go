@@ -1,0 +1,521 @@
+// Package storage implements the on-disk layout of the C-Store substrate:
+// each column of a projection lives in its own file as a sequence of 64KB
+// blocks (Section 1.1 of the paper), with a fixed header page and a block
+// index footer. Reads go through a buffer pool; the reader assembles
+// mini-column windows (still compressed) over arbitrary position ranges,
+// touching only the blocks that overlap the window — which is what makes
+// block-skipping in pipelined plans possible.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+
+	"matstore/internal/buffer"
+	"matstore/internal/encoding"
+	"matstore/internal/positions"
+	"matstore/internal/pred"
+)
+
+const (
+	// HeaderSize is the fixed size of the file header page.
+	HeaderSize = 4096
+
+	fileMagic = "MATSCOL1"
+
+	// FormatVersion is the column-file format version. Version 2 added
+	// per-block zone (min/max) metadata and the sorted flag.
+	FormatVersion = 2
+
+	// MaxBVDistinct bounds the number of distinct values a bit-vector
+	// column may hold; beyond this the encoding is pathological (the paper
+	// uses it for 7-value LINENUM and 3-value RETURNFLAG).
+	MaxBVDistinct = 4096
+)
+
+// ErrCorruptFile is returned for structurally invalid column files.
+var ErrCorruptFile = errors.New("storage: corrupt column file")
+
+// BlockInfo is one entry of the block index footer.
+type BlockInfo struct {
+	// Cover is the position range (plain/RLE) or bit range (bit-vector)
+	// spanned by the block.
+	Cover positions.Range
+	// Value is the distinct value a bit-vector block belongs to.
+	Value int64
+	// Count is the number of values (plain), triples (RLE) or bits (BV).
+	Count uint32
+	// MinV and MaxV bound the values inside the block (zone map). For
+	// bit-vector blocks both equal Value. They let predicates over sorted
+	// columns derive position ranges from the index without reading the
+	// values (Section 2.1.1 of the paper).
+	MinV int64
+	MaxV int64
+}
+
+type fileHeader struct {
+	enc       encoding.Kind
+	sorted    bool
+	tuples    int64
+	blocks    int64
+	minV      int64
+	maxV      int64
+	distinct  int64
+	avgRunLen float64
+	footerOff int64
+}
+
+func (h fileHeader) marshal() []byte {
+	buf := make([]byte, HeaderSize)
+	copy(buf, fileMagic)
+	binary.LittleEndian.PutUint32(buf[8:], FormatVersion)
+	buf[12] = byte(h.enc)
+	if h.sorted {
+		buf[13] = 1
+	}
+	binary.LittleEndian.PutUint64(buf[16:], uint64(h.tuples))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(h.blocks))
+	binary.LittleEndian.PutUint64(buf[32:], uint64(h.minV))
+	binary.LittleEndian.PutUint64(buf[40:], uint64(h.maxV))
+	binary.LittleEndian.PutUint64(buf[48:], uint64(h.distinct))
+	binary.LittleEndian.PutUint64(buf[56:], uint64(int64(h.avgRunLen*1e6)))
+	binary.LittleEndian.PutUint64(buf[64:], uint64(h.footerOff))
+	return buf
+}
+
+func unmarshalHeader(buf []byte) (fileHeader, error) {
+	if len(buf) < HeaderSize || string(buf[:8]) != fileMagic {
+		return fileHeader{}, fmt.Errorf("%w: bad magic", ErrCorruptFile)
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:]); v != FormatVersion {
+		return fileHeader{}, fmt.Errorf("%w: version %d", ErrCorruptFile, v)
+	}
+	return fileHeader{
+		enc:       encoding.Kind(buf[12]),
+		sorted:    buf[13] == 1,
+		tuples:    int64(binary.LittleEndian.Uint64(buf[16:])),
+		blocks:    int64(binary.LittleEndian.Uint64(buf[24:])),
+		minV:      int64(binary.LittleEndian.Uint64(buf[32:])),
+		maxV:      int64(binary.LittleEndian.Uint64(buf[40:])),
+		distinct:  int64(binary.LittleEndian.Uint64(buf[48:])),
+		avgRunLen: float64(int64(binary.LittleEndian.Uint64(buf[56:]))) / 1e6,
+		footerOff: int64(binary.LittleEndian.Uint64(buf[64:])),
+	}, nil
+}
+
+const footerEntrySize = 48
+
+func marshalFooter(index []BlockInfo) []byte {
+	buf := make([]byte, len(index)*footerEntrySize)
+	for i, bi := range index {
+		off := i * footerEntrySize
+		binary.LittleEndian.PutUint64(buf[off:], uint64(bi.Cover.Start))
+		binary.LittleEndian.PutUint64(buf[off+8:], uint64(bi.Cover.End))
+		binary.LittleEndian.PutUint64(buf[off+16:], uint64(bi.Value))
+		binary.LittleEndian.PutUint32(buf[off+24:], bi.Count)
+		binary.LittleEndian.PutUint64(buf[off+32:], uint64(bi.MinV))
+		binary.LittleEndian.PutUint64(buf[off+40:], uint64(bi.MaxV))
+	}
+	return buf
+}
+
+func unmarshalFooter(buf []byte, n int64) ([]BlockInfo, error) {
+	if int64(len(buf)) < n*footerEntrySize {
+		return nil, fmt.Errorf("%w: truncated footer", ErrCorruptFile)
+	}
+	index := make([]BlockInfo, n)
+	for i := range index {
+		off := i * footerEntrySize
+		index[i] = BlockInfo{
+			Cover: positions.Range{
+				Start: int64(binary.LittleEndian.Uint64(buf[off:])),
+				End:   int64(binary.LittleEndian.Uint64(buf[off+8:])),
+			},
+			Value: int64(binary.LittleEndian.Uint64(buf[off+16:])),
+			Count: binary.LittleEndian.Uint32(buf[off+24:]),
+			MinV:  int64(binary.LittleEndian.Uint64(buf[off+32:])),
+			MaxV:  int64(binary.LittleEndian.Uint64(buf[off+40:])),
+		}
+	}
+	return index, nil
+}
+
+// Column is an open, read-only column file.
+type Column struct {
+	path  string
+	f     *os.File
+	hdr   fileHeader
+	index []BlockInfo
+	// byValue maps each distinct value of a bit-vector column to its block
+	// indexes, ordered by bit position.
+	byValue map[int64][]int
+	values  []int64
+	pool    *buffer.Pool
+	fid     uint64
+}
+
+// Open opens a column file for reading through pool.
+func Open(path string, pool *buffer.Pool) (*Column, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	hbuf := make([]byte, HeaderSize)
+	if _, err := f.ReadAt(hbuf, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %v", ErrCorruptFile, err)
+	}
+	hdr, err := unmarshalHeader(hbuf)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	fbuf := make([]byte, hdr.blocks*footerEntrySize)
+	if _, err := f.ReadAt(fbuf, hdr.footerOff); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w: footer: %v", path, ErrCorruptFile, err)
+	}
+	index, err := unmarshalFooter(fbuf, hdr.blocks)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	c := &Column{path: path, f: f, hdr: hdr, index: index, pool: pool, fid: pool.RegisterFile()}
+	if hdr.enc == encoding.BitVector {
+		c.byValue = make(map[int64][]int)
+		for i, bi := range index {
+			if _, seen := c.byValue[bi.Value]; !seen {
+				c.values = append(c.values, bi.Value)
+			}
+			c.byValue[bi.Value] = append(c.byValue[bi.Value], i)
+		}
+		sort.Slice(c.values, func(i, j int) bool { return c.values[i] < c.values[j] })
+	}
+	return c, nil
+}
+
+// Close releases the file handle.
+func (c *Column) Close() error { return c.f.Close() }
+
+// Path returns the file path.
+func (c *Column) Path() string { return c.path }
+
+// Encoding returns the column's encoding kind.
+func (c *Column) Encoding() encoding.Kind { return c.hdr.enc }
+
+// TupleCount returns the logical number of values in the column (the ||Ci||
+// model term).
+func (c *Column) TupleCount() int64 { return c.hdr.tuples }
+
+// NumBlocks returns the number of data blocks (the |Ci| model term).
+func (c *Column) NumBlocks() int { return int(c.hdr.blocks) }
+
+// MinMax returns the column's value bounds (for selectivity estimation).
+func (c *Column) MinMax() (int64, int64) { return c.hdr.minV, c.hdr.maxV }
+
+// Distinct returns the number of distinct values.
+func (c *Column) Distinct() int64 { return c.hdr.distinct }
+
+// AvgRunLen returns the mean run length of equal consecutive values (the RL
+// model term; 1 for unsorted data).
+func (c *Column) AvgRunLen() float64 { return c.hdr.avgRunLen }
+
+// Extent returns the full position range of the column.
+func (c *Column) Extent() positions.Range { return positions.Range{Start: 0, End: c.hdr.tuples} }
+
+// DistinctValues returns the sorted distinct values of a bit-vector column.
+func (c *Column) DistinctValues() []int64 { return c.values }
+
+func (c *Column) blockOffset(i int) int64 { return HeaderSize + int64(i)*encoding.BlockSize }
+
+// block fetches and decodes block i through the buffer pool.
+func (c *Column) block(i int) (any, error) {
+	return c.pool.Get(buffer.Key{File: c.fid, Block: i}, func() (any, int64, error) {
+		buf := make([]byte, encoding.BlockSize)
+		if _, err := c.f.ReadAt(buf, c.blockOffset(i)); err != nil {
+			return nil, 0, fmt.Errorf("%s block %d: %w", c.path, i, err)
+		}
+		dec, err := encoding.DecodeBlock(buf)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s block %d: %w", c.path, i, err)
+		}
+		return dec, encoding.BlockSize, nil
+	})
+}
+
+// blocksOverlapping returns the indexes of plain/RLE blocks whose cover
+// intersects r. The index is sorted by Cover.Start.
+func (c *Column) blocksOverlapping(r positions.Range) []int {
+	lo := sort.Search(len(c.index), func(i int) bool { return c.index[i].Cover.End > r.Start })
+	var out []int
+	for i := lo; i < len(c.index) && c.index[i].Cover.Start < r.End; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// bvBlocksOverlapping returns block indexes of value's bit-string
+// intersecting the bit range r.
+func (c *Column) bvBlocksOverlapping(value int64, r positions.Range) []int {
+	var out []int
+	for _, i := range c.byValue[value] {
+		if c.index[i].Cover.Intersect(r).Empty() {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// Window assembles a mini-column over r (clipped to the column extent),
+// reading only the blocks that overlap. For bit-vector columns r.Start must
+// be 64-aligned. An empty window over a valid range returns a mini-column
+// with an empty covering range and no error.
+func (c *Column) Window(r positions.Range) (encoding.MiniColumn, error) {
+	r = r.Intersect(c.Extent())
+	switch c.hdr.enc {
+	case encoding.Plain:
+		return c.plainWindow(r)
+	case encoding.RLE:
+		return c.rleWindow(r)
+	case encoding.BitVector:
+		return c.bvWindow(r)
+	default:
+		return nil, fmt.Errorf("storage: unsupported encoding %v", c.hdr.enc)
+	}
+}
+
+func (c *Column) plainWindow(r positions.Range) (encoding.MiniColumn, error) {
+	m := encoding.NewPlainMini(r)
+	if r.Empty() {
+		return m, nil
+	}
+	for _, i := range c.blocksOverlapping(r) {
+		dec, err := c.block(i)
+		if err != nil {
+			return nil, err
+		}
+		pb, ok := dec.(*encoding.PlainBlock)
+		if !ok {
+			return nil, fmt.Errorf("%s block %d: %w: not a plain block", c.path, i, ErrCorruptFile)
+		}
+		o := pb.Cover().Intersect(r)
+		m.AddSegment(o.Start, pb.Vals[o.Start-pb.Start:o.End-pb.Start])
+	}
+	return m, nil
+}
+
+func (c *Column) rleWindow(r positions.Range) (encoding.MiniColumn, error) {
+	if r.Empty() {
+		return encoding.NewRLEMini(r, nil), nil
+	}
+	var triples []encoding.Triple
+	for _, i := range c.blocksOverlapping(r) {
+		dec, err := c.block(i)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := dec.(*encoding.RLEBlock)
+		if !ok {
+			return nil, fmt.Errorf("%s block %d: %w: not an RLE block", c.path, i, ErrCorruptFile)
+		}
+		for _, t := range rb.Triples {
+			o := t.Cover().Intersect(r)
+			if o.Empty() {
+				continue
+			}
+			triples = append(triples, encoding.Triple{Value: t.Value, Start: o.Start, Len: o.Len()})
+		}
+	}
+	return encoding.NewRLEMini(r, triples), nil
+}
+
+func (c *Column) bvWindow(r positions.Range) (encoding.MiniColumn, error) {
+	if r.Start%64 != 0 {
+		return nil, fmt.Errorf("storage: bit-vector window start %d not 64-aligned", r.Start)
+	}
+	if r.Empty() {
+		return encoding.NewBVMini(r, nil, nil), nil
+	}
+	nw := (r.Len() + 63) / 64
+	bms := make([]*positions.Bitmap, len(c.values))
+	for vi, v := range c.values {
+		words := make([]uint64, nw)
+		for _, i := range c.bvBlocksOverlapping(v, r) {
+			dec, err := c.block(i)
+			if err != nil {
+				return nil, err
+			}
+			bb, ok := dec.(*encoding.BVBlock)
+			if !ok {
+				return nil, fmt.Errorf("%s block %d: %w: not a BV block", c.path, i, ErrCorruptFile)
+			}
+			o := bb.Cover().Intersect(r)
+			if o.Empty() {
+				continue
+			}
+			// Both o.Start-r.Start and o.Start-bb.StartBit are 64-aligned
+			// (chunk starts and block starts are multiples of 64).
+			dst := (o.Start - r.Start) / 64
+			src := (o.Start - bb.StartBit) / 64
+			n := (o.Len() + 63) / 64
+			copy(words[dst:dst+n], bb.Words[src:src+n])
+		}
+		// Clear bits beyond the window end.
+		if tail := r.Len() % 64; tail != 0 {
+			words[nw-1] &= (1 << uint(tail)) - 1
+		}
+		bms[vi] = positions.BitmapFromWords(r.Start, r.Len(), words)
+	}
+	return encoding.NewBVMini(r, c.values, bms), nil
+}
+
+// Sorted reports whether the column's values are globally non-decreasing
+// (e.g. the primary sort-key column of a projection).
+func (c *Column) Sorted() bool { return c.hdr.sorted }
+
+// ZonePositions computes the positions within window r whose values satisfy
+// p, using the per-block min/max zone metadata of the block index: blocks
+// whose value range lies entirely inside the predicate's accepted interval
+// contribute their whole cover as a position range *without being read*,
+// blocks entirely outside are skipped, and only straddling blocks are read
+// and filtered. This realizes Section 2.1.1's observation that positions
+// matching a predicate can often be derived from an index so that "the
+// original column values never have to be accessed".
+//
+// It applies to plain and RLE columns with interval predicates; for other
+// cases (bit-vector encoding, non-interval predicates) it falls back to
+// reading and filtering the window. The returned bool reports whether the
+// zone fast path was used.
+func (c *Column) ZonePositions(r positions.Range, p pred.Predicate) (positions.Set, bool, error) {
+	lo, hi, intervalOK := predInterval(p)
+	if !intervalOK || c.hdr.enc == encoding.BitVector {
+		mc, err := c.Window(r)
+		if err != nil {
+			return nil, false, err
+		}
+		return mc.Filter(p), false, nil
+	}
+	r = r.Intersect(c.Extent())
+	b := positions.NewBuilder(r)
+	for _, i := range c.blocksOverlapping(r) {
+		bi := c.index[i]
+		if bi.MinV > hi || bi.MaxV < lo {
+			continue // zone disjoint from predicate: skip without reading
+		}
+		window := bi.Cover.Intersect(r)
+		if bi.MinV >= lo && bi.MaxV <= hi {
+			// Zone entirely accepted: positions derived from the index.
+			b.AddRange(window)
+			continue
+		}
+		// Straddling block: read and filter just this block's window.
+		mc, err := c.Window(window)
+		if err != nil {
+			return nil, true, err
+		}
+		it := mc.Filter(p).Runs()
+		for {
+			run, ok := it.Next()
+			if !ok {
+				break
+			}
+			b.AddRange(run)
+		}
+	}
+	return b.Build(), true, nil
+}
+
+// predInterval returns the closed accepted interval [lo, hi] of an
+// interval-shaped predicate, or ok=false for predicates that do not accept
+// a single contiguous value interval.
+func predInterval(p pred.Predicate) (lo, hi int64, ok bool) {
+	const (
+		minI = int64(-1) << 63
+		maxI = int64(^uint64(0) >> 1)
+	)
+	switch p.Op {
+	case pred.All:
+		return minI, maxI, true
+	case pred.Lt:
+		if p.A == minI { // empty interval; avoid underflow
+			return 0, 0, false
+		}
+		return minI, p.A - 1, true
+	case pred.Le:
+		return minI, p.A, true
+	case pred.Eq:
+		return p.A, p.A, true
+	case pred.Ge:
+		return p.A, maxI, true
+	case pred.Gt:
+		if p.A == maxI { // empty interval; avoid overflow
+			return 0, 0, false
+		}
+		return p.A + 1, maxI, true
+	case pred.Between:
+		if p.B == minI {
+			return 0, 0, false
+		}
+		return p.A, p.B - 1, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// ValueAt reads the single value at pos, touching only the block(s)
+// containing it. For bit-vector columns this must probe each distinct
+// value's bit-string — the cost asymmetry the paper notes for DS3 over
+// bit-vector data.
+func (c *Column) ValueAt(pos int64) (int64, error) {
+	if pos < 0 || pos >= c.hdr.tuples {
+		return 0, fmt.Errorf("storage: position %d out of range [0,%d)", pos, c.hdr.tuples)
+	}
+	switch c.hdr.enc {
+	case encoding.Plain:
+		i := c.blockContaining(pos)
+		dec, err := c.block(i)
+		if err != nil {
+			return 0, err
+		}
+		pb := dec.(*encoding.PlainBlock)
+		return pb.Vals[pos-pb.Start], nil
+	case encoding.RLE:
+		i := c.blockContaining(pos)
+		dec, err := c.block(i)
+		if err != nil {
+			return 0, err
+		}
+		rb := dec.(*encoding.RLEBlock)
+		ts := rb.Triples
+		j := sort.Search(len(ts), func(j int) bool { return ts[j].End() > pos })
+		return ts[j].Value, nil
+	case encoding.BitVector:
+		for _, v := range c.values {
+			for _, i := range c.byValue[v] {
+				if !c.index[i].Cover.Contains(pos) {
+					continue
+				}
+				dec, err := c.block(i)
+				if err != nil {
+					return 0, err
+				}
+				bb := dec.(*encoding.BVBlock)
+				bit := pos - bb.StartBit
+				if bb.Words[bit>>6]&(1<<uint(bit&63)) != 0 {
+					return v, nil
+				}
+			}
+		}
+		return 0, fmt.Errorf("%s: %w: position %d set in no bit-string", c.path, ErrCorruptFile, pos)
+	default:
+		return 0, fmt.Errorf("storage: unsupported encoding %v", c.hdr.enc)
+	}
+}
+
+func (c *Column) blockContaining(pos int64) int {
+	return sort.Search(len(c.index), func(i int) bool { return c.index[i].Cover.End > pos })
+}

@@ -1,0 +1,316 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+
+	"matstore/internal/encoding"
+	"matstore/internal/positions"
+)
+
+// ColumnWriter builds a column file value by value. Values arrive in
+// position order; the writer maintains column statistics (min/max, distinct
+// estimate, average run length) for the catalog and cost model, and packs
+// blocks according to the target encoding.
+type ColumnWriter struct {
+	path string
+	f    *os.File
+	enc  encoding.Kind
+
+	count  int64
+	minV   int64
+	maxV   int64
+	runs   int64
+	last   int64
+	began  bool
+	sorted bool
+
+	index []BlockInfo
+	buf   []byte
+	off   int64
+
+	// plain state
+	pending      []int64
+	pendingStart int64
+
+	// rle state
+	curTriple encoding.Triple
+	triples   []encoding.Triple
+
+	// bit-vector state
+	bvBits map[int64][]uint64
+
+	closed bool
+}
+
+// NewColumnWriter creates (truncating) the column file at path.
+func NewColumnWriter(path string, enc encoding.Kind) (*ColumnWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &ColumnWriter{
+		path: path,
+		f:    f,
+		enc:  enc,
+		buf:  make([]byte, encoding.BlockSize),
+		off:  HeaderSize,
+	}
+	if enc == encoding.BitVector {
+		w.bvBits = make(map[int64][]uint64)
+	}
+	return w, nil
+}
+
+// Append adds one value at the next position.
+func (w *ColumnWriter) Append(v int64) error { return w.AppendRun(v, 1) }
+
+// AppendRun adds n copies of v — the natural interface for generators of
+// sorted data, and O(1) for RLE targets.
+func (w *ColumnWriter) AppendRun(v int64, n int64) error {
+	if w.closed {
+		return fmt.Errorf("storage: writer for %s is closed", w.path)
+	}
+	if n <= 0 {
+		return nil
+	}
+	if !w.began {
+		w.began = true
+		w.minV, w.maxV = v, v
+		w.last = v
+		w.runs = 1
+		w.sorted = true
+	} else {
+		if v < w.minV {
+			w.minV = v
+		}
+		if v > w.maxV {
+			w.maxV = v
+		}
+		if v != w.last {
+			if v < w.last {
+				w.sorted = false
+			}
+			w.runs++
+			w.last = v
+		}
+	}
+	start := w.count
+	w.count += n
+	switch w.enc {
+	case encoding.Plain:
+		for i := int64(0); i < n; i++ {
+			w.pending = append(w.pending, v)
+		}
+		return w.flushPlainFull()
+	case encoding.RLE:
+		if w.curTriple.Len > 0 && w.curTriple.Value == v {
+			w.curTriple.Len += n
+			return nil
+		}
+		if w.curTriple.Len > 0 {
+			w.triples = append(w.triples, w.curTriple)
+			if err := w.flushRLEFull(); err != nil {
+				return err
+			}
+		}
+		w.curTriple = encoding.Triple{Value: v, Start: start, Len: n}
+		return nil
+	case encoding.BitVector:
+		if _, ok := w.bvBits[v]; !ok && len(w.bvBits) >= MaxBVDistinct {
+			return fmt.Errorf("storage: bit-vector column %s exceeds %d distinct values", w.path, MaxBVDistinct)
+		}
+		words := w.bvBits[v]
+		need := int((w.count + 63) / 64)
+		if len(words) < need {
+			grown := make([]uint64, need+need/2+1)
+			copy(grown, words)
+			words = grown
+		}
+		for i := start; i < w.count; i++ {
+			words[i>>6] |= 1 << uint(i&63)
+		}
+		w.bvBits[v] = words
+		return nil
+	default:
+		return fmt.Errorf("storage: unsupported encoding %v", w.enc)
+	}
+}
+
+func (w *ColumnWriter) writeBlock(info BlockInfo) error {
+	if _, err := w.f.WriteAt(w.buf, w.off); err != nil {
+		return err
+	}
+	w.off += encoding.BlockSize
+	w.index = append(w.index, info)
+	return nil
+}
+
+// flushPlainFull writes any complete plain blocks from the pending buffer.
+func (w *ColumnWriter) flushPlainFull() error {
+	for len(w.pending) >= encoding.PlainBlockCap {
+		if err := w.flushPlainBlock(encoding.PlainBlockCap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *ColumnWriter) flushPlainBlock(n int) error {
+	consumed := encoding.EncodePlainBlock(w.buf, w.pendingStart, w.pending[:n])
+	info := BlockInfo{
+		Cover: positions.Range{Start: w.pendingStart, End: w.pendingStart + int64(consumed)},
+		Count: uint32(consumed),
+	}
+	info.MinV, info.MaxV = w.pending[0], w.pending[0]
+	for _, v := range w.pending[1:consumed] {
+		if v < info.MinV {
+			info.MinV = v
+		}
+		if v > info.MaxV {
+			info.MaxV = v
+		}
+	}
+	w.pending = w.pending[consumed:]
+	w.pendingStart += int64(consumed)
+	return w.writeBlock(info)
+}
+
+func (w *ColumnWriter) flushRLEFull() error {
+	for len(w.triples) >= encoding.RLEBlockCap {
+		if err := w.flushRLEBlock(encoding.RLEBlockCap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *ColumnWriter) flushRLEBlock(n int) error {
+	consumed := encoding.EncodeRLEBlock(w.buf, w.triples[:n])
+	info := BlockInfo{
+		Cover: positions.Range{Start: w.triples[0].Start, End: w.triples[consumed-1].End()},
+		Count: uint32(consumed),
+	}
+	info.MinV, info.MaxV = w.triples[0].Value, w.triples[0].Value
+	for _, t := range w.triples[1:consumed] {
+		if t.Value < info.MinV {
+			info.MinV = t.Value
+		}
+		if t.Value > info.MaxV {
+			info.MaxV = t.Value
+		}
+	}
+	w.triples = w.triples[consumed:]
+	return w.writeBlock(info)
+}
+
+// Close flushes remaining data, writes the footer and header, and syncs.
+func (w *ColumnWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	switch w.enc {
+	case encoding.Plain:
+		for len(w.pending) > 0 {
+			n := len(w.pending)
+			if n > encoding.PlainBlockCap {
+				n = encoding.PlainBlockCap
+			}
+			if err := w.flushPlainBlock(n); err != nil {
+				return err
+			}
+		}
+	case encoding.RLE:
+		if w.curTriple.Len > 0 {
+			w.triples = append(w.triples, w.curTriple)
+			w.curTriple = encoding.Triple{}
+		}
+		for len(w.triples) > 0 {
+			n := len(w.triples)
+			if n > encoding.RLEBlockCap {
+				n = encoding.RLEBlockCap
+			}
+			if err := w.flushRLEBlock(n); err != nil {
+				return err
+			}
+		}
+	case encoding.BitVector:
+		if err := w.flushBV(); err != nil {
+			return err
+		}
+	}
+
+	footerOff := w.off
+	if _, err := w.f.WriteAt(marshalFooter(w.index), footerOff); err != nil {
+		return err
+	}
+	distinct := w.runs // upper bound for sorted data
+	if w.enc == encoding.BitVector {
+		distinct = int64(len(w.bvBits))
+	}
+	avgRun := 1.0
+	if w.runs > 0 {
+		avgRun = float64(w.count) / float64(w.runs)
+	}
+	hdr := fileHeader{
+		enc:       w.enc,
+		sorted:    w.sorted && w.began,
+		tuples:    w.count,
+		blocks:    int64(len(w.index)),
+		minV:      w.minV,
+		maxV:      w.maxV,
+		distinct:  distinct,
+		avgRunLen: avgRun,
+		footerOff: footerOff,
+	}
+	if _, err := w.f.WriteAt(hdr.marshal(), 0); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+// flushBV writes each distinct value's bit-string in ascending value order,
+// split across blocks of BVBlockBits bits.
+func (w *ColumnWriter) flushBV() error {
+	values := make([]int64, 0, len(w.bvBits))
+	for v := range w.bvBits {
+		values = append(values, v)
+	}
+	// Insertion sort: distinct counts are small by construction.
+	for i := 1; i < len(values); i++ {
+		for j := i; j > 0 && values[j] < values[j-1]; j-- {
+			values[j], values[j-1] = values[j-1], values[j]
+		}
+	}
+	for _, v := range values {
+		words := w.bvBits[v]
+		// Ensure the words slice covers the full column (it may be short if
+		// the value did not occur near the end).
+		need := int((w.count + 63) / 64)
+		if len(words) < need {
+			grown := make([]uint64, need)
+			copy(grown, words)
+			words = grown
+		}
+		var bit int64
+		for bit < w.count {
+			n := encoding.EncodeBVBlock(w.buf, v, bit, words, w.count-bit)
+			info := BlockInfo{
+				Cover: positions.Range{Start: bit, End: bit + n},
+				Value: v,
+				Count: uint32(n),
+				MinV:  v,
+				MaxV:  v,
+			}
+			if err := w.writeBlock(info); err != nil {
+				return err
+			}
+			bit += n
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package storage
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"matstore/internal/buffer"
+	"matstore/internal/encoding"
+	"matstore/internal/positions"
+	"matstore/internal/pred"
+)
+
+func TestSortedFlag(t *testing.T) {
+	dir := t.TempDir()
+	sorted := filepath.Join(dir, "s.col")
+	writeColumn(t, sorted, encoding.Plain, []int64{1, 1, 2, 5, 5, 9})
+	if c := openColumn(t, sorted); !c.Sorted() {
+		t.Error("sorted column not flagged")
+	}
+	unsorted := filepath.Join(dir, "u.col")
+	writeColumn(t, unsorted, encoding.Plain, []int64{1, 5, 2})
+	if c := openColumn(t, unsorted); c.Sorted() {
+		t.Error("unsorted column flagged sorted")
+	}
+}
+
+func TestZoneMetadataInFooter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.col")
+	vals := make([]int64, 2*encoding.PlainBlockCap)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	writeColumn(t, path, encoding.Plain, vals)
+	c := openColumn(t, path)
+	if len(c.index) != 2 {
+		t.Fatalf("blocks = %d", len(c.index))
+	}
+	if c.index[0].MinV != 0 || c.index[0].MaxV != int64(encoding.PlainBlockCap-1) {
+		t.Errorf("block 0 zone = [%d,%d]", c.index[0].MinV, c.index[0].MaxV)
+	}
+	if c.index[1].MinV != int64(encoding.PlainBlockCap) {
+		t.Errorf("block 1 zone min = %d", c.index[1].MinV)
+	}
+}
+
+// TestZonePositionsSkipsReads verifies the core property: over a sorted
+// multi-block column, a selective range predicate reads only the straddling
+// block(s).
+func TestZonePositionsSkipsReads(t *testing.T) {
+	n := 4 * encoding.PlainBlockCap
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	path := filepath.Join(t.TempDir(), "c.col")
+	writeColumn(t, path, encoding.Plain, vals)
+	pool := buffer.New(0)
+	c, err := Open(path, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Predicate accepting all of block 0 plus half of block 1: only block 1
+	// must be read.
+	x := int64(encoding.PlainBlockCap + encoding.PlainBlockCap/2)
+	ps, used, err := c.ZonePositions(c.Extent(), pred.LessThan(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !used {
+		t.Fatal("zone path not used for interval predicate on plain column")
+	}
+	if !positions.Equal(ps, positions.NewRanges(positions.Range{Start: 0, End: x})) {
+		t.Errorf("positions = %v..", positions.Slice(ps)[:5])
+	}
+	if got := pool.Stats().Reads; got != 1 {
+		t.Errorf("Reads = %d, want 1 (only the straddling block)", got)
+	}
+}
+
+// TestZonePositionsMatchesScan cross-checks zone-derived positions against
+// a plain window filter for random data, encodings and predicates.
+func TestZonePositionsMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 20; iter++ {
+		n := 1000 + rng.Intn(30000)
+		sorted := rng.Intn(2) == 0
+		vals := genVals(n, 1+rng.Intn(50), sorted, int64(iter))
+		enc := []encoding.Kind{encoding.Plain, encoding.RLE}[iter%2]
+		path := filepath.Join(t.TempDir(), "c.col")
+		writeColumn(t, path, enc, vals)
+		c := openColumn(t, path)
+		for k := 0; k < 4; k++ {
+			p := []pred.Predicate{
+				pred.LessThan(int64(rng.Intn(50))),
+				pred.AtLeast(int64(rng.Intn(50))),
+				pred.Equals(int64(rng.Intn(50))),
+				pred.InRange(int64(rng.Intn(25)), int64(25+rng.Intn(25))),
+			}[k]
+			start := int64(rng.Intn(n)) &^ 63
+			r := positions.Range{Start: start, End: start + int64(rng.Intn(n-int(start)))}
+			got, used, err := c.ZonePositions(r, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !used {
+				t.Fatalf("zone path unused for %v", p)
+			}
+			mc, err := c.Window(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := mc.Filter(p)
+			if !positions.Equal(got, want) {
+				t.Fatalf("iter %d %v %v: zone positions differ from scan (%d vs %d)",
+					iter, enc, p, got.Count(), want.Count())
+			}
+		}
+	}
+}
+
+func TestZonePositionsFallbacks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.col")
+	writeColumn(t, path, encoding.BitVector, []int64{1, 2, 1, 2, 3})
+	c := openColumn(t, path)
+	// Bit-vector encoding falls back to the scan path.
+	ps, used, err := c.ZonePositions(c.Extent(), pred.Equals(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used {
+		t.Error("zone path claimed for bit-vector column")
+	}
+	if ps.Count() != 2 {
+		t.Errorf("fallback count = %d", ps.Count())
+	}
+	// Non-interval predicate falls back too.
+	path2 := filepath.Join(t.TempDir(), "c2.col")
+	writeColumn(t, path2, encoding.Plain, []int64{1, 2, 3})
+	c2 := openColumn(t, path2)
+	ps, used, err = c2.ZonePositions(c2.Extent(), pred.NotEquals(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used {
+		t.Error("zone path claimed for non-interval predicate")
+	}
+	if ps.Count() != 2 {
+		t.Errorf("Ne fallback count = %d", ps.Count())
+	}
+}

@@ -1,0 +1,301 @@
+// Package tpch generates the TPC-H-shaped data the paper's experiments run
+// over (Section 4), using a deterministic stdlib-only PRNG in place of
+// dbgen. It reproduces the properties the experiments exploit:
+//
+//   - A lineitem projection (RETURNFLAG, SHIPDATE, LINENUM, QUANTITY) sorted
+//     by (RETURNFLAG, SHIPDATE, LINENUM). RETURNFLAG has 3 distinct values,
+//     SHIPDATE ~2,526 distinct days uniformly spread (so a shipdate < X
+//     predicate's selectivity is linear in X), LINENUM has 7 distinct values
+//     with TPC-H's triangular frequency (LINENUM < 7 selects ≈96% — the
+//     constant the paper holds fixed), QUANTITY is 1..50 uniform.
+//     RETURNFLAG and SHIPDATE are RLE-compressed; LINENUM is stored
+//     redundantly in uncompressed, RLE and bit-vector encodings (as in the
+//     paper); QUANTITY is uncompressed.
+//   - An orders projection (CUSTKEY, SHIPDATE) and a customer projection
+//     (CUSTKEY, NATIONCODE) with a 10:1 cardinality ratio and uniform
+//     foreign keys, for the Section 4.3 join experiment.
+//
+// Scale 1 corresponds to TPC-H scale 1 (6M lineitem rows); the paper used
+// scale 10. All row counts scale linearly.
+package tpch
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"matstore/internal/encoding"
+	"matstore/internal/storage"
+)
+
+const (
+	// ShipdateDays is the number of distinct SHIPDATE values (the TPC-H
+	// shipdate domain spans ~2,526 days).
+	ShipdateDays = 2526
+	// LinenumMax is the largest LINENUM value (1..7).
+	LinenumMax = 7
+	// QuantityMax is the largest QUANTITY value (1..50).
+	QuantityMax = 50
+	// Nations is the number of distinct NATIONCODE values.
+	Nations = 25
+
+	// LineitemPerScale is lineitem rows at scale 1.
+	LineitemPerScale = 6_000_000
+	// OrdersPerScale is orders rows at scale 1.
+	OrdersPerScale = 1_500_000
+	// CustomerPerScale is customer rows at scale 1.
+	CustomerPerScale = 150_000
+
+	// LineitemProj, OrdersProj and CustomerProj name the generated
+	// projections.
+	LineitemProj = "lineitem"
+	OrdersProj   = "orders"
+	CustomerProj = "customer"
+)
+
+// Column names of the generated projections.
+const (
+	ColRetflag       = "returnflag"
+	ColShipdate      = "shipdate"
+	ColLinenum       = "linenum"     // uncompressed
+	ColLinenumRLE    = "linenum_rle" // RLE copy
+	ColLinenumBV     = "linenum_bv"  // bit-vector copy
+	ColQuantity      = "quantity"
+	ColCustkey       = "custkey"
+	ColOrderShipdate = "shipdate"
+	ColNationcode    = "nationcode"
+)
+
+// Config parameterizes generation.
+type Config struct {
+	// Scale is the TPC-H scale factor (1.0 = 6M lineitem rows).
+	Scale float64
+	// Seed makes generation deterministic; different seeds give different
+	// data with identical statistics.
+	Seed uint64
+}
+
+// LineitemRows returns the lineitem cardinality at this scale.
+func (c Config) LineitemRows() int64 { return int64(float64(LineitemPerScale) * c.Scale) }
+
+// OrdersRows returns the orders cardinality at this scale.
+func (c Config) OrdersRows() int64 { return int64(float64(OrdersPerScale) * c.Scale) }
+
+// CustomerRows returns the customer cardinality at this scale.
+func (c Config) CustomerRows() int64 { return int64(float64(CustomerPerScale) * c.Scale) }
+
+// rng is a splitmix64 PRNG: tiny, fast, deterministic, stdlib-only.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed + 0x9e3779b97f4a7c15} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int64) int64 {
+	return int64(r.next() % uint64(n))
+}
+
+// Generate writes all three projections under dir.
+func Generate(dir string, cfg Config) error {
+	if cfg.Scale <= 0 {
+		return fmt.Errorf("tpch: scale must be positive, got %v", cfg.Scale)
+	}
+	if err := GenerateLineitem(filepath.Join(dir, LineitemProj), cfg); err != nil {
+		return err
+	}
+	if err := GenerateOrders(filepath.Join(dir, OrdersProj), cfg); err != nil {
+		return err
+	}
+	return GenerateCustomer(filepath.Join(dir, CustomerProj), cfg)
+}
+
+// linenumWeights is the TPC-H LINENUM frequency: an order has 1..7 line
+// items uniformly, so P(linenum = k) ∝ 8-k. LINENUM < 7 therefore selects
+// 27/28 ≈ 96.4% of rows — the paper's fixed 96% predicate.
+var linenumWeights = [LinenumMax]int64{7, 6, 5, 4, 3, 2, 1}
+
+// LinenumWeightSum is the total LINENUM frequency weight: P(linenum = k) =
+// (8-k)/LinenumWeightSum, so linenum < 7 selects 27/28 of all rows.
+const LinenumWeightSum = 28
+
+// GenerateLineitem writes the lineitem projection: rows sorted by
+// (RETURNFLAG, SHIPDATE, LINENUM), generated cell-by-cell so sorted columns
+// are emitted as runs without a sort pass.
+func GenerateLineitem(dir string, cfg Config) error {
+	n := cfg.LineitemRows()
+	pw, err := storage.NewProjectionWriter(dir, LineitemProj,
+		[]string{ColRetflag, ColShipdate, ColLinenum},
+		[]storage.ColumnSpec{
+			{Name: ColRetflag, Encoding: encoding.RLE},
+			{Name: ColShipdate, Encoding: encoding.RLE},
+			{Name: ColLinenum, Encoding: encoding.Plain},
+			{Name: ColLinenumRLE, Encoding: encoding.RLE},
+			{Name: ColLinenumBV, Encoding: encoding.BitVector},
+			{Name: ColQuantity, Encoding: encoding.Plain},
+		})
+	if err != nil {
+		return err
+	}
+	r := newRNG(cfg.Seed ^ 0x11ea)
+
+	// RETURNFLAG shares: A≈25%, N≈50%, R≈25% (encoded 0,1,2).
+	flagRows := [3]int64{n / 4, n / 2, n - n/4 - n/2}
+	for flag := int64(0); flag < 3; flag++ {
+		if err := emitFlagGroup(pw, r, flag, flagRows[flag]); err != nil {
+			return err
+		}
+	}
+	_, err = pw.Close()
+	return err
+}
+
+// emitFlagGroup writes one RETURNFLAG run, spreading rows uniformly over
+// the shipdate domain and, within each day, over LINENUM with the
+// triangular weights.
+func emitFlagGroup(pw *storage.ProjectionWriter, r *rng, flag, rows int64) error {
+	if rows <= 0 {
+		return nil
+	}
+	// Deterministic proportional allocation of rows to days, with the
+	// remainder spread by a rotating offset so no day is systematically
+	// favored.
+	base := rows / ShipdateDays
+	rem := rows % ShipdateDays
+	for day := int64(0); day < ShipdateDays; day++ {
+		cnt := base
+		if day < rem {
+			cnt++
+		}
+		if cnt == 0 {
+			continue
+		}
+		if err := emitDayGroup(pw, r, flag, day, cnt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func emitDayGroup(pw *storage.ProjectionWriter, r *rng, flag, day, cnt int64) error {
+	// Allocate cnt rows across LINENUM values 1..7 by triangular weights.
+	var counts [LinenumMax]int64
+	var assigned int64
+	for l := 0; l < LinenumMax; l++ {
+		counts[l] = cnt * linenumWeights[l] / LinenumWeightSum
+		assigned += counts[l]
+	}
+	// Distribute the rounding remainder randomly (weighted draws).
+	for assigned < cnt {
+		w := r.intn(LinenumWeightSum)
+		for l := 0; l < LinenumMax; l++ {
+			if w < linenumWeights[l] {
+				counts[l]++
+				assigned++
+				break
+			}
+			w -= linenumWeights[l]
+		}
+	}
+	for l := 0; l < LinenumMax; l++ {
+		for k := int64(0); k < counts[l]; k++ {
+			if err := pw.AppendRow(flag, day, int64(l+1), int64(l+1), int64(l+1), 1+r.intn(QuantityMax)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// GenerateOrders writes the orders projection: CUSTKEY uniform over the
+// customer key space (so a custkey < X predicate has linear selectivity, as
+// Figure 13 requires) and an unsorted SHIPDATE payload column.
+func GenerateOrders(dir string, cfg Config) error {
+	n := cfg.OrdersRows()
+	nCust := cfg.CustomerRows()
+	if nCust == 0 {
+		return fmt.Errorf("tpch: scale %v yields no customers", cfg.Scale)
+	}
+	pw, err := storage.NewProjectionWriter(dir, OrdersProj, nil,
+		[]storage.ColumnSpec{
+			{Name: ColCustkey, Encoding: encoding.Plain},
+			{Name: ColOrderShipdate, Encoding: encoding.Plain},
+		})
+	if err != nil {
+		return err
+	}
+	r := newRNG(cfg.Seed ^ 0x0bde)
+	for i := int64(0); i < n; i++ {
+		if err := pw.AppendRow(r.intn(nCust), r.intn(ShipdateDays)); err != nil {
+			return err
+		}
+	}
+	_, err = pw.Close()
+	return err
+}
+
+// GenerateCustomer writes the customer projection: CUSTKEY is the primary
+// key (equal to the row position) and NATIONCODE is uniform over 25
+// nations.
+func GenerateCustomer(dir string, cfg Config) error {
+	n := cfg.CustomerRows()
+	pw, err := storage.NewProjectionWriter(dir, CustomerProj, []string{ColCustkey},
+		[]storage.ColumnSpec{
+			{Name: ColCustkey, Encoding: encoding.Plain},
+			{Name: ColNationcode, Encoding: encoding.Plain},
+		})
+	if err != nil {
+		return err
+	}
+	r := newRNG(cfg.Seed ^ 0xc057)
+	for i := int64(0); i < n; i++ {
+		if err := pw.AppendRow(i, r.intn(Nations)); err != nil {
+			return err
+		}
+	}
+	_, err = pw.Close()
+	return err
+}
+
+// LinenumColumn returns the lineitem LINENUM column name for an encoding.
+func LinenumColumn(k encoding.Kind) string {
+	switch k {
+	case encoding.RLE:
+		return ColLinenumRLE
+	case encoding.BitVector:
+		return ColLinenumBV
+	default:
+		return ColLinenum
+	}
+}
+
+// ShipdateForSelectivity returns the shipdate constant X such that
+// shipdate < X has approximately the given selectivity.
+func ShipdateForSelectivity(sel float64) int64 {
+	x := int64(sel * ShipdateDays)
+	if x < 0 {
+		x = 0
+	}
+	if x > ShipdateDays {
+		x = ShipdateDays
+	}
+	return x
+}
+
+// CustkeyForSelectivity returns X such that custkey < X over nCust uniform
+// keys has approximately the given selectivity.
+func CustkeyForSelectivity(sel float64, nCust int64) int64 {
+	x := int64(sel * float64(nCust))
+	if x < 0 {
+		x = 0
+	}
+	if x > nCust {
+		x = nCust
+	}
+	return x
+}

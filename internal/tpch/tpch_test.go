@@ -1,0 +1,253 @@
+package tpch
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"matstore/internal/buffer"
+	"matstore/internal/encoding"
+	"matstore/internal/storage"
+)
+
+func generate(t *testing.T, scale float64) *storage.DB {
+	t.Helper()
+	dir := t.TempDir()
+	if err := Generate(dir, Config{Scale: scale, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := storage.OpenDB(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func decompress(t *testing.T, p *storage.Projection, col string) []int64 {
+	t.Helper()
+	c, err := p.Column(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := c.Window(c.Extent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mc.Decompress(nil)
+}
+
+func TestCardinalities(t *testing.T) {
+	cfg := Config{Scale: 0.01}
+	if cfg.LineitemRows() != 60000 || cfg.OrdersRows() != 15000 || cfg.CustomerRows() != 1500 {
+		t.Errorf("cardinalities = %d/%d/%d", cfg.LineitemRows(), cfg.OrdersRows(), cfg.CustomerRows())
+	}
+}
+
+func TestLineitemSortOrderAndDomains(t *testing.T) {
+	db := generate(t, 0.003)
+	p, err := db.Projection(LineitemProj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flags := decompress(t, p, ColRetflag)
+	dates := decompress(t, p, ColShipdate)
+	lnums := decompress(t, p, ColLinenum)
+	qtys := decompress(t, p, ColQuantity)
+	if len(flags) != int(Config{Scale: 0.003}.LineitemRows()) {
+		t.Fatalf("rows = %d", len(flags))
+	}
+	for i := range flags {
+		if flags[i] < 0 || flags[i] > 2 {
+			t.Fatalf("returnflag %d out of domain", flags[i])
+		}
+		if dates[i] < 0 || dates[i] >= ShipdateDays {
+			t.Fatalf("shipdate %d out of domain", dates[i])
+		}
+		if lnums[i] < 1 || lnums[i] > LinenumMax {
+			t.Fatalf("linenum %d out of domain", lnums[i])
+		}
+		if qtys[i] < 1 || qtys[i] > QuantityMax {
+			t.Fatalf("quantity %d out of domain", qtys[i])
+		}
+		if i == 0 {
+			continue
+		}
+		// Lexicographic (returnflag, shipdate, linenum) order.
+		switch {
+		case flags[i] < flags[i-1]:
+			t.Fatalf("row %d: returnflag out of order", i)
+		case flags[i] == flags[i-1] && dates[i] < dates[i-1]:
+			t.Fatalf("row %d: shipdate out of order within flag", i)
+		case flags[i] == flags[i-1] && dates[i] == dates[i-1] && lnums[i] < lnums[i-1]:
+			t.Fatalf("row %d: linenum out of order within (flag, date)", i)
+		}
+	}
+}
+
+func TestLinenumCopiesIdentical(t *testing.T) {
+	db := generate(t, 0.002)
+	p, _ := db.Projection(LineitemProj)
+	plain := decompress(t, p, ColLinenum)
+	rle := decompress(t, p, ColLinenumRLE)
+	bv := decompress(t, p, ColLinenumBV)
+	for i := range plain {
+		if plain[i] != rle[i] || plain[i] != bv[i] {
+			t.Fatalf("row %d: linenum copies diverge (%d/%d/%d)", i, plain[i], rle[i], bv[i])
+		}
+	}
+	// Verify encodings really differ on disk.
+	for col, want := range map[string]encoding.Kind{
+		ColLinenum: encoding.Plain, ColLinenumRLE: encoding.RLE, ColLinenumBV: encoding.BitVector,
+	} {
+		c, _ := p.Column(col)
+		if c.Encoding() != want {
+			t.Errorf("%s encoding = %v, want %v", col, c.Encoding(), want)
+		}
+	}
+}
+
+func TestShipdateSelectivityIsLinear(t *testing.T) {
+	db := generate(t, 0.005)
+	p, _ := db.Projection(LineitemProj)
+	dates := decompress(t, p, ColShipdate)
+	n := float64(len(dates))
+	for _, sel := range []float64{0.25, 0.5, 0.75} {
+		x := ShipdateForSelectivity(sel)
+		var match float64
+		for _, d := range dates {
+			if d < x {
+				match++
+			}
+		}
+		if got := match / n; math.Abs(got-sel) > 0.02 {
+			t.Errorf("shipdate < %d: selectivity %v, want ~%v", x, got, sel)
+		}
+	}
+}
+
+func TestLinenumSelectivity96(t *testing.T) {
+	db := generate(t, 0.005)
+	p, _ := db.Projection(LineitemProj)
+	lnums := decompress(t, p, ColLinenum)
+	var match float64
+	for _, l := range lnums {
+		if l < LinenumMax {
+			match++
+		}
+	}
+	got := match / float64(len(lnums))
+	want := 1.0 - 1.0/float64(LinenumWeightSum) // 27/28
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("linenum < 7 selectivity = %v, want ~%v (the paper's 96%%)", got, want)
+	}
+}
+
+func TestCustomerIsPrimaryKey(t *testing.T) {
+	db := generate(t, 0.01)
+	p, _ := db.Projection(CustomerProj)
+	keys := decompress(t, p, ColCustkey)
+	for i, k := range keys {
+		if k != int64(i) {
+			t.Fatalf("custkey[%d] = %d, want %d", i, k, i)
+		}
+	}
+	nations := decompress(t, p, ColNationcode)
+	seen := map[int64]bool{}
+	for _, n := range nations {
+		if n < 0 || n >= Nations {
+			t.Fatalf("nationcode %d out of domain", n)
+		}
+		seen[n] = true
+	}
+	if len(seen) < Nations/2 {
+		t.Errorf("only %d distinct nations in sample", len(seen))
+	}
+}
+
+func TestOrdersForeignKeysInRange(t *testing.T) {
+	db := generate(t, 0.01)
+	orders, _ := db.Projection(OrdersProj)
+	cust, _ := db.Projection(CustomerProj)
+	fk := decompress(t, orders, ColCustkey)
+	n := cust.TupleCount()
+	for _, k := range fk {
+		if k < 0 || k >= n {
+			t.Fatalf("custkey %d outside customer table [0,%d)", k, n)
+		}
+	}
+	// Uniformity: custkey < n/2 should select about half.
+	var half float64
+	for _, k := range fk {
+		if k < n/2 {
+			half++
+		}
+	}
+	if got := half / float64(len(fk)); math.Abs(got-0.5) > 0.03 {
+		t.Errorf("custkey uniformity: %v, want ~0.5", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	cfg := Config{Scale: 0.001, Seed: 42}
+	if err := Generate(dir1, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Generate(dir2, cfg); err != nil {
+		t.Fatal(err)
+	}
+	pool := buffer.New(0)
+	for _, proj := range []string{LineitemProj, OrdersProj, CustomerProj} {
+		p1, err := storage.OpenProjection(filepath.Join(dir1, proj), pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := storage.OpenProjection(filepath.Join(dir2, proj), pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, col := range p1.ColumnNames() {
+			c1, _ := p1.Column(col)
+			c2, _ := p2.Column(col)
+			m1, err := c1.Window(c1.Extent())
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2, err := c2.Window(c2.Extent())
+			if err != nil {
+				t.Fatal(err)
+			}
+			v1 := m1.Decompress(nil)
+			v2 := m2.Decompress(nil)
+			for i := range v1 {
+				if v1[i] != v2[i] {
+					t.Fatalf("%s.%s row %d differs across identical seeds", proj, col, i)
+				}
+			}
+		}
+		p1.Close()
+		p2.Close()
+	}
+}
+
+func TestInvalidScale(t *testing.T) {
+	if err := Generate(t.TempDir(), Config{Scale: 0}); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if err := Generate(t.TempDir(), Config{Scale: 1e-6}); err == nil {
+		t.Error("scale with zero customers accepted")
+	}
+}
+
+func TestSelectivityHelpers(t *testing.T) {
+	if ShipdateForSelectivity(-1) != 0 || ShipdateForSelectivity(2) != ShipdateDays {
+		t.Error("ShipdateForSelectivity not clamped")
+	}
+	if CustkeyForSelectivity(0.5, 100) != 50 {
+		t.Error("CustkeyForSelectivity wrong")
+	}
+	if CustkeyForSelectivity(5, 100) != 100 {
+		t.Error("CustkeyForSelectivity not clamped")
+	}
+}

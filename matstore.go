@@ -1,0 +1,191 @@
+// Package matstore is a column-oriented storage and query execution engine
+// that reproduces the system studied in Abadi, Myers, DeWitt and Madden,
+// "Materialization Strategies in a Column-Oriented DBMS" (ICDE 2007).
+//
+// The engine stores C-Store-style projections (column files of 64KB blocks,
+// optionally run-length- or bit-vector-encoded), executes selection,
+// aggregation and join queries under all four materialization strategies
+// the paper evaluates — EM-pipelined, EM-parallel, LM-pipelined,
+// LM-parallel — and implements the paper's analytical cost model, which can
+// advise the best strategy for a query.
+//
+// Quick start:
+//
+//	matstore.Generate(dir, 0.01, 42)              // TPC-H-shaped sample data
+//	db, _ := matstore.Open(dir)
+//	defer db.Close()
+//	res, stats, _ := db.Select("lineitem", matstore.Query{
+//		Output: []string{"shipdate", "linenum"},
+//		Filters: []matstore.Filter{
+//			{Col: "shipdate", Pred: matstore.LessThan(400)},
+//			{Col: "linenum", Pred: matstore.LessThan(7)},
+//		},
+//	}, matstore.LMParallel)
+package matstore
+
+import (
+	"matstore/internal/buffer"
+	"matstore/internal/core"
+	"matstore/internal/model"
+	"matstore/internal/operators"
+	"matstore/internal/pred"
+	"matstore/internal/rows"
+	"matstore/internal/storage"
+	"matstore/internal/tpch"
+)
+
+// Re-exported query-description types.
+type (
+	// Query describes a selection (and optional SUM aggregation); see
+	// core.SelectQuery for field documentation.
+	Query = core.SelectQuery
+	// Filter is one single-column predicate of a WHERE clause.
+	Filter = core.Filter
+	// JoinQuery describes an equi-join between two projections.
+	JoinQuery = core.JoinQuery
+	// Strategy is a materialization strategy.
+	Strategy = core.Strategy
+	// RightStrategy is a join inner-table materialization strategy.
+	RightStrategy = operators.RightStrategy
+	// Predicate is a SARGable single-column predicate.
+	Predicate = pred.Predicate
+	// Result is a columnar query result.
+	Result = rows.Result
+	// Stats describes one query execution.
+	Stats = core.Stats
+	// JoinStats describes one join execution.
+	JoinStats = core.JoinStats
+	// Cost is an analytical-model cost prediction (µs, CPU and I/O).
+	Cost = model.Cost
+	// Constants are the analytical model's machine constants (Table 2).
+	Constants = model.Constants
+	// AggFunc is an aggregate function for Query.Agg.
+	AggFunc = operators.AggFunc
+)
+
+// Aggregate functions for Query.Agg (the zero value is Sum).
+const (
+	Sum   = operators.AggSum
+	Count = operators.AggCount
+	Avg   = operators.AggAvg
+	Min   = operators.AggMin
+	Max   = operators.AggMax
+)
+
+// ParseAggFunc converts a string such as "sum" to an AggFunc.
+func ParseAggFunc(s string) (AggFunc, error) { return operators.ParseAggFunc(s) }
+
+// Materialization strategies (Section 3.5 of the paper).
+const (
+	EMPipelined = core.EMPipelined
+	EMParallel  = core.EMParallel
+	LMPipelined = core.LMPipelined
+	LMParallel  = core.LMParallel
+)
+
+// Join inner-table strategies (Section 4.3).
+const (
+	RightMaterialized = operators.RightMaterialized
+	RightMultiColumn  = operators.RightMultiColumn
+	RightSingleColumn = operators.RightSingleColumn
+)
+
+// Strategies lists all four materialization strategies.
+var Strategies = core.Strategies
+
+// Predicate constructors.
+var (
+	// MatchAll accepts every value.
+	MatchAll = pred.MatchAll
+	// LessThan returns v < a.
+	LessThan = pred.LessThan
+	// AtMost returns v <= a.
+	AtMost = pred.AtMost
+	// Equals returns v == a.
+	Equals = pred.Equals
+	// NotEquals returns v != a.
+	NotEquals = pred.NotEquals
+	// AtLeast returns v >= a.
+	AtLeast = pred.AtLeast
+	// GreaterThan returns v > a.
+	GreaterThan = pred.GreaterThan
+	// InRange returns a <= v < b.
+	InRange = pred.InRange
+)
+
+// ParseStrategy converts a string such as "lm-parallel" to a Strategy.
+func ParseStrategy(s string) (Strategy, error) { return core.ParseStrategy(s) }
+
+// PaperConstants returns the Table 2 constants from the paper's hardware.
+func PaperConstants() Constants { return model.Paper }
+
+// Calibrate measures the analytical-model constants on this machine.
+func Calibrate() Constants { return model.Calibrate() }
+
+// Generate writes TPC-H-shaped sample projections (lineitem, orders,
+// customer) under dir at the given scale factor (1.0 ≈ 6M lineitem rows;
+// the paper used 10.0).
+func Generate(dir string, scale float64, seed uint64) error {
+	return tpch.Generate(dir, tpch.Config{Scale: scale, Seed: seed})
+}
+
+// Options tunes a DB handle.
+type Options struct {
+	// PoolBytes bounds the buffer pool (0 = unbounded).
+	PoolBytes int64
+	// Exec tunes the executor (chunk size, ablation switches).
+	Exec core.Options
+}
+
+// DB is an open database: a directory of projections served through a
+// shared buffer pool.
+type DB struct {
+	inner *storage.DB
+	exec  *core.Executor
+}
+
+// Open opens every projection under dir.
+func Open(dir string, opts ...Options) (*DB, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	inner, err := storage.OpenDB(dir, o.PoolBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner, exec: core.NewExecutor(inner.Pool(), o.Exec)}, nil
+}
+
+// Close releases all column files.
+func (db *DB) Close() error { return db.inner.Close() }
+
+// Projections lists the open projection names.
+func (db *DB) Projections() []string { return db.inner.ProjectionNames() }
+
+// PoolStats returns cumulative buffer-pool counters.
+func (db *DB) PoolStats() buffer.Stats { return db.inner.Pool().Stats() }
+
+// Select runs a selection/aggregation query against a projection under the
+// chosen materialization strategy.
+func (db *DB) Select(projection string, q Query, s Strategy) (*Result, *Stats, error) {
+	p, err := db.inner.Projection(projection)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db.exec.Select(p, q, s)
+}
+
+// Join runs an equi-join: left is the outer (probing) projection, right the
+// inner (hash-built) one, rs the inner-table materialization strategy.
+func (db *DB) Join(left, right string, q JoinQuery, rs RightStrategy) (*Result, *JoinStats, error) {
+	lp, err := db.inner.Projection(left)
+	if err != nil {
+		return nil, nil, err
+	}
+	rp, err := db.inner.Projection(right)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db.exec.Join(lp, rp, q, rs)
+}
