@@ -1,0 +1,25 @@
+# Tier-1 verification targets. `make ci` is the full gate: build, vet, the
+# whole test suite, and the parallel merge paths under the race detector.
+
+GO ?= go
+
+.PHONY: ci build vet test race bench
+
+ci: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The morsel-parallel executor, scheduler, and partial-merge paths live
+# under internal/; run them with the race detector.
+race:
+	$(GO) test -race ./internal/...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx ./...

@@ -3,6 +3,7 @@ package matstore
 import (
 	"errors"
 
+	"matstore/internal/exec"
 	"matstore/internal/model"
 	"matstore/internal/storage"
 )
@@ -22,22 +23,49 @@ type Advice struct {
 
 // Advise predicts per-strategy costs for q over a warm buffer pool using
 // the paper's Table 2 constants, deriving all model inputs from catalog
-// statistics.
+// statistics. The prediction is for serial (one-worker) execution; use
+// AdviseParallel for a morsel-parallel prediction.
 func (db *DB) Advise(projection string, q Query) (Advice, error) {
 	return db.AdviseWith(PaperConstants(), projection, q, true)
+}
+
+// AdviseParallel predicts per-strategy costs for q executed morsel-parallel
+// at the given worker count (0 = one worker per CPU, matching
+// Query.Parallelism semantics) over a warm buffer pool: plan-body CPU
+// divides across workers, the coordinator tail (partial-result merge and
+// output iteration) and the disk-arm I/O term do not.
+func (db *DB) AdviseParallel(projection string, q Query, workers int) (Advice, error) {
+	in, err := db.adviceInputs(projection, q, true)
+	if err != nil {
+		return Advice{}, err
+	}
+	w := exec.Resolve(workers)
+	consts := PaperConstants()
+	adv := Advice{Costs: make(map[Strategy]Cost, len(Strategies)), Inputs: in}
+	adv.Best, _ = consts.AdviseParallel(in, w)
+	for _, s := range Strategies {
+		adv.Costs[s] = consts.ParallelSelectionCost(s, in, w)
+	}
+	return adv, nil
+}
+
+// adviceInputs validates q and derives the model inputs every advisor
+// variant shares.
+func (db *DB) adviceInputs(projection string, q Query, hot bool) (model.SelectionInputs, error) {
+	p, err := db.inner.Projection(projection)
+	if err != nil {
+		return model.SelectionInputs{}, err
+	}
+	if len(q.Filters) == 0 {
+		return model.SelectionInputs{}, errors.New("matstore: Advise needs at least one filter")
+	}
+	return deriveInputs(p, q, hot)
 }
 
 // AdviseWith is Advise with explicit model constants and pool temperature
 // (hot=false charges full scan I/O, the cold-start case).
 func (db *DB) AdviseWith(consts Constants, projection string, q Query, hot bool) (Advice, error) {
-	p, err := db.inner.Projection(projection)
-	if err != nil {
-		return Advice{}, err
-	}
-	if len(q.Filters) == 0 {
-		return Advice{}, errors.New("matstore: Advise needs at least one filter")
-	}
-	in, err := deriveInputs(p, q, hot)
+	in, err := db.adviceInputs(projection, q, hot)
 	if err != nil {
 		return Advice{}, err
 	}

@@ -33,6 +33,7 @@ func main() {
 	encFlag := flag.String("enc", "", "restrict fig11/fig12 to one LINENUM encoding: plain|rle|bv")
 	points := flag.Int("points", len(bench.DefaultSelectivities), "number of selectivity points (2..)")
 	runs := flag.Int("runs", 3, "timed repetitions per point (minimum is reported)")
+	parallelism := flag.Int("parallelism", 1, "morsel-parallel workers per query (0 = one per CPU, 1 = the paper's serial execution)")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	calibrate := flag.Bool("calibrate", false, "calibrate model constants on this host for fig10 predictions")
 	flag.Parse()
@@ -43,6 +44,7 @@ func main() {
 	}
 	defer env.Close()
 	env.Runs = *runs
+	env.Parallelism = *parallelism
 	if *calibrate {
 		host, _ := bench.Table2()
 		env.Constants = host

@@ -9,6 +9,7 @@
 //	csquery -dir ./data -proj lineitem -where 'shipdate<400' \
 //	        -groupby shipdate -sum linenum -strategy lm-pipelined
 //	csquery ... -strategy advise   # let the cost model pick
+//	csquery ... -parallelism 0     # morsel-parallel across all CPUs
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 	sum := flag.String("sum", "", "aggregated column (with -groupby)")
 	aggFn := flag.String("agg", "sum", "aggregate function: sum|count|avg|min|max")
 	strategy := flag.String("strategy", "lm-parallel", "em-pipelined|em-parallel|lm-pipelined|lm-parallel|advise")
+	parallelism := flag.Int("parallelism", 1, "morsel-parallel workers (0 = one per CPU, 1 = serial)")
 	limit := flag.Int("limit", 10, "max rows to print")
 	flag.Parse()
 
@@ -55,15 +57,16 @@ func main() {
 		log.Fatal(err)
 	}
 	q.Filters = filters
+	q.Parallelism = *parallelism
 
 	var s matstore.Strategy
 	if *strategy == "advise" {
-		adv, err := db.Advise(*proj, q)
+		adv, err := db.AdviseParallel(*proj, q, *parallelism)
 		if err != nil {
 			log.Fatal(err)
 		}
 		s = adv.Best
-		fmt.Printf("advisor chose %v; predicted costs:\n", s)
+		fmt.Printf("advisor chose %v; predicted costs at parallelism=%d:\n", s, *parallelism)
 		for _, st := range matstore.Strategies {
 			fmt.Printf("  %-14v %s\n", st, adv.Costs[st])
 		}
@@ -94,9 +97,9 @@ func main() {
 	if shown < n {
 		fmt.Printf("... (%d rows total)\n", n)
 	}
-	fmt.Printf("\nstrategy=%v wall=%v tuples_out=%d tuples_constructed=%d positions=%d chunks_skipped=%d\n",
-		stats.Strategy, stats.Wall, stats.TuplesOut, stats.TuplesConstructed,
-		stats.PositionsMatched, stats.ChunksSkipped)
+	fmt.Printf("\nstrategy=%v wall=%v workers=%d morsels=%d tuples_out=%d tuples_constructed=%d positions=%d chunks_skipped=%d\n",
+		stats.Strategy, stats.Wall, stats.Workers, stats.Morsels, stats.TuplesOut,
+		stats.TuplesConstructed, stats.PositionsMatched, stats.ChunksSkipped)
 	consts := matstore.PaperConstants()
 	simIO := stats.Buffer.SimulatedIO(1,
 		time.Duration(consts.SEEK)*time.Microsecond,

@@ -1,0 +1,230 @@
+// Cross-strategy differential suite: randomized selection/aggregation
+// queries over generated TPC-H-shaped data must return identical results
+// under every materialization strategy × parallelism level. This is the
+// paper's core invariant — materialization strategy and worker count are
+// pure execution choices — locked in as a property test.
+package matstore_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"matstore"
+	"matstore/internal/core"
+	"matstore/internal/tpch"
+)
+
+// diffDomains describes the generated lineitem columns a random query may
+// touch: name, min value, max value (inclusive). linenum_bv is excluded
+// from filters (the C-Store executor does not position-filter bit-vector
+// data in pipelined LM plans) but allowed as an output/aggregate column.
+var diffFilterCols = []struct {
+	name     string
+	min, max int64
+}{
+	{tpch.ColShipdate, 0, tpch.ShipdateDays - 1},
+	{tpch.ColLinenum, 1, tpch.LinenumMax},
+	{tpch.ColLinenumRLE, 1, tpch.LinenumMax},
+	{tpch.ColQuantity, 1, tpch.QuantityMax},
+	{tpch.ColRetflag, 0, 2},
+}
+
+var diffOutputCols = []string{
+	tpch.ColShipdate, tpch.ColLinenum, tpch.ColLinenumRLE,
+	tpch.ColLinenumBV, tpch.ColQuantity, tpch.ColRetflag,
+}
+
+// randPredicate draws a predicate whose accepted fraction of [min, max]
+// spans the whole selectivity range, including empty and match-all.
+func randPredicate(rng *rand.Rand, min, max int64) matstore.Predicate {
+	v := func() int64 { return min + rng.Int63n(max-min+1) }
+	switch rng.Intn(8) {
+	case 0:
+		return matstore.MatchAll
+	case 1:
+		return matstore.LessThan(v())
+	case 2:
+		return matstore.AtMost(v())
+	case 3:
+		return matstore.Equals(v())
+	case 4:
+		return matstore.NotEquals(v())
+	case 5:
+		return matstore.AtLeast(v())
+	case 6:
+		return matstore.GreaterThan(v())
+	default:
+		a, b := v(), v()
+		if b < a {
+			a, b = b, a
+		}
+		return matstore.InRange(a, b+1)
+	}
+}
+
+// randQuery draws a random selection or aggregation over lineitem.
+func randQuery(rng *rand.Rand) matstore.Query {
+	var q matstore.Query
+	// 0–3 filters over distinct columns, in random order.
+	perm := rng.Perm(len(diffFilterCols))
+	for _, ci := range perm[:rng.Intn(4)] {
+		c := diffFilterCols[ci]
+		q.Filters = append(q.Filters, matstore.Filter{
+			Col: c.name, Pred: randPredicate(rng, c.min, c.max),
+		})
+	}
+	if rng.Intn(3) == 0 {
+		// Aggregation: random group key, aggregate column and function.
+		q.GroupBy = []string{tpch.ColRetflag, tpch.ColLinenum, tpch.ColShipdate}[rng.Intn(3)]
+		q.AggCol = diffOutputCols[rng.Intn(len(diffOutputCols))]
+		q.Agg = []matstore.AggFunc{
+			matstore.Sum, matstore.Count, matstore.Avg, matstore.Min, matstore.Max,
+		}[rng.Intn(5)]
+		return q
+	}
+	// Selection: 1–3 random output columns (repeats allowed — the merge
+	// must keep arity straight).
+	for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+		q.Output = append(q.Output, diffOutputCols[rng.Intn(len(diffOutputCols))])
+	}
+	return q
+}
+
+// sortedRows canonicalizes a result as lexicographically sorted row tuples.
+func sortedRows(res *matstore.Result) [][]int64 {
+	out := make([][]int64, res.NumRows())
+	for i := range out {
+		out[i] = res.Row(i)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for c := range out[i] {
+			if out[i][c] != out[j][c] {
+				return out[i][c] < out[j][c]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// diffDB opens the shared test dataset with a small chunk size so 12k rows
+// split into many chunks and parallel runs use many morsels.
+func diffDB(t *testing.T) *matstore.DB {
+	t.Helper()
+	return open(t, matstore.Options{Exec: core.Options{ChunkSize: 1024}})
+}
+
+// TestDifferentialStrategiesAndParallelism is the cross-strategy
+// differential suite: every random query must produce identical sorted
+// results under all four strategies × parallelism ∈ {1, 4}, and
+// byte-identical (order included) results across parallelism levels within
+// a strategy.
+func TestDifferentialStrategiesAndParallelism(t *testing.T) {
+	db := diffDB(t)
+	rng := rand.New(rand.NewSource(20260726))
+	const numQueries = 40
+	for qi := 0; qi < numQueries; qi++ {
+		q := randQuery(rng)
+		t.Run(fmt.Sprintf("query%02d", qi), func(t *testing.T) {
+			type runKey struct {
+				s   matstore.Strategy
+				par int
+			}
+			var refSorted [][]int64
+			var refKey runKey
+			exact := map[matstore.Strategy]*matstore.Result{}
+			for _, s := range matstore.Strategies {
+				for _, par := range []int{1, 4} {
+					q.Parallelism = par
+					res, _, err := db.Select(tpch.LineitemProj, q, s)
+					if err != nil {
+						t.Fatalf("%v/par=%d: %v (query %+v)", s, par, err, q)
+					}
+					rowsSorted := sortedRows(res)
+					if refSorted == nil {
+						refSorted, refKey = rowsSorted, runKey{s, par}
+					} else if !reflect.DeepEqual(rowsSorted, refSorted) {
+						t.Errorf("%v/par=%d disagrees with %v/par=%d on query %+v",
+							s, par, refKey.s, refKey.par, q)
+					}
+					// Within a strategy, parallel output order must equal
+					// serial output order exactly (block-order merge).
+					if prev, ok := exact[s]; ok {
+						if !reflect.DeepEqual(prev.Cols, res.Cols) {
+							t.Errorf("%v: parallel row order differs from serial on query %+v", s, q)
+						}
+					} else {
+						exact[s] = res
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialParallelismRepeatStable runs one parallel query 10 times:
+// output must be byte-identical every run (deterministic merge order).
+func TestDifferentialParallelismRepeatStable(t *testing.T) {
+	db := diffDB(t)
+	q := matstore.Query{
+		Output: []string{tpch.ColShipdate, tpch.ColLinenum, tpch.ColQuantity},
+		Filters: []matstore.Filter{
+			{Col: tpch.ColShipdate, Pred: matstore.LessThan(1200)},
+			{Col: tpch.ColQuantity, Pred: matstore.LessThan(40)},
+		},
+		Parallelism: 4,
+	}
+	for _, s := range matstore.Strategies {
+		var first *matstore.Result
+		for run := 0; run < 10; run++ {
+			res, _, err := db.Select(tpch.LineitemProj, q, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first == nil {
+				first = res
+				continue
+			}
+			if !reflect.DeepEqual(res.Cols, first.Cols) || !reflect.DeepEqual(res.Columns, first.Columns) {
+				t.Fatalf("%v: run %d output differs", s, run)
+			}
+		}
+	}
+}
+
+// TestDifferentialJoinParallelism checks the three join inner-table
+// strategies × parallelism levels agree.
+func TestDifferentialJoinParallelism(t *testing.T) {
+	db := diffDB(t)
+	q := matstore.JoinQuery{
+		LeftKey:     "custkey",
+		LeftPred:    matstore.LessThan(200),
+		LeftOutput:  []string{"shipdate"},
+		RightKey:    "custkey",
+		RightOutput: []string{"nationcode"},
+	}
+	var ref [][]int64
+	for _, rs := range []matstore.RightStrategy{
+		matstore.RightMaterialized, matstore.RightMultiColumn, matstore.RightSingleColumn,
+	} {
+		for _, par := range []int{1, 4} {
+			q.Parallelism = par
+			res, _, err := db.Join("orders", "customer", q, rs)
+			if err != nil {
+				t.Fatalf("%v/par=%d: %v", rs, par, err)
+			}
+			rowsSorted := sortedRows(res)
+			if ref == nil {
+				ref = rowsSorted
+				if len(ref) == 0 {
+					t.Fatal("join reference result empty")
+				}
+			} else if !reflect.DeepEqual(rowsSorted, ref) {
+				t.Errorf("%v/par=%d join result disagrees", rs, par)
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module matstore
+
+go 1.24

@@ -183,6 +183,7 @@ func (e *Env) JoinStatsAt(sel float64, rs operators.RightStrategy) (*core.JoinSt
 		LeftOutput:  []string{tpch.ColOrderShipdate},
 		RightKey:    tpch.ColCustkey,
 		RightOutput: []string{tpch.ColNationcode},
+		Parallelism: e.Parallelism,
 	}
 	_, stats, err := exec.Join(e.orders, e.customer, q, rs)
 	return stats, err

@@ -98,6 +98,10 @@ type Env struct {
 	// reported (the paper reports steady-state runs).
 	Runs      int
 	Constants model.Constants
+	// Parallelism is the morsel-parallel worker count applied to every
+	// timed query (0 = one per CPU). The default 1 reproduces the paper's
+	// single-threaded experiments.
+	Parallelism int
 
 	lineitem *storage.Projection
 	orders   *storage.Projection
@@ -128,12 +132,13 @@ func Setup(dir string, scale float64, seed uint64) (*Env, error) {
 		return nil, err
 	}
 	env := &Env{
-		Dir:       dir,
-		DB:        db,
-		Scale:     scale,
-		ChunkSize: 0, // executor default
-		Runs:      3,
-		Constants: model.Default(),
+		Dir:         dir,
+		DB:          db,
+		Scale:       scale,
+		ChunkSize:   0, // executor default
+		Runs:        3,
+		Constants:   model.Default(),
+		Parallelism: 1,
 	}
 	if env.lineitem, err = db.Projection(tpch.LineitemProj); err != nil {
 		db.Close()
@@ -161,6 +166,7 @@ func (e *Env) executor() *core.Executor {
 // pool, as the paper's properly-pipelined assumption requires) and returns
 // the minimum wall time in milliseconds.
 func (e *Env) timeSelect(exec *core.Executor, p *storage.Projection, q core.SelectQuery, s core.Strategy) (float64, error) {
+	q.Parallelism = e.Parallelism
 	best := time.Duration(0)
 	for r := 0; r <= e.Runs; r++ {
 		_, stats, err := exec.Select(p, q, s)
@@ -362,6 +368,7 @@ func (e *Env) Fig13(sels []float64) (Figure, error) {
 				LeftOutput:  []string{tpch.ColOrderShipdate},
 				RightKey:    tpch.ColCustkey,
 				RightOutput: []string{tpch.ColNationcode},
+				Parallelism: e.Parallelism,
 			}
 			best := time.Duration(0)
 			for r := 0; r <= e.Runs; r++ {

@@ -25,6 +25,11 @@ type JoinQuery struct {
 	LeftOutput  []string
 	RightKey    string
 	RightOutput []string
+	// Parallelism is the probe-phase worker count (0 = one per CPU, 1 =
+	// serial). The hash build and the single-column strategy's deferred
+	// payload fetch stay serial; only the outer-table probe is
+	// morsel-parallel.
+	Parallelism int
 }
 
 // JoinStats extends Stats with join-side counters.
@@ -69,11 +74,14 @@ func (e *Executor) Join(left, right *storage.Projection, q JoinQuery, rs operato
 		LeftOutputs: leftOutputs,
 		Right:       rt,
 		ChunkSize:   e.Opt.chunkSize(),
+		Workers:     q.Parallelism,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	stats.Join = jstats
+	stats.Workers = jstats.Workers
+	stats.Morsels = jstats.Morsels
 	if !e.Opt.SkipOutputIteration {
 		stats.OutputChecksum = drainResult(res)
 	}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"matstore/internal/encoding"
+	"matstore/internal/operators"
+	"matstore/internal/pred"
+	"matstore/internal/storage"
+	"matstore/internal/tpch"
+)
+
+// parallelExecutor returns an executor with a small chunk size so the 12k
+// test rows split into many chunks (and therefore many morsels).
+func parallelExecutor(t *testing.T) (*Executor, *testProjections) {
+	t.Helper()
+	db := openDB(t)
+	e := NewExecutor(db.Pool(), Options{ChunkSize: 1024})
+	li, err := db.Projection(tpch.LineitemProj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, err := db.Projection(tpch.OrdersProj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu, err := db.Projection(tpch.CustomerProj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, &testProjections{lineitem: li, orders: or, customer: cu}
+}
+
+type testProjections struct {
+	lineitem, orders, customer *storage.Projection
+}
+
+var rightStrategies = []operators.RightStrategy{
+	operators.RightMaterialized, operators.RightMultiColumn, operators.RightSingleColumn,
+}
+
+// TestParallelSelectEquivalence checks every strategy returns identical
+// results and counters at parallelism 1, 2, and 4 — morsel merging in block
+// order must reproduce serial output exactly, not just up to reordering.
+func TestParallelSelectEquivalence(t *testing.T) {
+	e, ps := parallelExecutor(t)
+	queries := map[string]SelectQuery{
+		"selection": lineitemQuery(tpch.ColLinenum, 1200, 7),
+		"three-predicates": {
+			Output: []string{tpch.ColShipdate, tpch.ColLinenum, tpch.ColQuantity},
+			Filters: []Filter{
+				{Col: tpch.ColShipdate, Pred: pred.LessThan(250)},
+				{Col: tpch.ColQuantity, Pred: pred.LessThan(40)},
+				{Col: tpch.ColLinenum, Pred: pred.LessThan(7)},
+			},
+		},
+		"aggregation": {
+			Filters: []Filter{{Col: tpch.ColShipdate, Pred: pred.LessThan(800)}},
+			GroupBy: tpch.ColRetflag,
+			AggCol:  tpch.ColQuantity,
+		},
+		"no-filter": {Output: []string{tpch.ColQuantity}},
+		"empty":     lineitemQuery(tpch.ColLinenum, -1, 7),
+	}
+	for name, q := range queries {
+		for _, s := range Strategies {
+			t.Run(fmt.Sprintf("%s/%v", name, s), func(t *testing.T) {
+				q.Parallelism = 1
+				serialRes, serialStats, err := e.Select(ps.lineitem, q, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if serialStats.Morsels != 1 || serialStats.Workers != 1 {
+					t.Fatalf("serial run used %d morsels / %d workers",
+						serialStats.Morsels, serialStats.Workers)
+				}
+				for _, par := range []int{2, 4} {
+					q.Parallelism = par
+					res, stats, err := e.Select(ps.lineitem, q, s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !resultsEqual(res, serialRes) {
+						t.Errorf("parallelism=%d result differs from serial", par)
+					}
+					if stats.Workers != par {
+						t.Errorf("parallelism=%d: Workers = %d", par, stats.Workers)
+					}
+					if name != "empty" && stats.Morsels < 2 {
+						t.Errorf("parallelism=%d: only %d morsels", par, stats.Morsels)
+					}
+					// Morsels are chunk-aligned, so per-chunk counters are
+					// identical, not merely equivalent.
+					if stats.TuplesConstructed != serialStats.TuplesConstructed ||
+						stats.PositionsMatched != serialStats.PositionsMatched ||
+						stats.ChunksSkipped != serialStats.ChunksSkipped ||
+						stats.Groups != serialStats.Groups ||
+						stats.OutputChecksum != serialStats.OutputChecksum {
+						t.Errorf("parallelism=%d counters differ: %+v vs serial %+v",
+							par, stats, serialStats)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelSelectDeterministic repeats the same parallel query 10×: the
+// output order (not just the output set) must be stable run to run.
+func TestParallelSelectDeterministic(t *testing.T) {
+	e, ps := parallelExecutor(t)
+	q := lineitemQuery(tpch.ColLinenum, 1200, 7)
+	q.Parallelism = 4
+	for _, s := range Strategies {
+		first, _, err := e.Select(ps.lineitem, q, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 1; run < 10; run++ {
+			res, _, err := e.Select(ps.lineitem, q, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resultsEqual(res, first) {
+				t.Fatalf("%v: run %d differs from run 0", s, run)
+			}
+		}
+	}
+}
+
+// TestParallelJoinEquivalence checks the morsel-parallel probe phase
+// produces the serial join result for every inner-table strategy.
+func TestParallelJoinEquivalence(t *testing.T) {
+	e, ps := parallelExecutor(t)
+	nCust := ps.customer.TupleCount()
+	q := JoinQuery{
+		LeftKey:     tpch.ColCustkey,
+		LeftPred:    pred.LessThan(nCust / 2),
+		LeftOutput:  []string{tpch.ColOrderShipdate},
+		RightKey:    tpch.ColCustkey,
+		RightOutput: []string{tpch.ColNationcode},
+	}
+	for _, rs := range rightStrategies {
+		q.Parallelism = 1
+		serial, serialStats, err := e.Join(ps.orders, ps.customer, q, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.NumRows() == 0 {
+			t.Fatalf("%v: serial join empty", rs)
+		}
+		q.Parallelism = 4
+		par, parStats, err := e.Join(ps.orders, ps.customer, q, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEqual(par, serial) {
+			t.Errorf("%v: parallel join differs from serial", rs)
+		}
+		if parStats.Join.LeftProbes != serialStats.Join.LeftProbes ||
+			parStats.Join.OutputTuples != serialStats.Join.OutputTuples ||
+			parStats.Join.DeferredFetches != serialStats.Join.DeferredFetches {
+			t.Errorf("%v: join counters differ: %+v vs %+v",
+				rs, parStats.Join, serialStats.Join)
+		}
+	}
+}
+
+// TestEmptyProjectionAllStrategies checks a zero-row projection (legal:
+// open a writer, append nothing, close) yields an empty result — not a
+// panic — at every strategy × parallelism, for selections, aggregations,
+// and joins.
+func TestEmptyProjectionAllStrategies(t *testing.T) {
+	dir := t.TempDir()
+	pw, err := storage.NewProjectionWriter(filepath.Join(dir, "empty"), "empty", nil, []storage.ColumnSpec{
+		{Name: "a", Encoding: encoding.Plain},
+		{Name: "b", Encoding: encoding.Plain},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err := storage.OpenDB(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	p, err := db.Projection("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(db.Pool(), Options{})
+	for _, par := range []int{1, 4} {
+		for _, s := range Strategies {
+			q := SelectQuery{
+				Output:      []string{"a"},
+				Filters:     []Filter{{Col: "b", Pred: pred.LessThan(10)}},
+				Parallelism: par,
+			}
+			res, stats, err := e.Select(p, q, s)
+			if err != nil {
+				t.Fatalf("%v/par=%d: %v", s, par, err)
+			}
+			if res.NumRows() != 0 || stats.TuplesOut != 0 {
+				t.Errorf("%v/par=%d: %d rows from empty projection", s, par, res.NumRows())
+			}
+			q.Output = nil
+			q.GroupBy, q.AggCol = "a", "b"
+			res, _, err = e.Select(p, q, s)
+			if err != nil {
+				t.Fatalf("%v/par=%d agg: %v", s, par, err)
+			}
+			if res.NumRows() != 0 {
+				t.Errorf("%v/par=%d agg: %d groups from empty projection", s, par, res.NumRows())
+			}
+		}
+		jq := JoinQuery{
+			LeftKey: "a", LeftPred: pred.MatchAll,
+			LeftOutput: []string{"b"}, RightKey: "a", RightOutput: []string{"b"},
+			Parallelism: par,
+		}
+		for _, rs := range rightStrategies {
+			res, _, err := e.Join(p, p, jq, rs)
+			if err != nil {
+				t.Fatalf("join %v/par=%d: %v", rs, par, err)
+			}
+			if res.NumRows() != 0 {
+				t.Errorf("join %v/par=%d: %d rows from empty projection", rs, par, res.NumRows())
+			}
+		}
+	}
+}
+
+// TestParallelValidationError checks errors surface identically under
+// parallel execution.
+func TestParallelValidationError(t *testing.T) {
+	e, ps := parallelExecutor(t)
+	q := SelectQuery{
+		Output:      []string{"no_such_column"},
+		Parallelism: 4,
+	}
+	if _, _, err := e.Select(ps.lineitem, q, EMParallel); err == nil {
+		t.Error("bad column accepted")
+	}
+}

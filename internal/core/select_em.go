@@ -9,13 +9,21 @@ import (
 	"matstore/internal/storage"
 )
 
-// runEMPipelined is the strategy of Figure 7(a): a DS2 leaf scans the first
-// predicate column producing (position, value) tuples; every further column
-// is a DS4 that jumps to each tuple's position, applies its predicate (or
-// none, for pure output columns), and widens the tuple. Chunks whose batch
+// emPipelinedPlan is the strategy of Figure 7(a): a DS2 leaf scans the
+// first predicate column producing (position, value) tuples; every further
+// column is a DS4 that jumps to tuple positions, applies its predicate (or
+// none, for pure output columns), and widens the tuples. Chunks whose batch
 // runs empty skip the remaining columns' blocks — the property that makes
 // EM-pipelined competitive under selective predicates.
-func (e *Executor) runEMPipelined(p *storage.Projection, q SelectQuery, stats *Stats) (*rows.Result, error) {
+type emPipelinedPlan struct {
+	opt   Options
+	q     SelectQuery
+	order []string
+	preds map[string]pred.Predicate
+	cols  map[string]*storage.Column
+}
+
+func (e *Executor) compileEMPipelined(p *storage.Projection, q SelectQuery) (morselPlan, error) {
 	// Column visit order: filter columns first (in filter order), then any
 	// remaining columns the output/aggregation needs.
 	order := q.referenced()
@@ -23,7 +31,6 @@ func (e *Executor) runEMPipelined(p *storage.Projection, q SelectQuery, stats *S
 	for _, f := range q.Filters {
 		preds[f.Col] = f.Pred // queries repeat a column at most once per WHERE
 	}
-
 	cols := make(map[string]*storage.Column, len(order))
 	for _, name := range order {
 		c, err := p.Column(name)
@@ -32,64 +39,68 @@ func (e *Executor) runEMPipelined(p *storage.Projection, q SelectQuery, stats *S
 		}
 		cols[name] = c
 	}
+	return &emPipelinedPlan{opt: e.Opt, q: q, order: order, preds: preds, cols: cols}, nil
+}
 
-	var agg *operators.Aggregator
-	var res *rows.Result
-	if q.Aggregating() {
-		agg = operators.NewAggregator(q.Agg)
-	} else {
-		res = rows.NewResult(q.outputNames()...)
-	}
-
-	ch := datasource.NewChunker(positions.Range{Start: 0, End: p.TupleCount()}, e.Opt.chunkSize())
+func (pl *emPipelinedPlan) runMorsel(r positions.Range, pt *partial) error {
+	agg, res := pt.init(pl.q)
+	ch := datasource.NewChunker(r, pl.opt.chunkSize())
 	for ci := 0; ci < ch.NumChunks(); ci++ {
-		r := ch.Chunk(ci)
+		cr := ch.Chunk(ci)
 		var batch *rows.Batch
 		skipped := false
-		for i, name := range order {
-			colPred, hasPred := preds[name]
+		for i, name := range pl.order {
+			colPred, hasPred := pl.preds[name]
 			if !hasPred {
 				colPred = pred.MatchAll
 			}
 			if i == 0 {
-				ds2 := datasource.DS2{Col: cols[name], Pred: colPred}
-				b, err := ds2.ScanChunk(r, name)
+				ds2 := datasource.DS2{Col: pl.cols[name], Pred: colPred}
+				b, err := ds2.ScanChunk(cr, name)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				batch = b
-				stats.TuplesConstructed += int64(batch.Len())
+				pt.stats.TuplesConstructed += int64(batch.Len())
 				continue
 			}
 			if batch.Len() == 0 {
-				stats.ChunksSkipped++
+				pt.stats.ChunksSkipped++
 				skipped = true
 				break
 			}
-			mini, err := cols[name].Window(r)
+			mini, err := pl.cols[name].Window(cr)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			ds4 := datasource.DS4{Col: cols[name], Pred: colPred}
+			ds4 := datasource.DS4{Col: pl.cols[name], Pred: colPred}
 			batch = ds4.ExtendChunk(mini, batch, name)
-			stats.TuplesConstructed += int64(batch.Len())
+			pt.stats.TuplesConstructed += int64(batch.Len())
 		}
 		if skipped || batch.Len() == 0 {
 			continue
 		}
-		stats.PositionsMatched += int64(batch.Len())
-		if err := emitBatch(batch, q, agg, res); err != nil {
-			return nil, err
+		pt.stats.PositionsMatched += int64(batch.Len())
+		if err := emitBatch(batch, pl.q, agg, res); err != nil {
+			return err
 		}
 	}
-	return finishEM(q, agg, res, stats)
+	return nil
 }
 
-// runEMParallel is the strategy of Figure 7(b): a single SPC leaf reads
+// emParallelPlan is the strategy of Figure 7(b): a single SPC leaf reads
 // every needed column, applies all predicates while scanning, and
 // constructs complete tuples at the very bottom of the plan. All blocks of
 // all input columns are read and processed regardless of selectivity.
-func (e *Executor) runEMParallel(p *storage.Projection, q SelectQuery, stats *Stats) (*rows.Result, error) {
+type emParallelPlan struct {
+	opt     Options
+	q       SelectQuery
+	cols    []*storage.Column
+	filters []operators.IndexedPred
+	outIdx  []int
+}
+
+func (e *Executor) compileEMParallel(p *storage.Projection, q SelectQuery) (morselPlan, error) {
 	order := q.referenced()
 	cols := make([]*storage.Column, len(order))
 	idx := make(map[string]int, len(order))
@@ -115,45 +126,42 @@ func (e *Executor) runEMParallel(p *storage.Projection, q SelectQuery, stats *St
 	for i, name := range outNames {
 		outIdx[i] = idx[name]
 	}
+	return &emParallelPlan{opt: e.Opt, q: q, cols: cols, filters: filters, outIdx: outIdx}, nil
+}
 
-	var agg *operators.Aggregator
-	var res *rows.Result
-	if q.Aggregating() {
-		agg = operators.NewAggregator(q.Agg)
-	} else {
-		res = rows.NewResult(q.outputNames()...)
-	}
-
-	ch := datasource.NewChunker(positions.Range{Start: 0, End: p.TupleCount()}, e.Opt.chunkSize())
-	scratch := make([][]int64, len(order))
+func (pl *emParallelPlan) runMorsel(r positions.Range, pt *partial) error {
+	agg, res := pt.init(pl.q)
+	ch := datasource.NewChunker(r, pl.opt.chunkSize())
+	// Scratch buffers are per-morsel (workers share nothing but the pool).
+	scratch := make([][]int64, len(pl.cols))
 	// SPC constructs tuples column-wise straight into the result (or, for
 	// aggregations, into per-chunk key/value vectors feeding the hash
 	// aggregator).
 	aggDst := make([][]int64, 2)
 	for ci := 0; ci < ch.NumChunks(); ci++ {
-		r := ch.Chunk(ci)
+		cr := ch.Chunk(ci)
 		// EM decompresses early: every column's chunk becomes a value
 		// vector before predicate evaluation (Section 2.1.2's cost).
-		for i, c := range cols {
-			mini, err := c.Window(r)
+		for i, c := range pl.cols {
+			mini, err := c.Window(cr)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			scratch[i] = mini.Decompress(scratch[i][:0])
 		}
 		var constructed int64
-		if q.Aggregating() {
+		if pl.q.Aggregating() {
 			aggDst[0] = aggDst[0][:0]
 			aggDst[1] = aggDst[1][:0]
-			constructed = operators.SPCChunk(scratch, filters, outIdx, aggDst)
+			constructed = operators.SPCChunk(scratch, pl.filters, pl.outIdx, aggDst)
 			agg.AddBatch(aggDst[0], aggDst[1])
 		} else {
-			constructed = operators.SPCChunk(scratch, filters, outIdx, res.Cols)
+			constructed = operators.SPCChunk(scratch, pl.filters, pl.outIdx, res.Cols)
 		}
-		stats.TuplesConstructed += constructed
-		stats.PositionsMatched += constructed
+		pt.stats.TuplesConstructed += constructed
+		pt.stats.PositionsMatched += constructed
 	}
-	return finishEM(q, agg, res, stats)
+	return nil
 }
 
 // emitBatch routes a constructed-tuple batch into the aggregator or the
@@ -179,14 +187,4 @@ func emitBatch(batch *rows.Batch, q SelectQuery, agg *operators.Aggregator, res 
 		res.Cols[i] = append(res.Cols[i], vals...)
 	}
 	return nil
-}
-
-func finishEM(q SelectQuery, agg *operators.Aggregator, res *rows.Result, stats *Stats) (*rows.Result, error) {
-	if q.Aggregating() {
-		out := agg.Emit(q.outputNames()[0], q.outputNames()[1])
-		stats.Groups = agg.Groups()
-		stats.TuplesConstructed += int64(out.NumRows())
-		return out, nil
-	}
-	return res, nil
 }

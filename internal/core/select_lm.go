@@ -6,17 +6,25 @@ import (
 	"matstore/internal/multicol"
 	"matstore/internal/operators"
 	"matstore/internal/positions"
-	"matstore/internal/rows"
 	"matstore/internal/storage"
 )
 
-// runLM drives both late-materialization strategies. With pipelined=false
+// lmPlan drives both late-materialization strategies. With pipelined=false
 // (LM-parallel, Figure 8(b)) every predicate column is scanned by a DS1 and
 // the position lists are ANDed. With pipelined=true (LM-pipelined, Figure
 // 8(a)) the first column's positions restrict where later predicates are
 // even evaluated, the AND disappears, and chunks whose position set runs
 // dry skip the remaining columns' blocks entirely.
-func (e *Executor) runLM(p *storage.Projection, q SelectQuery, stats *Stats, pipelined bool) (*rows.Result, error) {
+type lmPlan struct {
+	opt       Options
+	q         SelectQuery
+	pipelined bool
+	cols      map[string]*storage.Column
+	// matCols are the columns needed at materialization time.
+	matCols []string
+}
+
+func (e *Executor) compileLM(p *storage.Projection, q SelectQuery, pipelined bool) (morselPlan, error) {
 	cols := make(map[string]*storage.Column)
 	for _, name := range q.referenced() {
 		c, err := p.Column(name)
@@ -25,49 +33,54 @@ func (e *Executor) runLM(p *storage.Projection, q SelectQuery, stats *Stats, pip
 		}
 		cols[name] = c
 	}
-
-	var agg *operators.Aggregator
-	var merger *operators.Merger
-	if q.Aggregating() {
-		agg = operators.NewAggregator(q.Agg)
-	} else {
-		merger = operators.NewMerger(q.outputNames()...)
-	}
-
-	// matCols are the columns needed at materialization time.
 	var matCols []string
 	if q.Aggregating() {
 		matCols = []string{q.GroupBy, q.AggCol}
 	} else {
 		matCols = q.Output
 	}
+	return &lmPlan{opt: e.Opt, q: q, pipelined: pipelined, cols: cols, matCols: matCols}, nil
+}
 
-	ch := datasource.NewChunker(positions.Range{Start: 0, End: p.TupleCount()}, e.Opt.chunkSize())
-	valBufs := make([][]int64, len(matCols))
+func (pl *lmPlan) runMorsel(r positions.Range, pt *partial) error {
+	var agg *operators.Aggregator
+	var merger *operators.Merger
+	if pl.q.Aggregating() {
+		agg = operators.NewAggregator(pl.q.Agg)
+		pt.agg = agg
+	} else {
+		// The morsel's MERGE accumulates the partial's result (adopted as
+		// pt.res below); per-morsel results concatenate in block order at
+		// the top.
+		merger = operators.NewMerger(pl.q.outputNames()...)
+	}
+
+	ch := datasource.NewChunker(r, pl.opt.chunkSize())
+	valBufs := make([][]int64, len(pl.matCols))
 	for ci := 0; ci < ch.NumChunks(); ci++ {
-		r := ch.Chunk(ci)
-		mc := multicol.New(r)
+		cr := ch.Chunk(ci)
+		mc := multicol.New(cr)
 		var desc positions.Set
 
-		if pipelined {
+		if pl.pipelined {
 			skipped := false
-			for i, f := range q.Filters {
+			for i, f := range pl.q.Filters {
 				if i > 0 && desc.Count() == 0 {
 					// Remaining predicate columns' blocks are never read.
-					stats.ChunksSkipped++
+					pt.stats.ChunksSkipped++
 					skipped = true
 					break
 				}
 				if i == 0 {
 					// The leading scan is a DS1 (optionally index-derived).
 					ds1 := datasource.DS1{
-						Col: cols[f.Col], Pred: f.Pred,
-						ForceBitmap:  e.Opt.ForceBitmapPositions,
-						UseZoneIndex: e.Opt.UseZoneIndex,
+						Col: pl.cols[f.Col], Pred: f.Pred,
+						ForceBitmap:  pl.opt.ForceBitmapPositions,
+						UseZoneIndex: pl.opt.UseZoneIndex,
 					}
-					ps, mini, err := ds1.ScanChunk(r)
+					ps, mini, err := ds1.ScanChunk(cr)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					if mini != nil {
 						mc.Attach(f.Col, mini)
@@ -77,9 +90,9 @@ func (e *Executor) runLM(p *storage.Projection, q SelectQuery, stats *Stats, pip
 				}
 				// Later predicates narrow the surviving positions in place
 				// (DS3+predicate), which requires the column's values.
-				mini, err := cols[f.Col].Window(r)
+				mini, err := pl.cols[f.Col].Window(cr)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				mc.Attach(f.Col, mini)
 				desc = mini.FilterAt(desc, f.Pred)
@@ -88,16 +101,16 @@ func (e *Executor) runLM(p *storage.Projection, q SelectQuery, stats *Stats, pip
 				continue
 			}
 		} else {
-			sets := make([]positions.Set, 0, len(q.Filters))
-			for _, f := range q.Filters {
+			sets := make([]positions.Set, 0, len(pl.q.Filters))
+			for _, f := range pl.q.Filters {
 				ds1 := datasource.DS1{
-					Col: cols[f.Col], Pred: f.Pred,
-					ForceBitmap:  e.Opt.ForceBitmapPositions,
-					UseZoneIndex: e.Opt.UseZoneIndex,
+					Col: pl.cols[f.Col], Pred: f.Pred,
+					ForceBitmap:  pl.opt.ForceBitmapPositions,
+					UseZoneIndex: pl.opt.UseZoneIndex,
 				}
-				ps, mini, err := ds1.ScanChunk(r)
+				ps, mini, err := ds1.ScanChunk(cr)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if mini != nil {
 					mc.Attach(f.Col, mini)
@@ -108,49 +121,46 @@ func (e *Executor) runLM(p *storage.Projection, q SelectQuery, stats *Stats, pip
 			desc = positions.AndAll(sets...)
 		}
 
-		if len(q.Filters) == 0 {
-			desc = positions.NewRanges(r)
+		if len(pl.q.Filters) == 0 {
+			desc = positions.NewRanges(cr)
 		}
 		if desc == nil || desc.Count() == 0 {
 			continue
 		}
 		mc.SetDescriptor(desc)
-		stats.PositionsMatched += desc.Count()
+		pt.matched = append(pt.matched, desc)
 
 		// Materialization: DS3 per needed column, from the multi-column's
 		// mini-columns when available (zero re-access), else re-windowed.
-		minis := make([]encoding.MiniColumn, len(matCols))
-		for i, name := range matCols {
+		minis := make([]encoding.MiniColumn, len(pl.matCols))
+		for i, name := range pl.matCols {
 			mini, ok := mc.Mini(name)
-			if !ok || e.Opt.DisableMultiColumn {
+			if !ok || pl.opt.DisableMultiColumn {
 				var err error
-				if mini, err = cols[name].Window(r); err != nil {
-					return nil, err
+				if mini, err = pl.cols[name].Window(cr); err != nil {
+					return err
 				}
 			}
 			minis[i] = mini
 		}
 
-		if q.Aggregating() {
+		if pl.q.Aggregating() {
 			// Aggregate directly on compressed data; no tuples constructed.
 			operators.AggregateCompressedChunk(agg, minis[0], minis[1], desc)
 			continue
 		}
 		ds3 := datasource.DS3{}
-		for i := range matCols {
+		for i := range pl.matCols {
 			valBufs[i] = ds3.ValuesFromMini(minis[i], desc, valBufs[i][:0])
 		}
 		if err := merger.MergeChunk(valBufs...); err != nil {
-			return nil, err
+			return err
 		}
 	}
 
-	if q.Aggregating() {
-		res := agg.Emit(q.outputNames()[0], q.outputNames()[1])
-		stats.Groups = agg.Groups()
-		stats.TuplesConstructed += int64(res.NumRows())
-		return res, nil
+	if !pl.q.Aggregating() {
+		pt.stats.TuplesConstructed += merger.TuplesConstructed
+		pt.res = merger.Result()
 	}
-	stats.TuplesConstructed += merger.TuplesConstructed
-	return merger.Result(), nil
+	return nil
 }

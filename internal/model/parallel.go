@@ -1,0 +1,81 @@
+package model
+
+import "matstore/internal/core"
+
+// This file extends the paper's single-threaded analytical model to
+// morsel-parallel execution. The decomposition follows the executor: the
+// plan body (data sources, AND, per-morsel merge/aggregation) runs on W
+// workers over disjoint block ranges, while a serial coordinator tail
+// remains — recombining per-morsel partials and iterating the output — and
+// the I/O terms model a single disk arm, which parallel workers share
+// rather than multiply (an Amdahl split with the paper's own cost terms).
+
+// parallelTail returns the CPU (µs) that stays on the coordinator at any
+// worker count: the final result iteration plus, for aggregations, emitting
+// the sorted group tuples.
+func (m Constants) parallelTail(in SelectionInputs) float64 {
+	tail := m.OutputIteration(in.outTuples())
+	if in.Aggregating {
+		tail += in.Groups * m.TICTUP
+	}
+	return tail
+}
+
+// parallelMergeOverhead returns the extra CPU (µs) parallel execution adds
+// that serial execution never pays: concatenating per-morsel row partials
+// (one extra copy of every output value — the Figure 5 merge formula
+// reused), or folding W partial aggregate states (each contributes up to
+// Groups entries).
+func (m Constants) parallelMergeOverhead(in SelectionInputs, w float64) float64 {
+	if in.Aggregating {
+		return w * in.Groups * m.TICTUP
+	}
+	return m.Merge(in.outTuples(), 2)
+}
+
+// ParallelSelectionCost predicts the cost of the selection under strategy s
+// at the given worker count: the morsel-parallel plan CPU divides across
+// workers, the coordinator tail and partial-merge overhead do not, and the
+// I/O term is unchanged (one disk arm serves all workers; with a warm pool,
+// F=1 and the term is zero anyway). workers <= 1 reproduces SelectionCost.
+func (m Constants) ParallelSelectionCost(s core.Strategy, in SelectionInputs, workers int) Cost {
+	c := m.SelectionCost(s, in)
+	if workers <= 1 {
+		return c
+	}
+	w := float64(workers)
+	tail := m.parallelTail(in)
+	body := c.CPU - tail
+	if body < 0 {
+		body = 0
+	}
+	c.CPU = body/w + tail + m.parallelMergeOverhead(in, w)
+	return c
+}
+
+// AdviseParallel returns the strategy with the lowest predicted total cost
+// at the given worker count. Parallelism can move the crossover: strategies
+// whose serial disadvantage is plan-body CPU (e.g. EM-parallel's eager
+// tuple construction) regain ground as W grows, while coordinator-tail
+// costs (output iteration) stay fixed.
+func (m Constants) AdviseParallel(in SelectionInputs, workers int) (core.Strategy, Cost) {
+	best := core.EMParallel
+	bestCost := m.ParallelSelectionCost(best, in, workers)
+	for _, s := range []core.Strategy{core.EMPipelined, core.LMPipelined, core.LMParallel} {
+		if c := m.ParallelSelectionCost(s, in, workers); c.Total() < bestCost.Total() {
+			best, bestCost = s, c
+		}
+	}
+	return best, bestCost
+}
+
+// Speedup returns the predicted parallel speedup of strategy s at the given
+// worker count (serial total / parallel total).
+func (m Constants) Speedup(s core.Strategy, in SelectionInputs, workers int) float64 {
+	serial := m.SelectionCost(s, in).Total()
+	par := m.ParallelSelectionCost(s, in, workers).Total()
+	if par <= 0 {
+		return 1
+	}
+	return serial / par
+}

@@ -1,0 +1,95 @@
+package model
+
+import (
+	"testing"
+
+	"matstore/internal/core"
+)
+
+func parallelInputs(agg bool) SelectionInputs {
+	col := ColumnStats{Blocks: 100, Tuples: 800_000, RunLen: 1, F: 1}
+	in := SelectionInputs{
+		A: col, B: col, SFA: 0.1, SFB: 0.96,
+		PosRunsA: 100, PosRunsB: 10,
+	}
+	if agg {
+		in.Aggregating = true
+		in.Groups = 50
+	}
+	return in
+}
+
+func TestParallelCostMatchesSerialAtOneWorker(t *testing.T) {
+	in := parallelInputs(false)
+	m := Default()
+	for _, s := range core.Strategies {
+		serial := m.SelectionCost(s, in)
+		for _, w := range []int{0, 1} {
+			if got := m.ParallelSelectionCost(s, in, w); got != serial {
+				t.Errorf("%v workers=%d: %v, want serial %v", s, w, got, serial)
+			}
+		}
+	}
+}
+
+func TestParallelCostDecreasesWithWorkers(t *testing.T) {
+	m := Default()
+	for _, agg := range []bool{false, true} {
+		in := parallelInputs(agg)
+		for _, s := range core.Strategies {
+			prev := m.ParallelSelectionCost(s, in, 1).Total()
+			for _, w := range []int{2, 4, 8} {
+				cur := m.ParallelSelectionCost(s, in, w).Total()
+				if cur >= prev {
+					t.Errorf("agg=%v %v: cost at %d workers (%.1f) not below previous (%.1f)",
+						agg, s, w, cur, prev)
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+func TestParallelCostKeepsIOUnscaled(t *testing.T) {
+	// Cold pool: the disk-arm term must not divide across workers.
+	in := parallelInputs(false)
+	in.A.F = 0
+	in.B.F = 0
+	m := Default()
+	for _, s := range core.Strategies {
+		serial := m.SelectionCost(s, in)
+		par := m.ParallelSelectionCost(s, in, 8)
+		if par.IO != serial.IO {
+			t.Errorf("%v: parallel IO %.1f, serial IO %.1f", s, par.IO, serial.IO)
+		}
+	}
+}
+
+func TestParallelSpeedupBoundedByWorkers(t *testing.T) {
+	m := Default()
+	in := parallelInputs(false)
+	for _, s := range core.Strategies {
+		for _, w := range []int{2, 4, 16} {
+			sp := m.Speedup(s, in, w)
+			if sp <= 1 || sp > float64(w) {
+				t.Errorf("%v: speedup at %d workers = %.2f, want in (1, %d]", s, w, sp, w)
+			}
+		}
+	}
+}
+
+func TestAdviseParallelPicksMinimum(t *testing.T) {
+	m := Default()
+	for _, agg := range []bool{false, true} {
+		in := parallelInputs(agg)
+		for _, w := range []int{1, 4} {
+			best, bestCost := m.AdviseParallel(in, w)
+			for _, s := range core.Strategies {
+				if c := m.ParallelSelectionCost(s, in, w); c.Total() < bestCost.Total() {
+					t.Errorf("agg=%v workers=%d: Best=%v(%.1f) but %v is cheaper (%.1f)",
+						agg, w, best, bestCost.Total(), s, c.Total())
+				}
+			}
+		}
+	}
+}

@@ -128,6 +128,34 @@ func (a *Aggregator) AddRun(key int64, st encoding.RunStats) {
 // Groups returns the number of distinct keys seen.
 func (a *Aggregator) Groups() int { return len(a.m) }
 
+// Mergeable is the mergeable-state contract the morsel-parallel executor
+// relies on: a per-worker partial result that can absorb another partial
+// computed over a disjoint position range. Merging any partition of the
+// input must yield the same state as processing the input in one shot.
+// (Row partials merge through rows.Result.Append and position partials
+// through positions.Concat; the aggregator is the operator whose state
+// needs this contract.)
+type Mergeable[T any] interface {
+	Merge(other T)
+}
+
+var _ Mergeable[*Aggregator] = (*Aggregator)(nil)
+
+// Merge absorbs another aggregator's partial state: per-key statistics
+// combine exactly (sums and counts add, min/max fold), so merging N
+// per-morsel partials equals single-shot aggregation for every AggFunc.
+// The other aggregator must not be used afterwards.
+func (a *Aggregator) Merge(other *Aggregator) {
+	if other == nil {
+		return
+	}
+	for k, st := range other.m {
+		a.add(k, st)
+	}
+	a.TuplesIn += other.TuplesIn
+	a.RunsIn += other.RunsIn
+}
+
 // Emit materializes the aggregate result, sorted by key, with the given
 // output column names. These are the only tuples an LM aggregation plan
 // ever constructs.

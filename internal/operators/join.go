@@ -5,6 +5,7 @@ import (
 
 	"matstore/internal/datasource"
 	"matstore/internal/encoding"
+	"matstore/internal/exec"
 	"matstore/internal/positions"
 	"matstore/internal/pred"
 	"matstore/internal/rows"
@@ -129,6 +130,10 @@ type JoinStats struct {
 	// LeftProbes is the number of left tuples passing the left predicate
 	// and probed against the hash table.
 	LeftProbes int64
+	// Workers is the effective probe-phase worker count.
+	Workers int
+	// Morsels is the number of outer-table morsels probed.
+	Morsels int
 	// OutputTuples is the number of join result tuples.
 	OutputTuples int64
 	// RightBuildTuples is the number of right tuples constructed at build.
@@ -147,6 +152,11 @@ type JoinSpec struct {
 	LeftOutputs []NamedColumn
 	Right       *RightTable
 	ChunkSize   int64
+	// Workers is the probe-phase parallelism (0 = one worker per CPU): the
+	// outer table is split into chunk-aligned morsels probed concurrently
+	// against the shared read-only hash side, and per-morsel outputs are
+	// concatenated in block order.
+	Workers int
 }
 
 // NamedColumn pairs an output name with its stored column.
@@ -170,14 +180,82 @@ func RunHashJoin(spec JoinSpec) (*rows.Result, JoinStats, error) {
 		outNames = append(outNames, nc.Name)
 	}
 	outNames = append(outNames, rt.payload...)
-	res := rows.NewResult(outNames...)
-
-	// Deferred right-position list for the single-column strategy:
-	// rightPosPending[i] is the right position for result row i.
-	var rightPosPending []int64
 	deferred := rt.strategy == RightSingleColumn
 
-	ch := datasource.NewChunker(spec.LeftKey.Extent(), spec.ChunkSize)
+	// Probe phase: morsels of the outer table probe the (read-only) hash
+	// side concurrently; each produces a partial result plus, for the
+	// single-column strategy, its slice of the deferred right-position list.
+	workers := exec.Resolve(spec.Workers)
+	morsels := exec.Morsels(spec.LeftKey.Extent(), spec.ChunkSize, workers)
+	if workers > len(morsels) {
+		workers = len(morsels)
+	}
+	stats.Workers = workers
+	stats.Morsels = len(morsels)
+	type probePartial struct {
+		res     *rows.Result
+		pending []int64
+		stats   JoinStats
+	}
+	parts := make([]*probePartial, len(morsels))
+	err := exec.Run(workers, len(morsels), func(i int) error {
+		pt := &probePartial{res: rows.NewResult(outNames...)}
+		if err := probeMorsel(spec, morsels[i], outNames, pt.res, &pt.pending, &pt.stats); err != nil {
+			return err
+		}
+		parts[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	if len(parts) == 0 {
+		// Empty outer table: no morsels to probe; the join result is empty.
+		parts = []*probePartial{{res: rows.NewResult(outNames...)}}
+	}
+
+	// Merge in morsel order: result rows concatenate in left block order,
+	// and the deferred position list concatenates alongside so pending[i]
+	// stays the right position of result row i.
+	res := parts[0].res
+	rightPosPending := parts[0].pending
+	stats.LeftProbes += parts[0].stats.LeftProbes
+	stats.OutputTuples += parts[0].stats.OutputTuples
+	for _, pt := range parts[1:] {
+		if err := res.Append(pt.res); err != nil {
+			return nil, stats, err
+		}
+		rightPosPending = append(rightPosPending, pt.pending...)
+		stats.LeftProbes += pt.stats.LeftProbes
+		stats.OutputTuples += pt.stats.OutputTuples
+	}
+
+	if deferred {
+		// Post-join fetch of right payloads at out-of-order positions: each
+		// jump re-accesses the stored column through the buffer pool.
+		base := len(spec.LeftOutputs)
+		for c := range rt.payload {
+			col := rt.cols[c]
+			dst := res.Cols[base+c]
+			for i, rpos := range rightPosPending {
+				v, err := col.ValueAt(rpos)
+				if err != nil {
+					return nil, stats, err
+				}
+				dst[i] = v
+				stats.DeferredFetches++
+			}
+		}
+	}
+	return res, stats, nil
+}
+
+// probeMorsel runs the chunk-at-a-time probe loop over one morsel of the
+// outer table, appending matches to res (and, for the single-column
+// strategy, right positions to *pending, aligned with res rows).
+func probeMorsel(spec JoinSpec, morsel positions.Range, outNames []string, res *rows.Result, pending *[]int64, stats *JoinStats) error {
+	rt := spec.Right
+	ch := datasource.NewChunker(morsel, spec.ChunkSize)
 	ds1 := datasource.DS1{Col: spec.LeftKey, Pred: spec.LeftPred}
 	var keyBuf []int64
 	row := make([]int64, len(outNames))
@@ -186,7 +264,7 @@ func RunHashJoin(spec JoinSpec) (*rows.Result, JoinStats, error) {
 		r := ch.Chunk(ci)
 		ps, _, err := ds1.ScanChunk(r)
 		if err != nil {
-			return nil, stats, err
+			return err
 		}
 		if ps.Count() == 0 {
 			continue
@@ -195,12 +273,12 @@ func RunHashJoin(spec JoinSpec) (*rows.Result, JoinStats, error) {
 		leftMinis := make([]encoding.MiniColumn, len(spec.LeftOutputs))
 		for i, nc := range spec.LeftOutputs {
 			if leftMinis[i], err = nc.Col.Window(r); err != nil {
-				return nil, stats, err
+				return err
 			}
 		}
 		keyMini, err := spec.LeftKey.Window(r)
 		if err != nil {
-			return nil, stats, err
+			return err
 		}
 		it := ps.Runs()
 		for {
@@ -230,7 +308,7 @@ func RunHashJoin(spec JoinSpec) (*rows.Result, JoinStats, error) {
 						for c := range rt.payload {
 							row[base+c] = 0 // filled in post-pass
 						}
-						rightPosPending = append(rightPosPending, rpos)
+						*pending = append(*pending, rpos)
 					}
 					res.AppendRow(row...)
 					stats.OutputTuples++
@@ -238,22 +316,5 @@ func RunHashJoin(spec JoinSpec) (*rows.Result, JoinStats, error) {
 			}
 		}
 	}
-
-	if deferred {
-		// Post-join fetch of right payloads at out-of-order positions: each
-		// jump re-accesses the stored column through the buffer pool.
-		for c := range rt.payload {
-			col := rt.cols[c]
-			dst := res.Cols[base+c]
-			for i, rpos := range rightPosPending {
-				v, err := col.ValueAt(rpos)
-				if err != nil {
-					return nil, stats, err
-				}
-				dst[i] = v
-				stats.DeferredFetches++
-			}
-		}
-	}
-	return res, stats, nil
+	return nil
 }

@@ -1,0 +1,88 @@
+package positions
+
+import "fmt"
+
+// Concat merges position sets over strictly increasing, non-overlapping
+// covering ranges into one set — the positions-domain merge of the
+// morsel-parallel executor: each worker produces a position list over its
+// own block range, and concatenating the per-morsel lists in block order
+// reproduces exactly the list a sequential scan would have built.
+//
+// Inputs must be ordered by covering range (each set's positions strictly
+// after the previous set's); empty sets are skipped wherever they appear.
+// Fast paths keep the natural representations: all-Ranges inputs append
+// without conversion (coalescing at the seams), all-List inputs append, and
+// mixed or bitmap inputs fall back to a run-order Builder, which re-picks
+// the best representation for the combined shape.
+func Concat(parts ...Set) Set {
+	live := parts[:0]
+	var last int64 = -1 << 62
+	for _, p := range parts {
+		if p == nil || p.Count() == 0 {
+			continue
+		}
+		cov := p.Covering()
+		if cov.Start < last {
+			panic(fmt.Sprintf("positions: Concat input covering %v overlaps previous end %d", cov, last))
+		}
+		last = cov.End
+		live = append(live, p)
+	}
+	switch len(live) {
+	case 0:
+		return Empty{}
+	case 1:
+		return live[0]
+	}
+
+	allRanges, allLists := true, true
+	for _, p := range live {
+		switch p.Kind() {
+		case KindRanges:
+			allLists = false
+		case KindList:
+			allRanges = false
+		default:
+			allRanges, allLists = false, false
+		}
+	}
+	if allRanges {
+		out := make(Ranges, 0, len(live)*2)
+		for _, p := range live {
+			for _, r := range p.(Ranges) {
+				if n := len(out); n > 0 && r.Start <= out[n-1].End {
+					// Coalesce runs that touch at a morsel seam.
+					if r.End > out[n-1].End {
+						out[n-1].End = r.End
+					}
+					continue
+				}
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	if allLists {
+		var n int64
+		for _, p := range live {
+			n += p.Count()
+		}
+		out := make(List, 0, n)
+		for _, p := range live {
+			out = append(out, p.(List)...)
+		}
+		return out
+	}
+	b := NewBuilder(Range{live[0].Covering().Start, live[len(live)-1].Covering().End})
+	for _, p := range live {
+		it := p.Runs()
+		for {
+			r, ok := it.Next()
+			if !ok {
+				break
+			}
+			b.AddRange(r)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,109 @@
+package positions
+
+import "testing"
+
+func TestConcatRanges(t *testing.T) {
+	a := NewRanges(Range{0, 10}, Range{20, 30})
+	b := NewRanges(Range{40, 50})
+	got := Concat(a, b)
+	want := NewRanges(Range{0, 10}, Range{20, 30}, Range{40, 50})
+	if !Equal(got, want) {
+		t.Errorf("Concat = %v, want %v", got, want)
+	}
+	if got.Kind() != KindRanges {
+		t.Errorf("Concat kind = %v, want ranges", got.Kind())
+	}
+}
+
+func TestConcatCoalescesSeam(t *testing.T) {
+	// A run ending exactly at a morsel boundary continues in the next
+	// morsel: the concatenation must coalesce it, matching what a
+	// sequential builder over the whole extent would produce.
+	a := NewRanges(Range{0, 64})
+	b := NewRanges(Range{64, 128})
+	got := Concat(a, b)
+	if got.Kind() != KindRanges {
+		t.Fatalf("kind = %v", got.Kind())
+	}
+	rs := got.(Ranges)
+	if len(rs) != 1 || rs[0] != (Range{0, 128}) {
+		t.Errorf("Concat = %v, want one run [0,128)", rs)
+	}
+}
+
+func TestConcatLists(t *testing.T) {
+	got := Concat(NewList(1, 5, 9), NewList(100, 200), NewList(300))
+	want := NewList(1, 5, 9, 100, 200, 300)
+	if !Equal(got, want) {
+		t.Errorf("Concat = %v, want %v", got, want)
+	}
+	if got.Kind() != KindList {
+		t.Errorf("kind = %v, want list", got.Kind())
+	}
+}
+
+func TestConcatMixedRepresentations(t *testing.T) {
+	bm := NewBitmap(64, 64)
+	bm.Set(70)
+	bm.Set(100)
+	got := Concat(NewRanges(Range{0, 10}), bm, NewList(130, 140))
+	want := NewList(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 70, 100, 130, 140)
+	if !Equal(got, want) {
+		t.Errorf("Concat = %v, want %v", Slice(got), Slice(want))
+	}
+}
+
+func TestConcatSkipsEmpty(t *testing.T) {
+	got := Concat(Empty{}, NewRanges(Range{5, 10}), Empty{}, nil, NewRanges(Range{20, 25}))
+	want := NewRanges(Range{5, 10}, Range{20, 25})
+	if !Equal(got, want) {
+		t.Errorf("Concat = %v, want %v", got, want)
+	}
+}
+
+func TestConcatAllEmpty(t *testing.T) {
+	if got := Concat(Empty{}, Empty{}); got.Count() != 0 {
+		t.Errorf("Concat of empties has %d positions", got.Count())
+	}
+	if got := Concat(); got.Count() != 0 {
+		t.Errorf("Concat of nothing has %d positions", got.Count())
+	}
+}
+
+func TestConcatSingleInputPassesThrough(t *testing.T) {
+	in := NewList(3, 7)
+	if got := Concat(Empty{}, in); !Equal(got, in) {
+		t.Errorf("Concat = %v", got)
+	}
+}
+
+func TestConcatRejectsOverlap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("overlapping Concat did not panic")
+		}
+	}()
+	Concat(NewRanges(Range{0, 100}), NewRanges(Range{50, 150}))
+}
+
+func TestConcatMatchesSequentialBuilder(t *testing.T) {
+	// Build the same position stream once sequentially and once as three
+	// per-morsel sets; Concat of the parts must equal the sequential set.
+	runs := []Range{{0, 5}, {63, 65}, {100, 130}, {128, 140}, {300, 301}, {512, 600}}
+	seq := NewBuilder(Range{0, 640})
+	for _, r := range runs {
+		seq.AddRange(r)
+	}
+	morsels := []Range{{0, 128}, {128, 512}, {512, 640}}
+	parts := make([]Set, len(morsels))
+	for i, m := range morsels {
+		b := NewBuilder(m)
+		for _, r := range runs {
+			b.AddRange(r.Intersect(m))
+		}
+		parts[i] = b.Build()
+	}
+	if got, want := Concat(parts...), seq.Build(); !Equal(got, want) {
+		t.Errorf("Concat = %v, want %v", Slice(got), Slice(want))
+	}
+}

@@ -92,6 +92,25 @@ func (r *Result) Col(name string) ([]int64, error) {
 	return nil, fmt.Errorf("rows: result has no column %q", name)
 }
 
+// Append concatenates another result with the same schema onto r — the
+// rows-domain merge of the morsel-parallel executor. Partial results are
+// appended in morsel order (ascending starting position), which reproduces
+// the row order of a sequential scan.
+func (r *Result) Append(o *Result) error {
+	if len(o.Cols) != len(r.Cols) {
+		return fmt.Errorf("rows: append arity %d, want %d", len(o.Cols), len(r.Cols))
+	}
+	for i, n := range o.Columns {
+		if r.Columns[i] != n {
+			return fmt.Errorf("rows: append column %d is %q, want %q", i, n, r.Columns[i])
+		}
+	}
+	for i := range r.Cols {
+		r.Cols[i] = append(r.Cols[i], o.Cols[i]...)
+	}
+	return nil
+}
+
 // Row materializes row i (mainly for tests and display).
 func (r *Result) Row(i int) []int64 {
 	out := make([]int64, len(r.Cols))

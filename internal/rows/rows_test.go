@@ -94,3 +94,31 @@ func TestResultAppendArityPanics(t *testing.T) {
 	}()
 	NewResult("x").AppendRow(1, 2)
 }
+
+func TestResultAppendResult(t *testing.T) {
+	a := NewResult("x", "y")
+	a.AppendRow(1, 10)
+	a.AppendRow(2, 20)
+	b := NewResult("x", "y")
+	b.AppendRow(3, 30)
+	if err := a.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows() != 3 || a.Cols[0][2] != 3 || a.Cols[1][2] != 30 {
+		t.Errorf("after Append: %+v", a)
+	}
+	// Appending an empty partial is a no-op.
+	if err := a.Append(NewResult("x", "y")); err != nil || a.NumRows() != 3 {
+		t.Errorf("empty append: rows=%d err=%v", a.NumRows(), err)
+	}
+}
+
+func TestResultAppendSchemaMismatch(t *testing.T) {
+	a := NewResult("x", "y")
+	if err := a.Append(NewResult("x")); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := a.Append(NewResult("x", "z")); err == nil {
+		t.Error("column-name mismatch accepted")
+	}
+}

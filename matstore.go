@@ -9,6 +9,14 @@
 // LM-parallel — and implements the paper's analytical cost model, which can
 // advise the best strategy for a query.
 //
+// Query execution is morsel-parallel: the position space is partitioned
+// into contiguous, chunk-aligned block ranges executed by a worker pool,
+// and per-morsel partial results are merged deterministically (row partials
+// concatenate in block order; aggregate partials combine through a
+// mergeable-state contract), so results are byte-identical at every
+// parallelism level. Query.Parallelism picks the worker count: 0 means one
+// worker per CPU, 1 forces the paper's serial chunk-at-a-time execution.
+//
 // Quick start:
 //
 //	matstore.Generate(dir, 0.01, 42)              // TPC-H-shaped sample data
@@ -20,6 +28,7 @@
 //			{Col: "shipdate", Pred: matstore.LessThan(400)},
 //			{Col: "linenum", Pred: matstore.LessThan(7)},
 //		},
+//		Parallelism: 0, // morsel-parallel across all CPUs
 //	}, matstore.LMParallel)
 package matstore
 
