@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench
+.PHONY: ci build vet test race bench bench-json
 
 ci: build vet test race
 
@@ -23,3 +23,13 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...
+
+# bench-json records the scan/gather kernel microbenchmarks as a JSON perf
+# snapshot (name → ns/op, allocs/op; min of 3 runs). Not part of the tier-1
+# gate — run it when touching a hot path and check in the updated
+# BENCH_PR<N>.json so the perf trajectory stays diffable.
+BENCH_JSON ?= BENCH_PR2.json
+bench-json:
+	$(GO) test -run xxx -bench 'Filter|Gather|Extract|SumRange|And|BitmapRunIteration|Builder' \
+		-benchtime 1x -count 3 ./internal/encoding ./internal/storage ./internal/positions \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_JSON)

@@ -94,6 +94,7 @@ func selQuery(enc encoding.Kind, sel float64, agg bool) matstore.Query {
 
 func runSelect(b *testing.B, db *matstore.DB, q matstore.Query, s matstore.Strategy) {
 	b.Helper()
+	b.ReportAllocs()
 	var sink int64
 	for i := 0; i < b.N; i++ {
 		_, stats, err := db.Select(tpch.LineitemProj, q, s)
@@ -109,6 +110,7 @@ func runSelect(b *testing.B, db *matstore.DB, q matstore.Query, s matstore.Strat
 // four CPU constants of the analytical model.
 func BenchmarkTable2Constants(b *testing.B) {
 	b.Run("FC/function-call", func(b *testing.B) {
+		b.ReportAllocs()
 		var acc int64
 		f := func(x int64) int64 { return x + 1 }
 		for i := 0; i < b.N; i++ {
@@ -117,6 +119,7 @@ func BenchmarkTable2Constants(b *testing.B) {
 		_ = acc
 	})
 	b.Run("TICCOL/column-iterator", func(b *testing.B) {
+		b.ReportAllocs()
 		vals := make([]int64, 1<<16)
 		var acc int64
 		for i := 0; i < b.N; i++ {
@@ -125,6 +128,7 @@ func BenchmarkTable2Constants(b *testing.B) {
 		_ = acc
 	})
 	b.Run("TICTUP/tuple-iterator", func(b *testing.B) {
+		b.ReportAllocs()
 		x := make([]int64, 1<<16)
 		y := make([]int64, 1<<16)
 		type tup struct{ a, b int64 }
@@ -150,6 +154,7 @@ func BenchmarkTable2Constants(b *testing.B) {
 }
 
 func runSelectRaw(b *testing.B, db *matstore.DB, q matstore.Query) {
+	b.ReportAllocs()
 	var sink int64
 	for i := 0; i < b.N; i++ {
 		_, stats, err := db.Select(tpch.LineitemProj, q, matstore.LMParallel)
@@ -242,6 +247,7 @@ func BenchmarkFig13(b *testing.B) {
 				RightOutput: []string{tpch.ColNationcode},
 			}
 			b.Run(fmt.Sprintf("%s/sel=%.1f", rs, sel), func(b *testing.B) {
+				b.ReportAllocs()
 				var sink int64
 				for i := 0; i < b.N; i++ {
 					_, stats, err := db.Join(tpch.OrdersProj, tpch.CustomerProj, q, rs)
@@ -404,6 +410,7 @@ func BenchmarkJoinBuildSide(b *testing.B) {
 		operators.RightMaterialized, operators.RightMultiColumn, operators.RightSingleColumn,
 	} {
 		b.Run(rs.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				stats, err := e.JoinStatsAt(0.5, rs)
 				if err != nil {

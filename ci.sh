@@ -7,3 +7,8 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/...
+
+# Smoke-check the perf-recording pipeline (not a perf gate: single run,
+# throwaway output). `make bench-json` writes the real BENCH_PR<N>.json.
+go test -run xxx -bench 'BenchmarkFilterPlain$' -benchtime 1x ./internal/encoding \
+	| go run ./cmd/benchjson -o /tmp/bench_smoke.json

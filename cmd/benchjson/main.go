@@ -1,0 +1,100 @@
+// Command benchjson converts `go test -bench` text output (read from stdin)
+// into a JSON perf record: benchmark name → {ns_op, allocs_op, b_op,
+// samples}. With -count > 1 runs, the minimum ns/op across samples is kept
+// (the least-noise estimate on a shared CI box) along with every sample, so
+// BENCH_<PR>.json files checked in per PR form a perf trajectory that can be
+// diffed mechanically.
+//
+// Usage:
+//
+//	go test -bench Filter -benchtime 1x -count 3 ./... | benchjson -o BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// benchLine matches e.g.
+//
+//	BenchmarkFilterPlain-4   	     300	     47420 ns/op	    8768 B/op	       4 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) model_ms/op)?(?:\s+([0-9]+) B/op)?(?:\s+([0-9]+) allocs/op)?`)
+
+// Entry is the recorded result for one benchmark.
+type Entry struct {
+	NsOp     float64   `json:"ns_op"`               // minimum across samples
+	AllocsOp *int64    `json:"allocs_op,omitempty"` // from the min-ns sample
+	BOp      *int64    `json:"b_op,omitempty"`
+	Samples  []float64 `json:"samples_ns_op"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	entries := map[string]*Entry{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the log
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		e := entries[name]
+		if e == nil {
+			e = &Entry{NsOp: ns}
+			entries[name] = e
+		}
+		e.Samples = append(e.Samples, ns)
+		if ns <= e.NsOp || len(e.Samples) == 1 {
+			e.NsOp = ns
+			if m[4] != "" {
+				b, _ := strconv.ParseInt(m[4], 10, 64)
+				e.BOp = &b
+			}
+			if m[5] != "" {
+				a, _ := strconv.ParseInt(m[5], 10, 64)
+				e.AllocsOp = &a
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	// encoding/json marshals map keys in sorted order, so the file is
+	// deterministic and diffable as-is.
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(entries), *out)
+}

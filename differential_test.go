@@ -14,6 +14,7 @@ import (
 
 	"matstore"
 	"matstore/internal/core"
+	"matstore/internal/pred"
 	"matstore/internal/tpch"
 )
 
@@ -224,6 +225,103 @@ func TestDifferentialJoinParallelism(t *testing.T) {
 				}
 			} else if !reflect.DeepEqual(rowsSorted, ref) {
 				t.Errorf("%v/par=%d join result disagrees", rs, par)
+			}
+		}
+	}
+}
+
+// TestDifferentialOpSelectivitySweep is the end-to-end acceptance grid for
+// the compiled scan/gather kernels: every pred.Op at selectivities spanning
+// {0, ~0.01, ~0.5, ~0.99, 1}, under all four strategies × parallelism
+// {1, 4}. EM-parallel runs the retained scalar SPC loop while the other
+// strategies run the compiled kernels and batched gathers, so agreement here
+// checks compiled-vs-scalar equivalence through whole query plans (filter →
+// position set → gather → merge), not just per-operator.
+func TestDifferentialOpSelectivitySweep(t *testing.T) {
+	db := diffDB(t)
+	sels := []float64{0, 0.01, 0.5, 0.99, 1}
+	for _, tc := range []struct {
+		name  string
+		preds func(sel float64) matstore.Predicate
+	}{
+		{"all", func(float64) matstore.Predicate { return matstore.MatchAll }},
+		{"none", func(float64) matstore.Predicate { return matstore.Predicate{Op: pred.None} }},
+		{"lt", func(s float64) matstore.Predicate { return matstore.LessThan(tpch.ShipdateForSelectivity(s)) }},
+		{"le", func(s float64) matstore.Predicate { return matstore.AtMost(tpch.ShipdateForSelectivity(s) - 1) }},
+		{"eq", func(s float64) matstore.Predicate { return matstore.Equals(tpch.ShipdateForSelectivity(s)) }},
+		{"ne", func(s float64) matstore.Predicate { return matstore.NotEquals(tpch.ShipdateForSelectivity(s)) }},
+		{"ge", func(s float64) matstore.Predicate { return matstore.AtLeast(tpch.ShipdateForSelectivity(1 - s)) }},
+		{"gt", func(s float64) matstore.Predicate { return matstore.GreaterThan(tpch.ShipdateForSelectivity(1-s) - 1) }},
+		{"between", func(s float64) matstore.Predicate {
+			lo := tpch.ShipdateForSelectivity((1 - s) / 2)
+			hi := tpch.ShipdateForSelectivity((1 + s) / 2)
+			return matstore.InRange(lo, hi)
+		}},
+	} {
+		for _, sel := range sels {
+			q := matstore.Query{
+				// Outputs cover all three encodings, so materialization runs
+				// the plain, RLE and bit-vector gather kernels.
+				Output: []string{tpch.ColShipdate, tpch.ColLinenumRLE, tpch.ColLinenumBV, tpch.ColQuantity},
+				Filters: []matstore.Filter{
+					{Col: tpch.ColShipdate, Pred: tc.preds(sel)},
+					{Col: tpch.ColQuantity, Pred: matstore.LessThan(45)},
+				},
+			}
+			t.Run(fmt.Sprintf("%s/sel=%v", tc.name, sel), func(t *testing.T) {
+				var ref [][]int64
+				var refName string
+				for _, s := range matstore.Strategies {
+					for _, par := range []int{1, 4} {
+						q.Parallelism = par
+						res, _, err := db.Select(tpch.LineitemProj, q, s)
+						if err != nil {
+							t.Fatalf("%v/par=%d: %v", s, par, err)
+						}
+						rowsSorted := sortedRows(res)
+						if ref == nil {
+							ref, refName = rowsSorted, fmt.Sprintf("%v/par=%d", s, par)
+						} else if !reflect.DeepEqual(rowsSorted, ref) {
+							t.Errorf("%v/par=%d disagrees with %s", s, par, refName)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialJoinSelectivitySweep sweeps the outer predicate across the
+// selectivity grid for all three inner-table strategies: at every point the
+// single-column strategy's batched deferred fetch (dense and sparse shapes,
+// including the empty-pending case) must agree with the materialized and
+// multi-column strategies.
+func TestDifferentialJoinSelectivitySweep(t *testing.T) {
+	db := diffDB(t)
+	for _, sel := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		q := matstore.JoinQuery{
+			LeftKey:     "custkey",
+			LeftPred:    matstore.LessThan(tpch.CustkeyForSelectivity(sel, 1500)),
+			LeftOutput:  []string{"shipdate"},
+			RightKey:    "custkey",
+			RightOutput: []string{"nationcode"},
+		}
+		var ref [][]int64
+		for _, rs := range []matstore.RightStrategy{
+			matstore.RightMaterialized, matstore.RightMultiColumn, matstore.RightSingleColumn,
+		} {
+			for _, par := range []int{1, 4} {
+				q.Parallelism = par
+				res, _, err := db.Join("orders", "customer", q, rs)
+				if err != nil {
+					t.Fatalf("sel=%v %v/par=%d: %v", sel, rs, par, err)
+				}
+				rowsSorted := sortedRows(res)
+				if ref == nil {
+					ref = rowsSorted
+				} else if !reflect.DeepEqual(rowsSorted, ref) {
+					t.Errorf("sel=%v %v/par=%d join result disagrees", sel, rs, par)
+				}
 			}
 		}
 	}

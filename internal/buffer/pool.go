@@ -66,6 +66,8 @@ type entry struct {
 	key  Key
 	val  any
 	size int64
+	// pins counts outstanding Pin holds; pinned entries are never evicted.
+	pins int
 }
 
 // New returns a pool bounded to capBytes of decoded-block payload.
@@ -90,11 +92,47 @@ func (p *Pool) RegisterFile() uint64 {
 // Get returns the cached value for key, loading and caching it via load on a
 // miss. load returns the decoded block and its approximate size in bytes.
 func (p *Pool) Get(key Key, load func() (any, int64, error)) (any, error) {
+	return p.get(key, load, false)
+}
+
+// Pin is Get plus a pin: the returned block cannot be evicted until a
+// matching Unpin. Batched gathers pin each decoded block once and then copy
+// from it with tight loops — one lock round-trip per block instead of one
+// per position. Pins nest; each Pin needs its own Unpin.
+func (p *Pool) Pin(key Key, load func() (any, int64, error)) (any, error) {
+	return p.get(key, load, true)
+}
+
+// Unpin releases one pin on key. Unpinning a key that is no longer cached
+// (e.g. after Drop) is a no-op.
+func (p *Pool) Unpin(key Key) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.m[key]
+	if !ok {
+		return
+	}
+	e := el.Value.(*entry)
+	if e.pins > 0 {
+		e.pins--
+		if e.pins == 0 {
+			// The pool may have been over capacity while the pin blocked
+			// eviction; settle up now.
+			p.evictLocked()
+		}
+	}
+}
+
+func (p *Pool) get(key Key, load func() (any, int64, error), pin bool) (any, error) {
 	p.mu.Lock()
 	if el, ok := p.m[key]; ok {
 		p.lru.MoveToFront(el)
 		p.stats.Hits++
-		v := el.Value.(*entry).val
+		e := el.Value.(*entry)
+		if pin {
+			e.pins++
+		}
+		v := e.val
 		p.mu.Unlock()
 		return v, nil
 	}
@@ -118,29 +156,44 @@ func (p *Pool) Get(key Key, load func() (any, int64, error)) (any, error) {
 	if el, ok := p.m[key]; ok {
 		// Raced with another loader; keep the existing entry.
 		p.lru.MoveToFront(el)
-		return el.Value.(*entry).val, nil
+		e := el.Value.(*entry)
+		if pin {
+			e.pins++
+		}
+		return e.val, nil
 	}
-	p.m[key] = p.lru.PushFront(&entry{key: key, val: val, size: size})
+	e := &entry{key: key, val: val, size: size}
+	if pin {
+		e.pins = 1
+	}
+	p.m[key] = p.lru.PushFront(e)
 	p.used += size
 	p.stats.BytesCached = p.used
 	p.evictLocked()
 	return val, nil
 }
 
-// evictLocked drops least-recently-used entries until within capacity,
-// always retaining at least one entry so a block larger than the capacity
-// can still be served.
+// evictLocked drops least-recently-used unpinned entries until within
+// capacity. The front (most-recent) entry is never evicted — that both
+// retains at least one entry so a block larger than the capacity can still
+// be served, and protects the entry the current Get is about to return when
+// pinned entries hold the pool over budget. Pinned entries are skipped; a
+// pool whose overflow is entirely pinned stays temporarily over capacity
+// until Unpin.
 func (p *Pool) evictLocked() {
 	if p.capBytes <= 0 {
 		return
 	}
-	for p.used > p.capBytes && p.lru.Len() > 1 {
-		el := p.lru.Back()
-		e := el.Value.(*entry)
-		p.lru.Remove(el)
-		delete(p.m, e.key)
-		p.used -= e.size
-		p.stats.Evictions++
+	el := p.lru.Back()
+	for p.used > p.capBytes && el != nil && el != p.lru.Front() {
+		prev := el.Prev()
+		if e := el.Value.(*entry); e.pins == 0 {
+			p.lru.Remove(el)
+			delete(p.m, e.key)
+			p.used -= e.size
+			p.stats.Evictions++
+		}
+		el = prev
 	}
 	p.stats.BytesCached = p.used
 }

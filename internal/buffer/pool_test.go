@@ -187,3 +187,120 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("total accesses = %d, want 1600", got)
 	}
 }
+
+// TestPinBlocksEviction: pinned entries survive arbitrary capacity pressure;
+// unpinning settles the pool back under its budget.
+func TestPinBlocksEviction(t *testing.T) {
+	p := New(250) // room for two 100-byte blocks (plus the keep-one rule)
+	f := p.RegisterFile()
+	if _, err := p.Pin(Key{f, 0}, load(0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// Flood the pool: block 0 is pinned and must survive.
+	for i := 1; i <= 10; i++ {
+		if _, err := p.Get(Key{f, i}, load(i, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.Contains(Key{f, 0}) {
+		t.Fatal("pinned block was evicted")
+	}
+	// A pinned re-Get must not load again.
+	hitsBefore := p.Stats().Hits
+	if v, err := p.Get(Key{f, 0}, load(-1, 100)); err != nil || v.(int) != 0 {
+		t.Fatalf("re-Get of pinned block = %v, %v", v, err)
+	}
+	if p.Stats().Hits != hitsBefore+1 {
+		t.Fatal("re-Get of pinned block was not a hit")
+	}
+	p.Unpin(Key{f, 0})
+	// After unpinning, pressure can evict it again.
+	for i := 11; i <= 20; i++ {
+		if _, err := p.Get(Key{f, i}, load(i, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Contains(Key{f, 0}) {
+		t.Fatal("unpinned cold block survived eviction pressure")
+	}
+}
+
+// TestPinNests: two pins need two unpins before eviction may reclaim.
+func TestPinNests(t *testing.T) {
+	p := New(150)
+	f := p.RegisterFile()
+	for i := 0; i < 2; i++ {
+		if _, err := p.Pin(Key{f, 0}, load(7, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Unpin(Key{f, 0})
+	for i := 1; i <= 5; i++ {
+		if _, err := p.Get(Key{f, i}, load(i, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.Contains(Key{f, 0}) {
+		t.Fatal("block with one remaining pin was evicted")
+	}
+	p.Unpin(Key{f, 0})
+	p.Unpin(Key{f, 0}) // extra unpin of an unpinned entry is a no-op
+	for i := 6; i <= 10; i++ {
+		if _, err := p.Get(Key{f, i}, load(i, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Contains(Key{f, 0}) {
+		t.Fatal("fully unpinned block survived eviction pressure")
+	}
+	p.Unpin(Key{f, 99}) // unknown key is a no-op
+}
+
+// TestPinConcurrent hammers Pin/Unpin with eviction pressure under -race.
+func TestPinConcurrent(t *testing.T) {
+	p := New(500)
+	f := p.RegisterFile()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Key{f, (w*31 + i) % 16}
+				v, err := p.Pin(k, load(k.Block, 100))
+				if err != nil || v.(int) != k.Block {
+					t.Errorf("Pin = %v, %v", v, err)
+					return
+				}
+				p.Unpin(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestPinnedPressureKeepsMRU: when pinned entries hold the pool over
+// budget, a fresh Get's entry (the MRU) must not be evicted to pay for
+// them — otherwise every unpinned block would thrash on reload.
+func TestPinnedPressureKeepsMRU(t *testing.T) {
+	p := New(250)
+	f := p.RegisterFile()
+	for i := 0; i < 3; i++ { // 300 pinned bytes: over budget by pins alone
+		if _, err := p.Pin(Key{f, i}, load(i, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Get(Key{f, 7}, load(7, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(Key{f, 7}) {
+		t.Fatal("fresh MRU entry evicted to pay for pinned overflow")
+	}
+	misses := p.Stats().Misses
+	if _, err := p.Get(Key{f, 7}, load(7, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().Misses != misses {
+		t.Fatal("re-Get of fresh entry reloaded instead of hitting")
+	}
+}

@@ -45,17 +45,27 @@ func (e *Executor) compileEMPipelined(p *storage.Projection, q SelectQuery) (mor
 func (pl *emPipelinedPlan) runMorsel(r positions.Range, pt *partial) error {
 	agg, res := pt.init(pl.q)
 	ch := datasource.NewChunker(r, pl.opt.chunkSize())
+	// Compile the plan's data sources once per morsel: the DS2 leaf plus one
+	// DS4 (with pre-compiled predicate) per widening column.
+	colPred := func(name string) pred.Predicate {
+		if p, ok := pl.preds[name]; ok {
+			return p
+		}
+		return pred.MatchAll
+	}
+	ds2 := datasource.DS2{Col: pl.cols[pl.order[0]], Pred: colPred(pl.order[0])}
+	ds4s := make([]datasource.DS4, len(pl.order))
+	for i, name := range pl.order[1:] {
+		ds4s[i+1] = datasource.DS4{Col: pl.cols[name], Pred: colPred(name)}
+		ds4s[i+1].CompilePred()
+	}
+	var valBuf []int64
 	for ci := 0; ci < ch.NumChunks(); ci++ {
 		cr := ch.Chunk(ci)
 		var batch *rows.Batch
 		skipped := false
 		for i, name := range pl.order {
-			colPred, hasPred := pl.preds[name]
-			if !hasPred {
-				colPred = pred.MatchAll
-			}
 			if i == 0 {
-				ds2 := datasource.DS2{Col: pl.cols[name], Pred: colPred}
 				b, err := ds2.ScanChunk(cr, name)
 				if err != nil {
 					return err
@@ -69,12 +79,14 @@ func (pl *emPipelinedPlan) runMorsel(r positions.Range, pt *partial) error {
 				skipped = true
 				break
 			}
-			mini, err := pl.cols[name].Window(cr)
+			// DS4 widening via the batched block-pinned gather: one fetch
+			// for the whole batch's positions instead of a per-tuple jump,
+			// touching only the blocks that hold surviving positions.
+			var err error
+			batch, valBuf, err = ds4s[i].ExtendChunkBatched(batch, name, valBuf)
 			if err != nil {
 				return err
 			}
-			ds4 := datasource.DS4{Col: pl.cols[name], Pred: colPred}
-			batch = ds4.ExtendChunk(mini, batch, name)
 			pt.stats.TuplesConstructed += int64(batch.Len())
 		}
 		if skipped || batch.Len() == 0 {

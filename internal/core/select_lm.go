@@ -130,28 +130,39 @@ func (pl *lmPlan) runMorsel(r positions.Range, pt *partial) error {
 		mc.SetDescriptor(desc)
 		pt.matched = append(pt.matched, desc)
 
-		// Materialization: DS3 per needed column, from the multi-column's
-		// mini-columns when available (zero re-access), else re-windowed.
-		minis := make([]encoding.MiniColumn, len(pl.matCols))
-		for i, name := range pl.matCols {
-			mini, ok := mc.Mini(name)
-			if !ok || pl.opt.DisableMultiColumn {
-				var err error
-				if mini, err = pl.cols[name].Window(cr); err != nil {
-					return err
-				}
-			}
-			minis[i] = mini
-		}
-
 		if pl.q.Aggregating() {
 			// Aggregate directly on compressed data; no tuples constructed.
+			// The aggregator consumes whole mini-columns, so a missing mini
+			// is re-windowed rather than gathered.
+			minis := make([]encoding.MiniColumn, len(pl.matCols))
+			for i, name := range pl.matCols {
+				mini, ok := mc.Mini(name)
+				if !ok || pl.opt.DisableMultiColumn {
+					var err error
+					if mini, err = pl.cols[name].Window(cr); err != nil {
+						return err
+					}
+				}
+				minis[i] = mini
+			}
 			operators.AggregateCompressedChunk(agg, minis[0], minis[1], desc)
 			continue
 		}
-		ds3 := datasource.DS3{}
-		for i := range pl.matCols {
-			valBufs[i] = ds3.ValuesFromMini(minis[i], desc, valBufs[i][:0])
+
+		// Materialization: DS3 per needed column — from the multi-column's
+		// mini-columns when available (zero re-access); otherwise the
+		// batched block-pinned gather touches only the blocks holding
+		// surviving positions instead of re-windowing the whole chunk.
+		for i, name := range pl.matCols {
+			if mini, ok := mc.Mini(name); ok && !pl.opt.DisableMultiColumn {
+				valBufs[i] = datasource.DS3{}.ValuesFromMini(mini, desc, valBufs[i][:0])
+				continue
+			}
+			var err error
+			ds3 := datasource.DS3{Col: pl.cols[name]}
+			if valBufs[i], err = ds3.ValuesGather(desc, valBufs[i][:0]); err != nil {
+				return err
+			}
 		}
 		if err := merger.MergeChunk(valBufs...); err != nil {
 			return err

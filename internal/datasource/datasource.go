@@ -152,7 +152,8 @@ func (DS3) ValuesFromMini(mc encoding.MiniColumn, ps positions.Set, dst []int64)
 }
 
 // ValuesReaccess re-reads the chunk window from the column and extracts the
-// values at ps.
+// values at ps. It is the retained scalar reference for the re-access path;
+// query execution uses ValuesGather.
 func (ds DS3) ValuesReaccess(r positions.Range, ps positions.Set, dst []int64) ([]int64, error) {
 	mc, err := ds.Col.Window(r)
 	if err != nil {
@@ -161,16 +162,28 @@ func (ds DS3) ValuesReaccess(r positions.Range, ps positions.Set, dst []int64) (
 	return mc.Extract(dst, ps), nil
 }
 
+// ValuesGather re-accesses the stored column through the batched
+// block-pinned gather: only the blocks containing surviving positions are
+// touched (a window re-read decodes every block overlapping the chunk), each
+// pinned once with a tight per-encoding copy loop.
+func (ds DS3) ValuesGather(ps positions.Set, dst []int64) ([]int64, error) {
+	return ds.Col.GatherAt(ps, dst)
+}
+
 // DS4 widens early-materialized tuples (Case 4): for each input tuple it
 // jumps to the tuple's position in this column, applies the predicate, and
 // emits the input tuple extended with this column's value when it passes.
 type DS4 struct {
 	Col  *storage.Column
 	Pred pred.Predicate
+	// match is the cached compiled form of Pred (see CompilePred).
+	match pred.Matcher
 }
 
 // ExtendChunk processes one input batch against the chunk's mini-column.
-// The returned batch carries the input attributes plus colName.
+// The returned batch carries the input attributes plus colName. It is the
+// retained scalar reference path (one ValueAt jump and one Predicate.Match
+// dispatch per tuple); query execution uses ExtendChunkBatched.
 func (ds *DS4) ExtendChunk(mc encoding.MiniColumn, in *rows.Batch, colName string) *rows.Batch {
 	out := rows.NewBatch(append(append([]string{}, in.Names...), colName)...)
 	last := len(out.Cols) - 1
@@ -188,3 +201,41 @@ func (ds *DS4) ExtendChunk(mc encoding.MiniColumn, in *rows.Batch, colName strin
 	}
 	return out
 }
+
+// ExtendChunkBatched widens the input tuples with one batched block-pinned
+// gather of this column's values at the batch's positions (which are
+// ascending and distinct within a chunk), then filters with the compiled
+// predicate — replacing the per-tuple position jump (a block search plus a
+// buffer-pool lock per tuple) and the per-value predicate dispatch. valBuf
+// is a scratch slice recycled across chunks; the updated scratch is
+// returned alongside the widened batch.
+func (ds *DS4) ExtendChunkBatched(in *rows.Batch, colName string, valBuf []int64) (*rows.Batch, []int64, error) {
+	out := rows.NewBatch(append(append([]string{}, in.Names...), colName)...)
+	if in.Len() == 0 {
+		return out, valBuf, nil
+	}
+	valBuf, err := ds.Col.GatherAt(positions.List(in.Pos), valBuf[:0])
+	if err != nil {
+		return nil, valBuf, err
+	}
+	match := ds.match
+	if match == nil {
+		match = pred.CompileMatcher(ds.Pred)
+	}
+	last := len(out.Cols) - 1
+	for i, v := range valBuf {
+		if !match(v) {
+			continue
+		}
+		out.Pos = append(out.Pos, in.Pos[i])
+		for c := range in.Cols {
+			out.Cols[c] = append(out.Cols[c], in.Cols[c][i])
+		}
+		out.Cols[last] = append(out.Cols[last], v)
+	}
+	return out, valBuf, nil
+}
+
+// CompilePred caches the compiled form of Pred so per-chunk calls skip
+// recompilation. Call it once after constructing the DS4.
+func (ds *DS4) CompilePred() { ds.match = pred.CompileMatcher(ds.Pred) }

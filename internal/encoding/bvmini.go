@@ -3,6 +3,7 @@ package encoding
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"matstore/internal/positions"
 	"matstore/internal/pred"
@@ -81,8 +82,63 @@ func (m *BVMini) BitString(i int) *positions.Bitmap { return m.bms[i] }
 // Filter ORs together the bit-strings of the values matching p. The
 // predicate is applied once per distinct value, never per position: this is
 // the "predicate has already been applied a-priori" property of bit-vector
-// data.
+// data. Interval-shaped predicates locate the contiguous matching value
+// range by binary search over the ascending distinct values, so the
+// per-value predicate work is O(log distinct) before the word-at-a-time ORs.
 func (m *BVMini) Filter(p pred.Predicate) positions.Set {
+	if lo, hi, ok := p.Interval(); ok {
+		i0 := sort.Search(len(m.vals), func(i int) bool { return m.vals[i] >= lo })
+		i1 := sort.Search(len(m.vals), func(i int) bool { return m.vals[i] > hi })
+		if i1 <= i0 { // no distinct value in [lo, hi] (including reversed Between)
+			return positions.Empty{}
+		}
+		return m.orStrings(i0, i1)
+	}
+	// Non-interval predicate (Ne): the matching values need not be
+	// contiguous; test each distinct value with a compiled matcher.
+	match := pred.CompileMatcher(p)
+	var idxs []int
+	for i, v := range m.vals {
+		if match(v) {
+			idxs = append(idxs, i)
+		}
+	}
+	switch len(idxs) {
+	case 0:
+		return positions.Empty{}
+	case 1:
+		return m.bms[idxs[0]]
+	default:
+		acc := m.bms[idxs[0]].Clone()
+		for _, i := range idxs[1:] {
+			acc.Or(m.bms[i])
+		}
+		return acc
+	}
+}
+
+// orStrings ORs the bit-strings of the contiguous distinct-value index range
+// [i0, i1) into one position set.
+func (m *BVMini) orStrings(i0, i1 int) positions.Set {
+	switch i1 - i0 {
+	case 0:
+		return positions.Empty{}
+	case 1:
+		// A single matching value shares its bit-string without copying.
+		return m.bms[i0]
+	default:
+		acc := m.bms[i0].Clone()
+		for i := i0 + 1; i < i1; i++ {
+			acc.Or(m.bms[i])
+		}
+		return acc
+	}
+}
+
+// filterScalar is the retained reference implementation of Filter: one
+// Predicate.Match dispatch per distinct value. The differential kernel suite
+// checks the interval path against it; it is not used by query execution.
+func (m *BVMini) filterScalar(p pred.Predicate) positions.Set {
 	var idxs []int
 	for i, v := range m.vals {
 		if p.Match(v) {
@@ -93,7 +149,6 @@ func (m *BVMini) Filter(p pred.Predicate) positions.Set {
 	case 0:
 		return positions.Empty{}
 	case 1:
-		// A single matching value shares its bit-string without copying.
 		return m.bms[idxs[0]]
 	default:
 		acc := m.bms[idxs[0]].Clone()

@@ -1,0 +1,183 @@
+package encoding
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"matstore/internal/positions"
+	"matstore/internal/pred"
+)
+
+// Differential kernel suite: the compiled scan kernels (word-at-a-time plain
+// filtering, run-at-a-time RLE interval tests, binary-searched bit-vector
+// string selection) must produce exactly the same position sets as the
+// retained scalar reference implementations, for every encoding × every
+// pred.Op × selectivities spanning {0, ~0.01, ~0.5, ~0.99, 1}, over data
+// shapes that exercise every alignment path.
+
+const diffDomain = 1000 // values drawn from [0, diffDomain)
+
+// diffPredicates builds, for one op, predicates whose accepted fraction of
+// [0, diffDomain) sweeps the five selectivity points (for Eq/Ne the
+// achievable selectivities are ~0 and ~1; the sweep still varies the
+// constant across the domain, including out-of-domain constants).
+func diffPredicates(op pred.Op) []pred.Predicate {
+	cuts := []int64{0, diffDomain / 100, diffDomain / 2, diffDomain * 99 / 100, diffDomain}
+	var out []pred.Predicate
+	switch op {
+	case pred.All:
+		return []pred.Predicate{pred.MatchAll}
+	case pred.None:
+		return []pred.Predicate{{Op: pred.None}}
+	case pred.Between:
+		for _, q := range cuts {
+			lo := (diffDomain - q) / 2
+			out = append(out, pred.InRange(lo, lo+q))
+		}
+		// Reversed and empty intervals: InRange does not validate argument
+		// order, so kernels must treat B <= A as matching nothing.
+		out = append(out,
+			pred.InRange(diffDomain*3/4, diffDomain/4),
+			pred.InRange(diffDomain/2, diffDomain/2))
+		return out
+	default:
+		for _, q := range cuts {
+			// Constants at the quantile, plus just outside the domain.
+			for _, a := range []int64{q, -1, diffDomain + 1} {
+				out = append(out, pred.Predicate{Op: op, A: a})
+			}
+		}
+		return out
+	}
+}
+
+var diffOps = []pred.Op{pred.All, pred.Lt, pred.Le, pred.Eq, pred.Ne, pred.Ge, pred.Gt, pred.Between, pred.None}
+
+// diffMiniCase is one (data shape, encoding) instance with its scalar
+// reference hooks.
+type diffMiniCase struct {
+	name     string
+	mc       MiniColumn
+	filter   func(pred.Predicate) positions.Set
+	filterAt func(positions.Set, pred.Predicate) positions.Set
+}
+
+func diffMinis(t *testing.T) []diffMiniCase {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	const n = 10000 // not a multiple of 64: every bitmap tail path runs
+	random := make([]int64, n)
+	sorted := make([]int64, n)
+	lowCard := make([]int64, n)
+	for i := range random {
+		random[i] = rng.Int63n(diffDomain)
+		sorted[i] = int64(i) * diffDomain / n
+		lowCard[i] = rng.Int63n(8) * (diffDomain / 8)
+	}
+	var cases []diffMiniCase
+	addPlain := func(name string, m *PlainMini) {
+		cases = append(cases, diffMiniCase{name, m, m.filterScalar, m.filterAtScalar})
+	}
+	addPlain("plain/random", PlainMiniFromValues(64, random))
+	addPlain("plain/sorted", PlainMiniFromValues(0, sorted))
+	// Multi-segment windows mirror storage: plain blocks hold 8188 values,
+	// so mid-window segments start at non-64-aligned positions.
+	seg := NewPlainMini(positions.Range{Start: 128, End: 128 + n})
+	seg.AddSegment(128, random[:8188])
+	seg.AddSegment(128+8188, random[8188:])
+	addPlain("plain/blockseg", seg)
+	odd := NewPlainMini(positions.Range{Start: 0, End: n})
+	for off := 0; off < n; {
+		l := 97 + (off % 61)
+		if off+l > n {
+			l = n - off
+		}
+		odd.AddSegment(int64(off), random[off:off+l])
+		off += l
+	}
+	addPlain("plain/oddseg", odd)
+
+	rle := RLEMiniFromValues(192, sorted)
+	cases = append(cases, diffMiniCase{"rle/sorted", rle, rle.filterScalar, rle.filterAtScalar})
+	rleRnd := RLEMiniFromValues(0, lowCard)
+	cases = append(cases, diffMiniCase{"rle/lowcard", rleRnd, rleRnd.filterScalar, rleRnd.filterAtScalar})
+
+	bv := BVMiniFromValues(64, lowCard)
+	cases = append(cases, diffMiniCase{"bv/lowcard", bv, bv.filterScalar,
+		func(ps positions.Set, p pred.Predicate) positions.Set {
+			return positions.And(bv.filterScalar(p), ps)
+		}})
+	return cases
+}
+
+// diffCandidates builds FilterAt candidate sets over cov in each
+// representation and density class (both sides of the dense cutoff).
+func diffCandidates(cov positions.Range) map[string]positions.Set {
+	full := positions.NewRanges(cov)
+	sparseList := positions.List{}
+	for p := cov.Start; p < cov.End; p += 97 {
+		sparseList = append(sparseList, p)
+	}
+	tiny := positions.List{cov.Start, cov.Start + 1, cov.End - 1}
+	var runs positions.Ranges
+	for p := cov.Start; p+5 < cov.End; p += 64 {
+		runs = append(runs, positions.Range{Start: p, End: p + 5})
+	}
+	bm := positions.NewBitmap(cov.Start&^63, cov.End-cov.Start&^63)
+	rng := rand.New(rand.NewSource(7))
+	for p := cov.Start; p < cov.End; p++ {
+		if rng.Intn(2) == 0 {
+			bm.Set(p)
+		}
+	}
+	return map[string]positions.Set{
+		"full":   full,
+		"sparse": sparseList,
+		"tiny":   tiny,
+		"runs":   runs,
+		"bitmap": bm,
+		"empty":  positions.Empty{},
+	}
+}
+
+func TestDifferentialFilterKernels(t *testing.T) {
+	for _, c := range diffMinis(t) {
+		cands := diffCandidates(c.mc.Covering())
+		for _, op := range diffOps {
+			for pi, p := range diffPredicates(op) {
+				got := c.mc.Filter(p)
+				want := c.filter(p)
+				if !positions.Equal(got, want) {
+					t.Fatalf("%s Filter(%v) [case %d]: kernel %d positions, scalar %d",
+						c.name, p, pi, got.Count(), want.Count())
+				}
+				for cname, ps := range cands {
+					gotAt := c.mc.FilterAt(ps, p)
+					wantAt := c.filterAt(ps, p)
+					if !positions.Equal(gotAt, wantAt) {
+						t.Fatalf("%s FilterAt(%s, %v) [case %d]: kernel %d positions, scalar %d",
+							c.name, cname, p, pi, gotAt.Count(), wantAt.Count())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialExtractAfterKernels closes the loop from filter output to
+// value extraction: whatever representation the kernel emits, Extract must
+// return the same values as extracting the scalar reference's output.
+func TestDifferentialExtractAfterKernels(t *testing.T) {
+	for _, c := range diffMinis(t) {
+		for _, p := range []pred.Predicate{
+			pred.LessThan(diffDomain / 2), pred.Equals(0), pred.NotEquals(diffDomain / 2), pred.MatchAll,
+		} {
+			got := c.mc.Extract(nil, c.mc.Filter(p))
+			want := c.mc.Extract(nil, c.filter(p))
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("%s Extract after Filter(%v): values differ (%d vs %d)", c.name, p, len(got), len(want))
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"matstore/internal/kernels"
 	"matstore/internal/positions"
 	"matstore/internal/pred"
 )
@@ -78,8 +79,118 @@ func (m *PlainMini) ValueAt(pos int64) int64 {
 // uncompressed data emits its positions as a bit-string: without encoded
 // runs to exploit, the data source does not try to discover value runs on
 // the fly (predicates over sorted or RLE columns are the ones that produce
-// position ranges).
+// position ranges). The predicate is compiled once and the comparison loop
+// emits 64 results at a time directly into the bitmap — no per-value
+// operator dispatch, no intermediate run list.
 func (m *PlainMini) Filter(p pred.Predicate) positions.Set {
+	bm := m.newFilterBitmap()
+	k := pred.Compile(p)
+	for _, s := range m.segs {
+		kernels.FilterIntoBitmap(bm, s.start, s.vals, k)
+	}
+	if bm.Count() == 0 {
+		return positions.Empty{}
+	}
+	return bm
+}
+
+// newFilterBitmap allocates the window's filter-output bitmap, 64-aligned
+// like Builder's forced-bitmap output.
+func (m *PlainMini) newFilterBitmap() *positions.Bitmap {
+	start := m.cov.Start &^ 63
+	return positions.NewBitmap(start, m.cov.End-start)
+}
+
+// filterAtDenseCutoff is the position count above which FilterAt switches
+// from the adaptive run-builder output to the compiled word-at-a-time kernel
+// emitting a bitmap: below it the candidate set is sparse enough that a
+// compact list/range output is worth keeping for downstream intersections.
+const filterAtDenseCutoff = 128
+
+// FilterAt applies p only at the positions in ps. Dense candidate sets run
+// through the compiled kernel run-by-run straight into a bitmap; sparse sets
+// keep the adaptive representation, evaluated with a compiled scalar matcher.
+func (m *PlainMini) FilterAt(ps positions.Set, p pred.Predicate) positions.Set {
+	if ps.Count() <= filterAtDenseCutoff {
+		return m.filterAtSparse(ps, pred.CompileMatcher(p))
+	}
+	bm := m.newFilterBitmap()
+	k := pred.Compile(p)
+	it := ps.Runs()
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		r = r.Intersect(m.cov)
+		if r.Empty() {
+			continue
+		}
+		si := m.seg(r.Start)
+		for pos := r.Start; pos < r.End; {
+			s := m.segs[si]
+			end := r.End
+			if s.end() < end {
+				end = s.end()
+			}
+			kernels.FilterIntoBitmap(bm, pos, s.vals[pos-s.start:end-s.start], k)
+			pos = end
+			si++
+		}
+	}
+	if bm.Count() == 0 {
+		return positions.Empty{}
+	}
+	return bm
+}
+
+// filterAtSparse is the sparse-candidate FilterAt path: the old run-builder
+// output shape, with the predicate compiled to a scalar matcher.
+func (m *PlainMini) filterAtSparse(ps positions.Set, match pred.Matcher) positions.Set {
+	b := positions.NewBuilder(m.cov)
+	it := ps.Runs()
+	for {
+		r, ok := it.Next()
+		if !ok {
+			return b.Build()
+		}
+		r = r.Intersect(m.cov)
+		if r.Empty() {
+			continue
+		}
+		si := m.seg(r.Start)
+		for pos := r.Start; pos < r.End; {
+			s := m.segs[si]
+			end := r.End
+			if s.end() < end {
+				end = s.end()
+			}
+			vals := s.vals[pos-s.start : end-s.start]
+			runStart := int64(-1)
+			for i, v := range vals {
+				if match(v) {
+					if runStart < 0 {
+						runStart = pos + int64(i)
+					}
+				} else if runStart >= 0 {
+					b.AddRange(positions.Range{Start: runStart, End: pos + int64(i)})
+					runStart = -1
+				}
+			}
+			if runStart >= 0 {
+				b.AddRange(positions.Range{Start: runStart, End: end})
+			}
+			pos = end
+			si++
+		}
+	}
+}
+
+// filterScalar is the retained per-value reference implementation of Filter:
+// one Predicate.Match dispatch per value, runs accumulated through the
+// Builder and replayed into a forced bitmap. The differential kernel suite
+// checks the compiled path against it; it is not used by query execution.
+func (m *PlainMini) filterScalar(p pred.Predicate) positions.Set {
 	b := positions.NewBuilder(m.cov)
 	b.ForceBitmap()
 	for _, s := range m.segs {
@@ -102,8 +213,9 @@ func (m *PlainMini) Filter(p pred.Predicate) positions.Set {
 	return b.Build()
 }
 
-// FilterAt applies p only at the positions in ps.
-func (m *PlainMini) FilterAt(ps positions.Set, p pred.Predicate) positions.Set {
+// filterAtScalar is the retained per-value reference implementation of
+// FilterAt (see filterScalar).
+func (m *PlainMini) filterAtScalar(ps positions.Set, p pred.Predicate) positions.Set {
 	b := positions.NewBuilder(m.cov)
 	it := ps.Runs()
 	for {

@@ -85,19 +85,37 @@ func (m *RLEMini) triple(pos int64) int {
 func (m *RLEMini) ValueAt(pos int64) int64 { return m.triples[m.triple(pos)].Value }
 
 // Filter applies p once per run, emitting whole runs (this is why RLE
-// predicate outputs are naturally position ranges).
+// predicate outputs are naturally position ranges). Interval-shaped
+// predicates compile to one two-comparison interval test per run —
+// compressed data is filtered without expansion and without per-run operator
+// dispatch; non-interval predicates fall back to a compiled scalar matcher.
 func (m *RLEMini) Filter(p pred.Predicate) positions.Set {
 	b := positions.NewBuilder(m.cov)
+	if lo, hi, ok := p.Interval(); ok {
+		for _, t := range m.triples {
+			if t.Value >= lo && t.Value <= hi {
+				b.AddRange(t.Cover())
+			}
+		}
+		return b.Build()
+	}
+	match := pred.CompileMatcher(p)
 	for _, t := range m.triples {
-		if p.Match(t.Value) {
+		if match(t.Value) {
 			b.AddRange(t.Cover())
 		}
 	}
 	return b.Build()
 }
 
-// FilterAt applies p to the runs overlapping ps.
+// FilterAt applies p to the runs overlapping ps, with the same run-at-a-time
+// interval kernel as Filter.
 func (m *RLEMini) FilterAt(ps positions.Set, p pred.Predicate) positions.Set {
+	lo, hi, intervalOK := p.Interval()
+	var match pred.Matcher
+	if !intervalOK {
+		match = pred.CompileMatcher(p)
+	}
 	b := positions.NewBuilder(m.cov)
 	it := ps.Runs()
 	ti := 0
@@ -111,6 +129,53 @@ func (m *RLEMini) FilterAt(ps positions.Set, p pred.Predicate) positions.Set {
 			continue
 		}
 		// Runs arrive in ascending order, so advance ti monotonically.
+		for ti < len(m.triples) && m.triples[ti].End() <= r.Start {
+			ti++
+		}
+		for tj := ti; tj < len(m.triples) && m.triples[tj].Start < r.End; tj++ {
+			v := m.triples[tj].Value
+			if intervalOK {
+				if v < lo || v > hi {
+					continue
+				}
+			} else if !match(v) {
+				continue
+			}
+			if o := m.triples[tj].Cover().Intersect(r); !o.Empty() {
+				b.AddRange(o)
+			}
+		}
+	}
+}
+
+// filterScalar is the retained per-run reference implementation of Filter:
+// one Predicate.Match dispatch per run. The differential kernel suite checks
+// the interval kernel against it; it is not used by query execution.
+func (m *RLEMini) filterScalar(p pred.Predicate) positions.Set {
+	b := positions.NewBuilder(m.cov)
+	for _, t := range m.triples {
+		if p.Match(t.Value) {
+			b.AddRange(t.Cover())
+		}
+	}
+	return b.Build()
+}
+
+// filterAtScalar is the retained reference implementation of FilterAt (see
+// filterScalar).
+func (m *RLEMini) filterAtScalar(ps positions.Set, p pred.Predicate) positions.Set {
+	b := positions.NewBuilder(m.cov)
+	it := ps.Runs()
+	ti := 0
+	for {
+		r, ok := it.Next()
+		if !ok {
+			return b.Build()
+		}
+		r = r.Intersect(m.cov)
+		if r.Empty() {
+			continue
+		}
 		for ti < len(m.triples) && m.triples[ti].End() <= r.Start {
 			ti++
 		}

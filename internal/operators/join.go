@@ -230,21 +230,23 @@ func RunHashJoin(spec JoinSpec) (*rows.Result, JoinStats, error) {
 		stats.OutputTuples += pt.stats.OutputTuples
 	}
 
-	if deferred {
-		// Post-join fetch of right payloads at out-of-order positions: each
-		// jump re-accesses the stored column through the buffer pool.
+	if deferred && len(rightPosPending) > 0 {
+		// Post-join fetch of right payloads at out-of-order positions. The
+		// positions emerge in left probe order, so no merge join on position
+		// is possible — but the fetch itself is batched: one block-pinned
+		// gather per payload column walks the stored column in block order
+		// and scatters values back to probe order, instead of paying a block
+		// search plus a buffer-pool lock round-trip per (tuple, column).
 		base := len(spec.LeftOutputs)
+		var vals []int64
 		for c := range rt.payload {
-			col := rt.cols[c]
-			dst := res.Cols[base+c]
-			for i, rpos := range rightPosPending {
-				v, err := col.ValueAt(rpos)
-				if err != nil {
-					return nil, stats, err
-				}
-				dst[i] = v
-				stats.DeferredFetches++
+			var err error
+			vals, err = rt.cols[c].GatherUnordered(rightPosPending, vals[:0])
+			if err != nil {
+				return nil, stats, err
 			}
+			copy(res.Cols[base+c], vals)
+			stats.DeferredFetches += int64(len(rightPosPending))
 		}
 	}
 	return res, stats, nil

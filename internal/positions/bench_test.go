@@ -57,6 +57,7 @@ func BenchmarkAndRangesBitmap(b *testing.B) {
 
 func BenchmarkBitmapRunIteration(b *testing.B) {
 	bm, _ := benchBitmaps(1 << 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		it := bm.Runs()

@@ -233,7 +233,13 @@ func (c *Column) blockOffset(i int) int64 { return HeaderSize + int64(i)*encodin
 
 // block fetches and decodes block i through the buffer pool.
 func (c *Column) block(i int) (any, error) {
-	return c.pool.Get(buffer.Key{File: c.fid, Block: i}, func() (any, int64, error) {
+	return c.pool.Get(buffer.Key{File: c.fid, Block: i}, c.blockLoader(i))
+}
+
+// blockLoader returns the read-and-decode miss handler for block i, shared
+// by the unpinned (Get) and pinned (Pin) fetch paths.
+func (c *Column) blockLoader(i int) func() (any, int64, error) {
+	return func() (any, int64, error) {
 		buf := make([]byte, encoding.BlockSize)
 		if _, err := c.f.ReadAt(buf, c.blockOffset(i)); err != nil {
 			return nil, 0, fmt.Errorf("%s block %d: %w", c.path, i, err)
@@ -243,7 +249,7 @@ func (c *Column) block(i int) (any, error) {
 			return nil, 0, fmt.Errorf("%s block %d: %w", c.path, i, err)
 		}
 		return dec, encoding.BlockSize, nil
-	})
+	}
 }
 
 // blocksOverlapping returns the indexes of plain/RLE blocks whose cover
@@ -258,12 +264,15 @@ func (c *Column) blocksOverlapping(r positions.Range) []int {
 }
 
 // bvBlocksOverlapping returns block indexes of value's bit-string
-// intersecting the bit range r.
+// intersecting the bit range r. A value's blocks tile [0, tuples) in
+// ascending bit order, so the first overlap is found by binary search.
 func (c *Column) bvBlocksOverlapping(value int64, r positions.Range) []int {
+	blocks := c.byValue[value]
+	lo := sort.Search(len(blocks), func(j int) bool { return c.index[blocks[j]].Cover.End > r.Start })
 	var out []int
-	for _, i := range c.byValue[value] {
-		if c.index[i].Cover.Intersect(r).Empty() {
-			continue
+	for _, i := range blocks[lo:] {
+		if c.index[i].Cover.Start >= r.End {
+			break
 		}
 		out = append(out, i)
 	}
@@ -391,7 +400,7 @@ func (c *Column) Sorted() bool { return c.hdr.sorted }
 // reading and filtering the window. The returned bool reports whether the
 // zone fast path was used.
 func (c *Column) ZonePositions(r positions.Range, p pred.Predicate) (positions.Set, bool, error) {
-	lo, hi, intervalOK := predInterval(p)
+	lo, hi, intervalOK := p.Interval()
 	if !intervalOK || c.hdr.enc == encoding.BitVector {
 		mc, err := c.Window(r)
 		if err != nil {
@@ -429,43 +438,6 @@ func (c *Column) ZonePositions(r positions.Range, p pred.Predicate) (positions.S
 	return b.Build(), true, nil
 }
 
-// predInterval returns the closed accepted interval [lo, hi] of an
-// interval-shaped predicate, or ok=false for predicates that do not accept
-// a single contiguous value interval.
-func predInterval(p pred.Predicate) (lo, hi int64, ok bool) {
-	const (
-		minI = int64(-1) << 63
-		maxI = int64(^uint64(0) >> 1)
-	)
-	switch p.Op {
-	case pred.All:
-		return minI, maxI, true
-	case pred.Lt:
-		if p.A == minI { // empty interval; avoid underflow
-			return 0, 0, false
-		}
-		return minI, p.A - 1, true
-	case pred.Le:
-		return minI, p.A, true
-	case pred.Eq:
-		return p.A, p.A, true
-	case pred.Ge:
-		return p.A, maxI, true
-	case pred.Gt:
-		if p.A == maxI { // empty interval; avoid overflow
-			return 0, 0, false
-		}
-		return p.A + 1, maxI, true
-	case pred.Between:
-		if p.B == minI {
-			return 0, 0, false
-		}
-		return p.A, p.B - 1, true
-	default:
-		return 0, 0, false
-	}
-}
-
 // ValueAt reads the single value at pos, touching only the block(s)
 // containing it. For bit-vector columns this must probe each distinct
 // value's bit-string — the cost asymmetry the paper notes for DS3 over
@@ -494,20 +466,24 @@ func (c *Column) ValueAt(pos int64) (int64, error) {
 		j := sort.Search(len(ts), func(j int) bool { return ts[j].End() > pos })
 		return ts[j].Value, nil
 	case encoding.BitVector:
+		// Each distinct value's blocks tile [0, tuples) in ascending bit
+		// order, so the block holding pos in that value's bit-string is found
+		// by binary search — one block probe per distinct value instead of a
+		// linear scan over all values × blocks.
 		for _, v := range c.values {
-			for _, i := range c.byValue[v] {
-				if !c.index[i].Cover.Contains(pos) {
-					continue
-				}
-				dec, err := c.block(i)
-				if err != nil {
-					return 0, err
-				}
-				bb := dec.(*encoding.BVBlock)
-				bit := pos - bb.StartBit
-				if bb.Words[bit>>6]&(1<<uint(bit&63)) != 0 {
-					return v, nil
-				}
+			blocks := c.byValue[v]
+			j := sort.Search(len(blocks), func(j int) bool { return c.index[blocks[j]].Cover.End > pos })
+			if j == len(blocks) || !c.index[blocks[j]].Cover.Contains(pos) {
+				continue
+			}
+			dec, err := c.block(blocks[j])
+			if err != nil {
+				return 0, err
+			}
+			bb := dec.(*encoding.BVBlock)
+			bit := pos - bb.StartBit
+			if bb.Words[bit>>6]&(1<<uint(bit&63)) != 0 {
+				return v, nil
 			}
 		}
 		return 0, fmt.Errorf("%s: %w: position %d set in no bit-string", c.path, ErrCorruptFile, pos)
