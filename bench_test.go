@@ -423,3 +423,38 @@ func BenchmarkJoinBuildSide(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFusedMultiPredicate measures whole-query multi-predicate fusion:
+// a selective two-predicate range conjunction over one unsorted column
+// (quantity), executed with the planner fusing consecutive same-column
+// filters into one scan pass (default) vs. one scan node per predicate
+// (DisableFusion, the unfused reference). The query is scan-dominated (few
+// survivors, cheap materialization), so the fused single pass vs. two DS1
+// passes plus a position AND is what the numbers show; LM-parallel makes
+// the difference purest.
+func BenchmarkFusedMultiPredicate(b *testing.B) {
+	e := benchEnv(b)
+	q := matstore.Query{
+		Output: []string{tpch.ColShipdate, tpch.ColQuantity},
+		Filters: []matstore.Filter{
+			{Col: tpch.ColQuantity, Pred: pred.AtLeast(10)},
+			{Col: tpch.ColQuantity, Pred: pred.LessThan(13)},
+		},
+	}
+	for _, mode := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"fused", core.Options{}},
+		{"unfused", core.Options{DisableFusion: true}},
+	} {
+		db, err := matstore.Open(e.Dir, matstore.Options{Exec: mode.opt})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			runSelect(b, db, q, matstore.LMParallel)
+		})
+		db.Close()
+	}
+}

@@ -12,3 +12,15 @@ go test -race ./internal/...
 # throwaway output). `make bench-json` writes the real BENCH_PR<N>.json.
 go test -run xxx -bench 'BenchmarkFilterPlain$' -benchtime 1x ./internal/encoding \
 	| go run ./cmd/benchjson -o /tmp/bench_smoke.json
+
+# Smoke-run EXPLAIN end to end: generate a small dataset, print an annotated
+# physical plan (modeled vs observed per node) for a fused-scan query.
+ci_explain_dir=$(mktemp -d)
+trap 'rm -rf "$ci_explain_dir"' EXIT
+go run ./cmd/csgen -dir "$ci_explain_dir" -scale 0.001 -seed 7
+go run ./cmd/csquery -dir "$ci_explain_dir" -proj lineitem \
+	-out shipdate,linenum -where 'shipdate>=100,shipdate<400,linenum<5' \
+	-strategy lm-parallel -parallelism 2 -explain | grep -q 'fused x2'
+go run ./cmd/csquery -dir "$ci_explain_dir" -proj lineitem \
+	-where 'shipdate<300' -groupby returnflag -sum quantity \
+	-strategy em-pipelined -explain | grep -q 'AGG sum(quantity)'

@@ -10,6 +10,7 @@
 //	        -groupby shipdate -sum linenum -strategy lm-pipelined
 //	csquery ... -strategy advise   # let the cost model pick
 //	csquery ... -parallelism 0     # morsel-parallel across all CPUs
+//	csquery ... -explain           # print the physical plan, modeled vs observed
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 	strategy := flag.String("strategy", "lm-parallel", "em-pipelined|em-parallel|lm-pipelined|lm-parallel|advise")
 	parallelism := flag.Int("parallelism", 1, "morsel-parallel workers (0 = one per CPU, 1 = serial)")
 	limit := flag.Int("limit", 10, "max rows to print")
+	explain := flag.Bool("explain", false, "print the physical plan with modeled vs. observed per-node stats instead of rows")
 	flag.Parse()
 
 	db, err := matstore.Open(*dir)
@@ -74,6 +76,15 @@ func main() {
 		if s, err = matstore.ParseStrategy(*strategy); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *explain {
+		ex, err := db.Explain(*proj, q, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(ex)
+		return
 	}
 
 	res, stats, err := db.Select(*proj, q, s)

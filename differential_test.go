@@ -326,3 +326,175 @@ func TestDifferentialJoinSelectivitySweep(t *testing.T) {
 		}
 	}
 }
+
+// TestDifferentialFusedScans is the acceptance grid for multi-predicate
+// fusion: queries whose consecutive filters hit the same column — the shape
+// the planner fuses into one k-predicate scan pass — must return identical
+// results with fusion enabled (default) and disabled (one scan node per
+// predicate, the reference path), across conjunction shapes × filter
+// encodings × selectivities × all four strategies × parallelism {1, 4}.
+func TestDifferentialFusedScans(t *testing.T) {
+	fused := diffDB(t)
+	unfused := open(t, matstore.Options{Exec: core.Options{ChunkSize: 1024, DisableFusion: true}})
+	conjs := []struct {
+		name  string
+		preds func(lo, hi int64) []matstore.Predicate
+	}{
+		{"ge-lt", func(lo, hi int64) []matstore.Predicate {
+			return []matstore.Predicate{matstore.AtLeast(lo), matstore.LessThan(hi)}
+		}},
+		{"gt-le", func(lo, hi int64) []matstore.Predicate {
+			return []matstore.Predicate{matstore.GreaterThan(lo - 1), matstore.AtMost(hi - 1)}
+		}},
+		{"ge-lt-ne", func(lo, hi int64) []matstore.Predicate {
+			return []matstore.Predicate{matstore.AtLeast(lo), matstore.LessThan(hi), matstore.NotEquals((lo + hi) / 2)}
+		}},
+		{"between-ne", func(lo, hi int64) []matstore.Predicate {
+			return []matstore.Predicate{matstore.InRange(lo, hi), matstore.NotEquals(lo)}
+		}},
+		{"contradiction", func(lo, hi int64) []matstore.Predicate {
+			return []matstore.Predicate{matstore.AtLeast(hi), matstore.LessThan(lo)}
+		}},
+		{"all-and-lt", func(lo, hi int64) []matstore.Predicate {
+			return []matstore.Predicate{matstore.MatchAll, matstore.LessThan(hi)}
+		}},
+	}
+	filterCols := []struct {
+		name     string
+		min, max int64
+	}{
+		{tpch.ColShipdate, 0, tpch.ShipdateDays - 1}, // plain, sorted
+		{tpch.ColLinenumRLE, 1, tpch.LinenumMax},     // RLE
+		{tpch.ColQuantity, 1, tpch.QuantityMax},      // plain, random
+	}
+	sels := []float64{0, 0.01, 0.5, 0.99, 1}
+	for _, col := range filterCols {
+		for _, conj := range conjs {
+			for _, sel := range sels {
+				span := float64(col.max-col.min) * sel
+				lo := col.min + int64((float64(col.max-col.min)-span)/2)
+				hi := lo + int64(span) + 1
+				q := matstore.Query{
+					Output: []string{col.name, tpch.ColShipdate, tpch.ColLinenumBV},
+				}
+				for _, p := range conj.preds(lo, hi) {
+					q.Filters = append(q.Filters, matstore.Filter{Col: col.name, Pred: p})
+				}
+				// A trailing filter on another column keeps the multi-group
+				// (fused-then-pipelined) paths honest.
+				if col.name != tpch.ColShipdate {
+					q.Filters = append(q.Filters, matstore.Filter{
+						Col: tpch.ColShipdate, Pred: matstore.LessThan(tpch.ShipdateForSelectivity(0.8)),
+					})
+				}
+				t.Run(fmt.Sprintf("%s/%s/sel=%v", col.name, conj.name, sel), func(t *testing.T) {
+					var ref [][]int64
+					var refName string
+					for _, s := range matstore.Strategies {
+						for _, par := range []int{1, 4} {
+							q.Parallelism = par
+							for dbName, db := range map[string]*matstore.DB{"fused": fused, "unfused": unfused} {
+								res, _, err := db.Select(tpch.LineitemProj, q, s)
+								if err != nil {
+									t.Fatalf("%s/%v/par=%d: %v", dbName, s, par, err)
+								}
+								rowsSorted := sortedRows(res)
+								if ref == nil {
+									ref, refName = rowsSorted, fmt.Sprintf("%s/%v/par=%d", dbName, s, par)
+								} else if !reflect.DeepEqual(rowsSorted, ref) {
+									t.Errorf("%s/%v/par=%d disagrees with %s", dbName, s, par, refName)
+								}
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFusedRepeatedColumnRandom extends the random differential property to
+// queries that repeat filter columns (the shape earlier drivers never
+// exercised): fused and unfused execution must agree under every strategy.
+func TestFusedRepeatedColumnRandom(t *testing.T) {
+	fused := diffDB(t)
+	unfused := open(t, matstore.Options{Exec: core.Options{ChunkSize: 1024, DisableFusion: true}})
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 20; iter++ {
+		c := diffFilterCols[rng.Intn(len(diffFilterCols))]
+		var q matstore.Query
+		for i, n := 0, 2+rng.Intn(2); i < n; i++ {
+			q.Filters = append(q.Filters, matstore.Filter{
+				Col: c.name, Pred: randPredicate(rng, c.min, c.max),
+			})
+		}
+		if rng.Intn(2) == 0 {
+			// Interleave a different column so same-column filters are both
+			// adjacent (fusable) and split across groups.
+			mid := diffFilterCols[rng.Intn(len(diffFilterCols))]
+			q.Filters[1], q.Filters[len(q.Filters)-1] = q.Filters[len(q.Filters)-1], q.Filters[1]
+			q.Filters = append(q.Filters, matstore.Filter{
+				Col: mid.name, Pred: randPredicate(rng, mid.min, mid.max),
+			})
+		}
+		q.Output = []string{c.name, diffOutputCols[rng.Intn(len(diffOutputCols))]}
+		var ref [][]int64
+		for _, s := range matstore.Strategies {
+			for _, db := range []*matstore.DB{fused, unfused} {
+				q.Parallelism = 1 + 3*rng.Intn(2)
+				res, _, err := db.Select(tpch.LineitemProj, q, s)
+				if err != nil {
+					t.Fatalf("iter %d %v: %v (q=%+v)", iter, s, err, q)
+				}
+				rowsSorted := sortedRows(res)
+				if ref == nil {
+					ref = rowsSorted
+				} else if !reflect.DeepEqual(rowsSorted, ref) {
+					t.Fatalf("iter %d: %v disagrees (q=%+v)", iter, s, q)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialFusedZoneIndex pins the zone-index interplay with fusion:
+// a fused interval+Ne conjunction over the sorted column must return
+// identical results with and without UseZoneIndex (which routes the
+// interval through block zones and applies the Ne residue by a batched
+// gather of the sparse survivors, or falls back to the fused window scan
+// when survivors are dense), under both LM strategies and vs the unfused
+// reference.
+func TestDifferentialFusedZoneIndex(t *testing.T) {
+	base := diffDB(t)
+	zoned := open(t, matstore.Options{Exec: core.Options{ChunkSize: 1024, UseZoneIndex: true}})
+	zonedUnfused := open(t, matstore.Options{Exec: core.Options{ChunkSize: 1024, UseZoneIndex: true, DisableFusion: true}})
+	for _, sel := range []float64{0, 0.01, 0.3, 0.9, 1} {
+		hi := tpch.ShipdateForSelectivity(sel)
+		q := matstore.Query{
+			Output: []string{tpch.ColShipdate, tpch.ColQuantity},
+			Filters: []matstore.Filter{
+				{Col: tpch.ColShipdate, Pred: matstore.AtLeast(hi / 4)},
+				{Col: tpch.ColShipdate, Pred: matstore.LessThan(hi)},
+				{Col: tpch.ColShipdate, Pred: matstore.NotEquals(hi / 2)},
+			},
+		}
+		var ref [][]int64
+		for dbName, db := range map[string]*matstore.DB{"plain": base, "zoned": zoned, "zoned-unfused": zonedUnfused} {
+			for _, s := range []matstore.Strategy{matstore.LMPipelined, matstore.LMParallel} {
+				for _, par := range []int{1, 4} {
+					q.Parallelism = par
+					res, _, err := db.Select(tpch.LineitemProj, q, s)
+					if err != nil {
+						t.Fatalf("sel=%v %s/%v: %v", sel, dbName, s, err)
+					}
+					rowsSorted := sortedRows(res)
+					if ref == nil {
+						ref = rowsSorted
+					} else if !reflect.DeepEqual(rowsSorted, ref) {
+						t.Errorf("sel=%v %s/%v/par=%d disagrees", sel, dbName, s, par)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package matstore
+
+import (
+	"fmt"
+
+	"matstore/internal/plan"
+)
+
+// Explanation is the result of DB.Explain: the physical plan a strategy
+// builds for a query, annotated per node with the analytical model's cost
+// prediction AND the counters observed while actually executing it. When
+// the advisor's ranking disagrees with reality, the node whose modeled and
+// observed columns diverge names the mis-modeled operator.
+type Explanation struct {
+	// Strategy is the strategy whose plan was explained.
+	Strategy Strategy
+	// Plan is the underlying annotated plan tree (for programmatic access).
+	Plan *plan.Plan
+	// Tree is the rendered node tree, one line per node with modeled and
+	// observed columns.
+	Tree string
+	// Modeled is the sum of the per-node model predictions (µs).
+	Modeled Cost
+	// Stats is the execution's query-level statistics.
+	Stats *Stats
+	// Result is the query result produced by the explain run.
+	Result *Result
+}
+
+// String renders the explanation: the node tree followed by the modeled
+// total and the observed execution summary.
+func (ex *Explanation) String() string {
+	return ex.Tree + fmt.Sprintf(
+		"modeled total: cpu=%.0fµs io=%.0fµs (%.0fµs)\nobserved: wall=%v workers=%d morsels=%d tuples_out=%d tuples_constructed=%d chunks_skipped=%d\n",
+		ex.Modeled.CPU, ex.Modeled.IO, ex.Modeled.Total(),
+		ex.Stats.Wall, ex.Stats.Workers, ex.Stats.Morsels,
+		ex.Stats.TuplesOut, ex.Stats.TuplesConstructed, ex.Stats.ChunksSkipped)
+}
+
+// Explain builds the physical plan the strategy would run for q, annotates
+// every node with the analytical model's predicted cost (Table 2 constants,
+// warm pool), executes the plan with per-node observation enabled, and
+// returns the rendered tree with modeled vs. observed stats side by side.
+// q.Parallelism controls the observed run exactly as in Select.
+func (db *DB) Explain(projection string, q Query, s Strategy) (*Explanation, error) {
+	p, err := db.inner.Projection(projection)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := db.exec.BuildPlan(p, q, s)
+	if err != nil {
+		return nil, err
+	}
+	PaperConstants().AnnotatePlan(pl, true)
+	res, stats, err := db.exec.RunPlan(pl, s, q.Parallelism, true)
+	if err != nil {
+		return nil, err
+	}
+	total := pl.ModeledTotal()
+	return &Explanation{
+		Strategy: s,
+		Plan:     pl,
+		Tree:     pl.Render(),
+		Modeled:  Cost{CPU: total.CPU, IO: total.IO},
+		Stats:    stats,
+		Result:   res,
+	}, nil
+}

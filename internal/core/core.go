@@ -18,6 +18,12 @@
 // default (mini-columns are retained so DS3 never re-reads a block);
 // Options.DisableMultiColumn forces the column re-access the paper
 // describes as the fundamental LM penalty.
+//
+// Since PR 3 each strategy is a plan BUILDER (builders.go): it assembles a
+// tree of internal/plan operator nodes, and the single generic morsel
+// executor in internal/plan runs any such tree. Consecutive same-column
+// predicates fuse into one multi-predicate scan node unless
+// Options.DisableFusion splits them apart.
 package core
 
 import (
@@ -27,9 +33,8 @@ import (
 
 	"matstore/internal/buffer"
 	"matstore/internal/datasource"
-	"matstore/internal/exec"
 	"matstore/internal/operators"
-	"matstore/internal/positions"
+	"matstore/internal/plan"
 	"matstore/internal/pred"
 	"matstore/internal/rows"
 	"matstore/internal/storage"
@@ -188,6 +193,10 @@ type Options struct {
 	// paper charges numOutTuples × TIC_TUP for result iteration in both
 	// model and experiments, so the default (false) mirrors that.
 	SkipOutputIteration bool
+	// DisableFusion keeps every WHERE predicate its own scan node instead
+	// of fusing consecutive same-column predicates into one multi-predicate
+	// pass (the unfused reference path; ablation and differential testing).
+	DisableFusion bool
 }
 
 func (o Options) chunkSize() int64 {
@@ -238,106 +247,37 @@ func NewExecutor(pool *buffer.Pool, opt Options) *Executor {
 	return &Executor{Pool: pool, Opt: opt}
 }
 
-// morselPlan is a compiled single-strategy plan that can execute any
-// chunk-aligned sub-range of the projection's position space independently,
-// accumulating into a private partial. All column handles are resolved at
-// compile time; runMorsel touches only shared-read state plus the
-// concurrency-safe buffer pool, so morsels run on concurrent workers.
-type morselPlan interface {
-	runMorsel(r positions.Range, pt *partial) error
-}
-
-// partial is one morsel's private execution state: an aggregator or a
-// columnar result (never both), plus counter deltas. Partials merge in
-// morsel order — position lists concatenate in block order, rows
-// concatenate in block order, aggregate states combine through the
-// operators.Mergeable contract — which makes parallel output byte-identical
-// to serial output.
-type partial struct {
-	agg *operators.Aggregator
-	res *rows.Result
-	// matched holds the morsel's per-chunk matched-position descriptors in
-	// block order (LM plans, which materialize position sets; EM plans
-	// count matches inline in stats instead).
-	matched []positions.Set
-	stats   Stats
-}
-
-// init allocates the partial's accumulator for q's shape and returns both
-// slots (one of them nil).
-func (pt *partial) init(q SelectQuery) (*operators.Aggregator, *rows.Result) {
-	if q.Aggregating() {
-		pt.agg = operators.NewAggregator(q.Agg)
-		return pt.agg, nil
-	}
-	pt.res = rows.NewResult(q.outputNames()...)
-	return nil, pt.res
-}
-
-// addCounters folds a morsel's counter deltas into the query stats.
-func (s *Stats) addCounters(d Stats) {
-	s.TuplesConstructed += d.TuplesConstructed
-	s.PositionsMatched += d.PositionsMatched
-	s.ChunksSkipped += d.ChunksSkipped
-}
-
-// compile resolves q's columns into a strategy plan.
-func (e *Executor) compile(p *storage.Projection, q SelectQuery, s Strategy) (morselPlan, error) {
-	switch s {
-	case EMPipelined:
-		return e.compileEMPipelined(p, q)
-	case EMParallel:
-		return e.compileEMParallel(p, q)
-	case LMPipelined:
-		return e.compileLM(p, q, true)
-	case LMParallel:
-		return e.compileLM(p, q, false)
-	default:
-		return nil, fmt.Errorf("core: unknown strategy %v", s)
-	}
-}
-
 // Select runs q against p with the chosen materialization strategy,
-// morsel-parallel across q.Parallelism workers (0 = one per CPU).
+// morsel-parallel across q.Parallelism workers (0 = one per CPU): the
+// strategy builds its physical plan (BuildPlan) and the generic plan
+// executor runs it (RunPlan).
 func (e *Executor) Select(p *storage.Projection, q SelectQuery, s Strategy) (*rows.Result, *Stats, error) {
-	if err := q.Validate(p); err != nil {
+	pl, err := e.BuildPlan(p, q, s)
+	if err != nil {
 		return nil, nil, err
 	}
+	return e.RunPlan(pl, s, q.Parallelism, false)
+}
+
+// RunPlan executes a built physical plan through the generic morsel
+// executor, wrapping the run in the query-level accounting (wall time,
+// buffer-pool deltas, output iteration). With observe set, every plan node
+// accumulates observed rows/time for EXPLAIN.
+func (e *Executor) RunPlan(pl *plan.Plan, s Strategy, parallelism int, observe bool) (*rows.Result, *Stats, error) {
 	stats := &Stats{Strategy: s}
 	before := e.Pool.Stats()
 	start := time.Now()
 
-	plan, err := e.compile(p, q, s)
+	res, runStats, err := pl.Run(parallelism, observe)
 	if err != nil {
 		return nil, nil, err
 	}
-	workers := exec.Resolve(q.Parallelism)
-	morsels := exec.Morsels(positions.Range{Start: 0, End: p.TupleCount()}, e.Opt.chunkSize(), workers)
-	parts := make([]*partial, len(morsels))
-	err = exec.Run(workers, len(morsels), func(i int) error {
-		pt := &partial{}
-		if err := plan.runMorsel(morsels[i], pt); err != nil {
-			return err
-		}
-		parts[i] = pt
-		return nil
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	if len(parts) == 0 {
-		// Empty projection: no morsels exist, so synthesize one empty
-		// partial and let the merge produce a valid empty result.
-		pt := &partial{}
-		pt.init(q)
-		parts = []*partial{pt}
-	}
-	res := mergePartials(q, parts, stats)
-	if workers > len(morsels) {
-		workers = len(morsels) // a worker without a morsel never runs
-	}
-	stats.Workers = workers
-	stats.Morsels = len(morsels)
+	stats.TuplesConstructed = runStats.TuplesConstructed
+	stats.PositionsMatched = runStats.PositionsMatched
+	stats.ChunksSkipped = runStats.ChunksSkipped
+	stats.Groups = runStats.Groups
+	stats.Workers = runStats.Workers
+	stats.Morsels = runStats.Morsels
 
 	if !e.Opt.SkipOutputIteration {
 		stats.OutputChecksum = drainResult(res)
@@ -352,43 +292,6 @@ func (e *Executor) Select(p *storage.Projection, q SelectQuery, s Strategy) (*ro
 		Seeks:  after.Seeks - before.Seeks,
 	}
 	return res, stats, nil
-}
-
-// mergePartials recombines per-morsel partials deterministically: aggregate
-// states merge through the mergeable-state contract and emit sorted by key;
-// row partials concatenate in morsel (block) order. A lone partial is
-// adopted wholesale, so serial execution does no extra copying.
-func mergePartials(q SelectQuery, parts []*partial, stats *Stats) *rows.Result {
-	var matched []positions.Set
-	for _, pt := range parts {
-		stats.addCounters(pt.stats)
-		matched = append(matched, pt.matched...)
-	}
-	if len(matched) > 0 {
-		// Positions-domain merge: per-chunk descriptors, already in block
-		// order across morsels, concatenate into the query's matched
-		// position set; its cardinality is the PositionsMatched stat.
-		stats.PositionsMatched += positions.Concat(matched...).Count()
-	}
-	if q.Aggregating() {
-		agg := parts[0].agg
-		for _, pt := range parts[1:] {
-			agg.Merge(pt.agg)
-		}
-		res := agg.Emit(q.outputNames()[0], q.outputNames()[1])
-		stats.Groups = agg.Groups()
-		stats.TuplesConstructed += int64(res.NumRows())
-		return res
-	}
-	res := parts[0].res
-	for _, pt := range parts[1:] {
-		if err := res.Append(pt.res); err != nil {
-			// Partials are built from the same query schema; a mismatch is a
-			// programming error, not a runtime condition.
-			panic("core: " + err.Error())
-		}
-	}
-	return res
 }
 
 // drainResult iterates over every output tuple, as the paper's experiments

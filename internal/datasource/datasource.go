@@ -63,11 +63,17 @@ func (c Chunker) Chunk(i int) positions.Range {
 }
 
 // DS1 scans a column and produces, per chunk, the positions whose values
-// satisfy the predicate, along with the chunk's mini-column (so the caller
-// can attach it to a multi-column for later value extraction).
+// satisfy the predicate conjunction, along with the chunk's mini-column (so
+// the caller can attach it to a multi-column for later value extraction).
 type DS1 struct {
 	Col  *storage.Column
 	Pred pred.Predicate
+	// Preds, when non-empty, is a fused predicate conjunction replacing Pred:
+	// all k predicates are evaluated in a single pass over each loaded chunk
+	// (pred.CompileFused) instead of k scans ANDed downstream. Callers should
+	// pass the pred.SimplifyConj form so interval conjunctions collapse to
+	// one predicate and stay eligible for the zone-index fast path.
+	Preds []pred.Predicate
 	// ForceBitmap requests bitmap position output regardless of shape (the
 	// position-representation ablation).
 	ForceBitmap bool
@@ -76,33 +82,137 @@ type DS1 struct {
 	// the fast path applies, no mini-column is produced (the values were
 	// never accessed) and the returned mini-column is nil.
 	UseZoneIndex bool
+	// fused caches the compiled k-ary conjunction kernel (CompilePreds).
+	fused pred.Kernel
 }
 
-// ScanChunk reads the chunk window and applies the predicate. The returned
-// mini-column is nil when the zone-index fast path resolved the predicate
-// without materializing the window.
+// CompilePreds caches the fused conjunction kernel so per-chunk ScanChunk
+// calls skip recompilation. Call it once per morsel after constructing the
+// DS1; a nil receiver state recompiles lazily.
+func (ds *DS1) CompilePreds() {
+	if len(ds.Preds) > 1 {
+		ds.fused = pred.CompileFused(ds.Preds)
+	}
+}
+
+// pred1 returns the single effective predicate and true when the data source
+// is not running a k-ary fused conjunction.
+func (ds *DS1) pred1() (pred.Predicate, bool) {
+	switch len(ds.Preds) {
+	case 0:
+		return ds.Pred, true
+	case 1:
+		return ds.Preds[0], true
+	default:
+		return pred.Predicate{}, false
+	}
+}
+
+// ScanChunk reads the chunk window and applies the predicate(s). The
+// returned mini-column is nil when the zone-index fast path resolved the
+// predicate without materializing the window.
 func (ds *DS1) ScanChunk(r positions.Range) (positions.Set, encoding.MiniColumn, error) {
 	if ds.UseZoneIndex {
-		ps, used, err := ds.Col.ZonePositions(r, ds.Pred)
-		if err != nil {
-			return nil, nil, err
-		}
-		if used {
-			if ds.ForceBitmap && ps.Kind() != positions.KindBitmap && ps.Kind() != positions.KindEmpty {
-				ps = positions.ToBitmap(ps, r.Intersect(ds.Col.Extent()))
+		if p, single := ds.pred1(); single {
+			ps, used, err := ds.Col.ZonePositions(r, p)
+			if err != nil {
+				return nil, nil, err
 			}
-			return ps, nil, nil
+			if used {
+				return ds.forceBitmap(ps, r.Intersect(ds.Col.Extent())), nil, nil
+			}
+		} else if ps, used, err := ds.zoneFusedScan(r); err != nil {
+			return nil, nil, err
+		} else if used {
+			return ds.forceBitmap(ps, r.Intersect(ds.Col.Extent())), nil, nil
 		}
 	}
 	mc, err := ds.Col.Window(r)
 	if err != nil {
 		return nil, nil, err
 	}
-	ps := mc.Filter(ds.Pred)
-	if ds.ForceBitmap && ps.Kind() != positions.KindBitmap && ps.Kind() != positions.KindEmpty {
-		ps = positions.ToBitmap(ps, mc.Covering())
+	var ps positions.Set
+	if p, single := ds.pred1(); single {
+		ps = mc.Filter(p)
+	} else {
+		k := ds.fused
+		if k == nil {
+			k = pred.CompileFused(ds.Preds)
+		}
+		ps = encoding.FilterFusedKernel(mc, ds.Preds, k)
 	}
-	return ps, mc, nil
+	return ds.forceBitmap(ps, mc.Covering()), mc, nil
+}
+
+// zoneFusedScan is the zone-index path for a fused conjunction of one
+// interval predicate plus Ne residue (the only multi-predicate shape
+// pred.SimplifyConj leaves): the interval part derives positions from the
+// block zones exactly as the single-predicate path does, and when the
+// survivors are sparse the residue is applied by a batched block-pinned
+// gather of just their values — so fusion keeps the zone index's block
+// skipping instead of regressing to a full window scan. Dense survivor
+// sets fall back to the window + fused-kernel path (used=false), which is
+// cheaper than gathering most of the chunk.
+func (ds *DS1) zoneFusedScan(r positions.Range) (positions.Set, bool, error) {
+	if _, _, ok := ds.Preds[0].Interval(); !ok {
+		return nil, false, nil // pure-Ne conjunction: zones carry no information
+	}
+	for _, p := range ds.Preds[1:] {
+		if p.Op != pred.Ne {
+			return nil, false, nil
+		}
+	}
+	ps, used, err := ds.Col.ZonePositions(r, ds.Preds[0])
+	if err != nil || !used {
+		return nil, used, err
+	}
+	n := ps.Count()
+	window := r.Intersect(ds.Col.Extent())
+	if n == 0 {
+		return positions.Empty{}, true, nil
+	}
+	if n*4 > window.Len() {
+		return nil, false, nil // dense: let the fused window scan handle it
+	}
+	vals, err := ds.Col.GatherAt(ps, make([]int64, 0, n))
+	if err != nil {
+		return nil, false, err
+	}
+	match := pred.CompileFusedMatcher(ds.Preds[1:])
+	b := positions.NewBuilder(window)
+	i := 0
+	it := ps.Runs()
+	for {
+		run, ok := it.Next()
+		if !ok {
+			break
+		}
+		runStart := int64(-1)
+		for p := run.Start; p < run.End; p++ {
+			if match(vals[i]) {
+				if runStart < 0 {
+					runStart = p
+				}
+			} else if runStart >= 0 {
+				b.AddRange(positions.Range{Start: runStart, End: p})
+				runStart = -1
+			}
+			i++
+		}
+		if runStart >= 0 {
+			b.AddRange(positions.Range{Start: runStart, End: run.End})
+		}
+	}
+	return b.Build(), true, nil
+}
+
+// forceBitmap applies the position-representation ablation to a scan's
+// output set.
+func (ds *DS1) forceBitmap(ps positions.Set, extent positions.Range) positions.Set {
+	if ds.ForceBitmap && ps.Kind() != positions.KindBitmap && ps.Kind() != positions.KindEmpty {
+		return positions.ToBitmap(ps, extent)
+	}
+	return ps
 }
 
 // DS2 scans a column and produces, per chunk, early-materialized
@@ -112,6 +222,19 @@ func (ds *DS1) ScanChunk(r positions.Range) (positions.Set, encoding.MiniColumn,
 type DS2 struct {
 	Col  *storage.Column
 	Pred pred.Predicate
+	// Preds, when non-empty, is a fused predicate conjunction replacing Pred
+	// (see DS1.Preds): one pass over the chunk evaluates all k predicates.
+	Preds []pred.Predicate
+	// fused caches the compiled conjunction kernel (CompilePreds).
+	fused pred.Kernel
+}
+
+// CompilePreds caches the fused conjunction kernel so per-chunk calls skip
+// recompilation. Call it once per morsel after constructing the DS2.
+func (ds *DS2) CompilePreds() {
+	if len(ds.Preds) > 1 {
+		ds.fused = pred.CompileFused(ds.Preds)
+	}
 }
 
 // ScanChunk returns a batch with one column named after the stored column.
@@ -120,7 +243,19 @@ func (ds *DS2) ScanChunk(r positions.Range, name string) (*rows.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	ps := mc.Filter(ds.Pred)
+	var ps positions.Set
+	switch len(ds.Preds) {
+	case 0:
+		ps = mc.Filter(ds.Pred)
+	case 1:
+		ps = mc.Filter(ds.Preds[0])
+	default:
+		k := ds.fused
+		if k == nil {
+			k = pred.CompileFused(ds.Preds)
+		}
+		ps = encoding.FilterFusedKernel(mc, ds.Preds, k)
+	}
 	batch := rows.NewBatch(name)
 	it := ps.Runs()
 	scratch := positions.Ranges{{}}
@@ -176,7 +311,10 @@ func (ds DS3) ValuesGather(ps positions.Set, dst []int64) ([]int64, error) {
 type DS4 struct {
 	Col  *storage.Column
 	Pred pred.Predicate
-	// match is the cached compiled form of Pred (see CompilePred).
+	// Preds, when non-empty, is a fused predicate conjunction replacing Pred:
+	// the compiled matcher evaluates all k predicates per gathered value.
+	Preds []pred.Predicate
+	// match is the cached compiled form of the predicate(s) (see CompilePred).
 	match pred.Matcher
 }
 
@@ -220,7 +358,7 @@ func (ds *DS4) ExtendChunkBatched(in *rows.Batch, colName string, valBuf []int64
 	}
 	match := ds.match
 	if match == nil {
-		match = pred.CompileMatcher(ds.Pred)
+		match = ds.compileMatcher()
 	}
 	last := len(out.Cols) - 1
 	for i, v := range valBuf {
@@ -236,6 +374,13 @@ func (ds *DS4) ExtendChunkBatched(in *rows.Batch, colName string, valBuf []int64
 	return out, valBuf, nil
 }
 
-// CompilePred caches the compiled form of Pred so per-chunk calls skip
-// recompilation. Call it once after constructing the DS4.
-func (ds *DS4) CompilePred() { ds.match = pred.CompileMatcher(ds.Pred) }
+// CompilePred caches the compiled form of the predicate(s) so per-chunk
+// calls skip recompilation. Call it once after constructing the DS4.
+func (ds *DS4) CompilePred() { ds.match = ds.compileMatcher() }
+
+func (ds *DS4) compileMatcher() pred.Matcher {
+	if len(ds.Preds) > 0 {
+		return pred.CompileFusedMatcher(ds.Preds)
+	}
+	return pred.CompileMatcher(ds.Pred)
+}

@@ -177,3 +177,96 @@ func BenchmarkDecodeRLEBlock(b *testing.B) {
 		}
 	}
 }
+
+// Fused multi-predicate scan benchmarks: FilterFused evaluates k predicates
+// over one column in a single pass; the unfused reference runs k Filter
+// scans and ANDs the resulting position sets. The interval pair collapses
+// to one compiled kernel (the planner's common case); the +Ne variant keeps
+// a genuine 2-ary fused kernel.
+func BenchmarkFilterFused2(b *testing.B) {
+	m := PlainMiniFromValues(0, benchValsRandom(1<<16, 1000))
+	ps := []pred.Predicate{pred.AtLeast(100), pred.LessThan(900)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if FilterFused(m, ps).Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFilterUnfused2(b *testing.B) {
+	m := PlainMiniFromValues(0, benchValsRandom(1<<16, 1000))
+	ps := []pred.Predicate{pred.AtLeast(100), pred.LessThan(900)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := positions.And(m.Filter(ps[0]), m.Filter(ps[1]))
+		if out.Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFilterFused3Ne(b *testing.B) {
+	m := PlainMiniFromValues(0, benchValsRandom(1<<16, 1000))
+	ps := []pred.Predicate{pred.AtLeast(100), pred.LessThan(900), pred.NotEquals(500)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if FilterFused(m, ps).Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFilterUnfused3Ne(b *testing.B) {
+	m := PlainMiniFromValues(0, benchValsRandom(1<<16, 1000))
+	ps := []pred.Predicate{pred.AtLeast(100), pred.LessThan(900), pred.NotEquals(500)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := m.Filter(ps[0])
+		for _, p := range ps[1:] {
+			out = positions.And(out, m.Filter(p))
+		}
+		if out.Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// Adaptive FilterAt benchmarks: the dense regime (a near-full candidate set,
+// where the compiled kernel path wins) and the sparse regime (a few
+// candidates, where the run-builder path wins), both driven through the
+// adaptive policy as the executor drives them.
+func BenchmarkFilterAtAdaptiveDense(b *testing.B) {
+	m := PlainMiniFromValues(0, benchValsRandom(1<<16, 1000))
+	cand := positions.NewRanges(positions.Range{Start: 0, End: 1 << 16})
+	p := pred.LessThan(500)
+	var pol AdaptiveFilterAt
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pol.FilterAt(m, cand, p).Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFilterAtAdaptiveSparse(b *testing.B) {
+	m := PlainMiniFromValues(0, benchValsRandom(1<<16, 1000))
+	var cand positions.List
+	for p := int64(0); p < 1<<16; p += 1024 {
+		cand = append(cand, p)
+	}
+	p := pred.LessThan(999)
+	var pol AdaptiveFilterAt
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pol.FilterAt(m, cand, p).Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package encoding
+
+import (
+	"matstore/internal/kernels"
+	"matstore/internal/positions"
+	"matstore/internal/pred"
+)
+
+// This file implements the mini-column side of multi-predicate fusion: a
+// conjunction of predicates over one column evaluated in a single pass over
+// the window, instead of k passes producing k position sets that are ANDed.
+
+// FilterFused applies the conjunction ps to every value in mc, returning the
+// positions satisfying ALL predicates — semantically identical to
+// mc.Filter(ps[0]) ∩ … ∩ mc.Filter(ps[k-1]) but evaluated in one pass.
+// The conjunction is simplified first (interval predicates intersect into
+// one), so the common multi-bound range query runs a single compiled kernel.
+// Chunk-at-a-time callers should simplify and compile once per morsel and
+// use FilterFusedKernel instead of paying recompilation per chunk.
+func FilterFused(mc MiniColumn, ps []pred.Predicate) positions.Set {
+	ps = pred.SimplifyConj(ps)
+	if len(ps) == 1 {
+		return mc.Filter(ps[0])
+	}
+	return FilterFusedKernel(mc, ps, pred.CompileFused(ps))
+}
+
+// FilterFusedKernel is the precompiled fused scan: ps is a simplified
+// conjunction of at least two predicates and k its pred.CompileFused
+// kernel. Plain data runs the fused kernel (k compiled predicates per
+// loaded value, comparison words ANDed in registers); compressed encodings
+// filter once and narrow in place, never re-reading the window.
+func FilterFusedKernel(mc MiniColumn, ps []pred.Predicate, k pred.Kernel) positions.Set {
+	if pm, ok := mc.(*PlainMini); ok {
+		return pm.filterFusedKernel(k)
+	}
+	out := mc.Filter(ps[0])
+	for _, p := range ps[1:] {
+		if out.Count() == 0 {
+			return positions.Empty{}
+		}
+		out = mc.FilterAt(out, p)
+	}
+	return out
+}
+
+// FilterAtFused applies the conjunction ps at the candidate positions in
+// cand, narrowing in place. The predicates are applied as given — callers
+// wanting algebraic collapse pass a pred.SimplifyConj form (the planner
+// stores exactly that on its nodes). The adaptive dense/sparse choice uses
+// pol when non-nil, consulted for the first conjunct only: the policy
+// tracks the node's CANDIDATE density across chunks, which later conjuncts'
+// already-narrowed inputs would corrupt.
+func FilterAtFused(mc MiniColumn, cand positions.Set, ps []pred.Predicate, pol *AdaptiveFilterAt) positions.Set {
+	out := cand
+	for i, p := range ps {
+		if out.Count() == 0 {
+			return positions.Empty{}
+		}
+		if pol != nil && i == 0 {
+			out = pol.FilterAt(mc, out, p)
+		} else {
+			out = mc.FilterAt(out, p)
+		}
+	}
+	return out
+}
+
+// filterFusedKernel is the plain-data fused scan: one pass over the
+// window's segments through the fused kernel, emitting straight into the
+// filter bitmap exactly like Filter.
+func (m *PlainMini) filterFusedKernel(k pred.Kernel) positions.Set {
+	bm := m.newFilterBitmap()
+	for _, s := range m.segs {
+		kernels.FilterIntoBitmap(bm, s.start, s.vals, k)
+	}
+	if bm.Count() == 0 {
+		return positions.Empty{}
+	}
+	return bm
+}
+
+// AdaptiveFilterAt chooses the FilterAt dense/sparse execution path per
+// chunk from the candidate-set density observed on the previous chunk,
+// replacing the fixed absolute cutoff: selectivity is strongly correlated
+// across neighbouring chunks (sorted and clustered columns especially), so
+// last chunk's candidate density is a better predictor of whether the
+// word-at-a-time kernel (dense) or the run-builder (sparse) pays off than a
+// static count threshold that ignores the window width. The zero value is
+// ready to use; the first chunk falls back to the static cutoff. One policy
+// instance serves one scan chain inside one morsel (it is not safe for
+// concurrent use — each worker keeps its own).
+type AdaptiveFilterAt struct {
+	prevDensity float64
+	seen        bool
+}
+
+// FilterAt runs mc.FilterAt with the adaptively chosen path for plain
+// windows (other encodings have no dense/sparse split) and records the
+// chunk's candidate density for the next decision.
+func (a *AdaptiveFilterAt) FilterAt(mc MiniColumn, ps positions.Set, p pred.Predicate) positions.Set {
+	pm, ok := mc.(*PlainMini)
+	if !ok {
+		return mc.FilterAt(ps, p)
+	}
+	count := ps.Count()
+	width := pm.Covering().Len()
+	out := pm.FilterAtChoice(ps, p, a.dense(count, width))
+	a.observe(count, width)
+	return out
+}
+
+// dense decides the path for a candidate set of count positions over a
+// window of width: predicted count from the previous chunk's density when
+// available, the static cutoff on the current count otherwise.
+func (a *AdaptiveFilterAt) dense(count, width int64) bool {
+	if a.seen && width > 0 {
+		return a.prevDensity*float64(width) > filterAtDenseCutoff
+	}
+	return count > filterAtDenseCutoff
+}
+
+// observe records the chunk's candidate density.
+func (a *AdaptiveFilterAt) observe(count, width int64) {
+	if width > 0 {
+		a.prevDensity = float64(count) / float64(width)
+		a.seen = true
+	}
+}

@@ -181,3 +181,144 @@ func TestDifferentialExtractAfterKernels(t *testing.T) {
 		}
 	}
 }
+
+// fusedConjCases draws conjunctions spanning the shapes SimplifyConj and the
+// fused kernel must handle: pure interval pairs (collapse to one kernel),
+// interval+Ne residue (true k-ary fused kernel), contradictions, and
+// trivial conjuncts.
+func fusedConjCases() [][]pred.Predicate {
+	d := int64(diffDomain)
+	return [][]pred.Predicate{
+		{pred.AtLeast(d / 4), pred.LessThan(3 * d / 4)},
+		{pred.LessThan(3 * d / 4), pred.AtLeast(d / 4), pred.NotEquals(d / 2)},
+		{pred.NotEquals(d / 3), pred.NotEquals(d / 2)},
+		{pred.MatchAll, pred.LessThan(d / 100)},
+		{pred.AtLeast(d), pred.LessThan(1)}, // contradiction
+		{pred.InRange(0, d), pred.InRange(d/2, d/2+1), pred.NotEquals(d / 2)}, // collapses to None
+		{pred.GreaterThan(d * 99 / 100), pred.NotEquals(d - 1)},
+		{pred.MatchAll, pred.MatchAll, pred.MatchAll},
+	}
+}
+
+// TestDifferentialFilterFused: for every encoding and conjunction shape, the
+// single-pass fused filter must equal the AND of per-predicate scalar
+// reference filters — the unfused path.
+func TestDifferentialFilterFused(t *testing.T) {
+	for _, c := range diffMinis(t) {
+		for ci, ps := range fusedConjCases() {
+			got := FilterFused(c.mc, ps)
+			want := c.filter(ps[0])
+			for _, p := range ps[1:] {
+				want = positions.And(want, c.filter(p))
+			}
+			if !positions.Equal(got, want) {
+				t.Fatalf("%s FilterFused case %d (%v): fused %d positions, unfused %d",
+					c.name, ci, ps, got.Count(), want.Count())
+			}
+		}
+	}
+}
+
+// TestDifferentialFilterAtFused checks the fused candidate-narrowing path
+// (with and without the adaptive policy) against sequential per-predicate
+// FilterAt over every candidate representation.
+func TestDifferentialFilterAtFused(t *testing.T) {
+	for _, c := range diffMinis(t) {
+		cands := diffCandidates(c.mc.Covering())
+		for ci, ps := range fusedConjCases() {
+			for cname, cand := range cands {
+				want := cand
+				for _, p := range ps {
+					want = c.filterAt(want, p)
+				}
+				got := FilterAtFused(c.mc, cand, ps, nil)
+				if !positions.Equal(got, want) {
+					t.Fatalf("%s FilterAtFused(%s) case %d: fused %d positions, sequential %d",
+						c.name, cname, ci, got.Count(), want.Count())
+				}
+				var pol AdaptiveFilterAt
+				gotPol := FilterAtFused(c.mc, cand, ps, &pol)
+				if !positions.Equal(gotPol, want) {
+					t.Fatalf("%s FilterAtFused(%s, adaptive) case %d: %d positions, want %d",
+						c.name, cname, ci, gotPol.Count(), want.Count())
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialFilterAtChoice forces BOTH the dense (kernel+bitmap) and
+// sparse (run-builder) FilterAt paths for every plain case, candidate shape
+// and predicate — each regime must match the scalar reference regardless of
+// what the cutoff would have chosen.
+func TestDifferentialFilterAtChoice(t *testing.T) {
+	for _, c := range diffMinis(t) {
+		pm, ok := c.mc.(*PlainMini)
+		if !ok {
+			continue
+		}
+		cands := diffCandidates(c.mc.Covering())
+		for _, op := range diffOps {
+			for pi, p := range diffPredicates(op) {
+				for cname, ps := range cands {
+					want := c.filterAt(ps, p)
+					for _, dense := range []bool{false, true} {
+						got := pm.FilterAtChoice(ps, p, dense)
+						if !positions.Equal(got, want) {
+							t.Fatalf("%s FilterAtChoice(%s, %v, dense=%v) [case %d]: %d positions, scalar %d",
+								c.name, cname, p, dense, pi, got.Count(), want.Count())
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveFilterAtPolicy pins the decision rule: the first chunk uses
+// the static cutoff, later chunks predict from the previous chunk's
+// candidate density, and the policy actually switches regimes when density
+// crosses the threshold.
+func TestAdaptiveFilterAtPolicy(t *testing.T) {
+	var a AdaptiveFilterAt
+	const width = 1 << 16
+	// No history: static cutoff on the current count.
+	if a.dense(filterAtDenseCutoff, width) {
+		t.Error("first chunk: count at cutoff should be sparse")
+	}
+	if !a.dense(filterAtDenseCutoff+1, width) {
+		t.Error("first chunk: count above cutoff should be dense")
+	}
+	// Dense history: a dense previous chunk predicts dense even when the
+	// current count is small.
+	a.observe(width/2, width)
+	if !a.dense(8, width) {
+		t.Error("dense history should choose the dense path")
+	}
+	// Sparse history: predicts sparse even for a count above the cutoff.
+	a.observe(4, width)
+	if a.dense(100000, width) {
+		t.Error("sparse history should choose the sparse path")
+	}
+	// The policy-driven path must agree with the static path on results
+	// across a chunk sequence whose density flips between regimes.
+	vals := make([]int64, 4096)
+	for i := range vals {
+		vals[i] = int64(i % 251)
+	}
+	m := PlainMiniFromValues(0, vals)
+	p := pred.LessThan(200)
+	var pol AdaptiveFilterAt
+	for chunk, cand := range []positions.Set{
+		positions.NewRanges(positions.Range{Start: 0, End: 4096}), // dense
+		positions.List{1, 2, 4093},                                // sparse
+		positions.NewRanges(positions.Range{Start: 64, End: 3200}),
+		positions.List{700},
+	} {
+		got := pol.FilterAt(m, cand, p)
+		want := m.filterAtScalar(cand, p)
+		if !positions.Equal(got, want) {
+			t.Fatalf("adaptive chunk %d: %d positions, want %d", chunk, got.Count(), want.Count())
+		}
+	}
+}

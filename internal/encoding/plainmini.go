@@ -101,17 +101,31 @@ func (m *PlainMini) newFilterBitmap() *positions.Bitmap {
 	return positions.NewBitmap(start, m.cov.End-start)
 }
 
-// filterAtDenseCutoff is the position count above which FilterAt switches
-// from the adaptive run-builder output to the compiled word-at-a-time kernel
+// filterAtDenseCutoff is the static position count above which FilterAt
+// switches from the run-builder output to the compiled word-at-a-time kernel
 // emitting a bitmap: below it the candidate set is sparse enough that a
 // compact list/range output is worth keeping for downstream intersections.
+// It is the fallback decision rule; the executor drives the per-chunk choice
+// through AdaptiveFilterAt, which predicts from the previous chunk's
+// observed candidate density instead.
 const filterAtDenseCutoff = 128
 
-// FilterAt applies p only at the positions in ps. Dense candidate sets run
-// through the compiled kernel run-by-run straight into a bitmap; sparse sets
-// keep the adaptive representation, evaluated with a compiled scalar matcher.
+// FilterAt applies p only at the positions in ps, choosing the execution
+// path by the static cutoff on the candidate count. Chunk-at-a-time callers
+// should prefer AdaptiveFilterAt, which feeds FilterAtChoice from observed
+// density.
 func (m *PlainMini) FilterAt(ps positions.Set, p pred.Predicate) positions.Set {
-	if ps.Count() <= filterAtDenseCutoff {
+	return m.FilterAtChoice(ps, p, ps.Count() > filterAtDenseCutoff)
+}
+
+// FilterAtChoice is FilterAt with the dense/sparse decision made by the
+// caller. Dense candidate sets run through the compiled kernel run-by-run
+// straight into a bitmap; sparse sets keep the adaptive run-builder
+// representation, evaluated with a compiled scalar matcher. Both paths
+// return exactly the same position set — only the work profile and output
+// representation differ.
+func (m *PlainMini) FilterAtChoice(ps positions.Set, p pred.Predicate, dense bool) positions.Set {
+	if !dense {
 		return m.filterAtSparse(ps, pred.CompileMatcher(p))
 	}
 	bm := m.newFilterBitmap()

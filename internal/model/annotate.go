@@ -1,0 +1,256 @@
+package model
+
+import (
+	"matstore/internal/plan"
+	"matstore/internal/storage"
+)
+
+// This file annotates physical plans with per-node cost predictions: the
+// same Figure 1–6 operator formulas the plan-level SelectionCost composes,
+// but attached to the individual nodes of an internal/plan tree so that
+// DB.Explain can show the model's prediction next to each node's observed
+// execution — making advise/execution discrepancies attributable to a
+// specific operator rather than a whole plan.
+
+// AnnotatePlan walks the plan tree and fills every node's Modeled cost from
+// the analytical model, deriving selectivities from catalog statistics
+// (column min/max) and position-run lengths from the column sort flags.
+// hot=false charges full scan I/O (the cold-start case).
+func (m Constants) AnnotatePlan(p *plan.Plan, hot bool) {
+	a := &annotator{m: m, hot: hot, p: p, accessed: map[string]bool{}}
+	root := p.Root
+	switch {
+	case root.Kind == plan.KindMerge:
+		frac, rlp := a.pos(root.Children[0])
+		matched := frac * a.tuples()
+		for _, ds3 := range root.Children[1:] {
+			cs := a.stats(ds3.Column)
+			reuse := a.accessed[ds3.Col] && !p.Spec.DisableMultiColumn
+			cpu, io := m.DS3(cs, matched, rlp, frac, reuse)
+			setCost(ds3, cpu, io)
+		}
+		cpu := m.Merge(matched, len(root.Children)-1) + m.OutputIteration(matched)
+		setCost(root, cpu, 0)
+
+	case root.Kind == plan.KindAggregate && root.Children[0].PositionsDomain():
+		frac, _ := a.pos(root.Children[0])
+		matched := frac * a.tuples()
+		groups := a.groups(frac)
+		key := a.stats(root.MatColumns[0])
+		// Aggregation directly on compressed mini-columns: walking key runs
+		// plus emitting group tuples (the lmParallel/lmPipelined agg term).
+		cpu := matched/key.rl()*(m.TICCOL+m.FC) + groups*m.TICTUP + m.OutputIteration(groups)
+		setCost(root, cpu, 0)
+
+	default:
+		out := a.tuple(root.Children[0])
+		if root.Kind == plan.KindAggregate {
+			groups := a.groups(out / a.tuples())
+			setCost(root, out*(m.TICTUP+m.FC)+groups*m.TICTUP+m.OutputIteration(groups), 0)
+		} else {
+			setCost(root, m.OutputIteration(out), 0)
+		}
+	}
+}
+
+type annotator struct {
+	m   Constants
+	hot bool
+	p   *plan.Plan
+	// accessed tracks columns the position subtree touched (their blocks
+	// are pool-resident for DS3, the multi-column free-reuse case).
+	accessed map[string]bool
+}
+
+func (a *annotator) tuples() float64 {
+	if a.p.Spec.Tuples <= 0 {
+		return 1 // avoid 0/0 on empty projections; costs degenerate to ~0
+	}
+	return float64(a.p.Spec.Tuples)
+}
+
+// pos annotates a position-domain subtree bottom-up, returning the fraction
+// of the projection's tuples surviving and the estimated position-run
+// length of the produced list.
+func (a *annotator) pos(n *plan.Node) (frac, rlp float64) {
+	switch n.Kind {
+	case plan.KindPosAll:
+		setCost(n, 0, 0)
+		return 1, a.tuples()
+
+	case plan.KindDS1:
+		cs := a.stats(n.Column)
+		sf := a.conjSF(n)
+		cpu, io := a.m.DS1(cs, sf)
+		setCost(n, cpu, io)
+		a.accessed[n.Col] = true
+		return sf, EstimatePosRuns(cs, sf, n.Column.Sorted(), 1)
+
+	case plan.KindAND:
+		lists := make([]PosList, len(n.Children))
+		frac = 1
+		rlp = 0
+		for i, c := range n.Children {
+			f, rl := a.pos(c)
+			lists[i] = PosList{Positions: f * a.tuples(), RunLen: rl}
+			frac *= f
+			if rlp == 0 || rl < rlp {
+				rlp = rl
+			}
+		}
+		setCost(n, a.m.AND(lists...), 0)
+		return frac, rlp
+
+	case plan.KindFilterAt:
+		inFrac, inRlp := a.pos(n.Children[0])
+		cs := a.stats(n.Column)
+		sf := a.conjSF(n)
+		poslist := inFrac * a.tuples()
+		// DS3 over this column at the incoming positions plus a predicate
+		// application per extracted value (the lmPipelined narrowing term).
+		cpu, io := a.m.DS3(cs, poslist, inRlp, inFrac, false)
+		cpu += poslist * a.m.FC
+		setCost(n, cpu, io)
+		a.accessed[n.Col] = true
+		frac = inFrac * sf
+		if own := EstimatePosRuns(cs, sf, n.Column.Sorted(), 1); own < inRlp {
+			return frac, own
+		}
+		return frac, inRlp
+
+	default:
+		setCost(n, 0, 0)
+		return 1, 1
+	}
+}
+
+// tuple annotates a tuple-domain subtree bottom-up, returning the number of
+// early-materialized tuples flowing out.
+func (a *annotator) tuple(n *plan.Node) float64 {
+	switch n.Kind {
+	case plan.KindDS2:
+		cs := a.stats(n.Column)
+		sf := a.conjSF(n)
+		cpu, io := a.m.DS2(cs, sf)
+		setCost(n, cpu, io)
+		return sf * cs.Tuples
+
+	case plan.KindDS4:
+		in := a.tuple(n.Children[0])
+		cs := a.stats(n.Column)
+		sf := a.conjSF(n)
+		cpu, io := a.m.DS4(cs, in, sf)
+		// Pipelined block skipping: only the fraction of this column's
+		// blocks containing surviving positions is read and iterated.
+		skip := in / a.tuples()
+		if skip > 1 {
+			skip = 1
+		}
+		cpu -= (1 - skip) * cs.Blocks * a.m.BIC
+		io *= skip
+		setCost(n, cpu, io)
+		return in * sf
+
+	case plan.KindSPC:
+		cols := make([]ColumnStats, len(n.SPCColumns))
+		sfs := make([]float64, len(n.SPCColumns))
+		for i, c := range n.SPCColumns {
+			cols[i] = a.stats(c)
+			sfs[i] = 1
+		}
+		out := a.tuples()
+		for _, f := range n.SPCFilters {
+			lo, hi := n.SPCColumns[f.Col].MinMax()
+			sf := f.Pred.Selectivity(lo, hi)
+			sfs[f.Col] *= sf
+			out *= sf
+		}
+		cpu, io := a.m.SPC(cols, sfs)
+		setCost(n, cpu, io)
+		return out
+
+	default:
+		setCost(n, 0, 0)
+		return 0
+	}
+}
+
+// conjSF estimates the selectivity of a node's (possibly fused) predicate
+// conjunction against its column's min/max statistics. The simplified form
+// is used so a fused interval pair is estimated as one interval, not as the
+// product of two overlapping half-bounds.
+func (a *annotator) conjSF(n *plan.Node) float64 {
+	preds := n.ExecPreds()
+	if len(preds) == 0 {
+		return 1
+	}
+	lo, hi := n.Column.MinMax()
+	sf := 1.0
+	for _, p := range preds {
+		sf *= p.Selectivity(lo, hi)
+	}
+	return sf
+}
+
+// groups estimates the aggregation's group count: the group-by column's
+// distinct count scaled by the surviving fraction, at least one.
+func (a *annotator) groups(frac float64) float64 {
+	c := a.findColumn(a.p.Spec.GroupBy)
+	if c == nil {
+		return 1
+	}
+	g := float64(c.Distinct()) * frac
+	if g < 1 {
+		return 1
+	}
+	return g
+}
+
+func (a *annotator) stats(c *storage.Column) ColumnStats {
+	f := 0.0
+	if a.hot {
+		f = 1.0
+	}
+	return ColumnStats{
+		Blocks: float64(c.NumBlocks()),
+		Tuples: float64(c.TupleCount()),
+		RunLen: c.AvgRunLen(),
+		F:      f,
+	}
+}
+
+func setCost(n *plan.Node, cpu, io float64) {
+	n.Modeled = plan.Cost{CPU: cpu, IO: io}
+	n.HasModel = true
+}
+
+// findColumn locates the resolved handle of a named column anywhere in the
+// plan (scan/extract/widen nodes, SPC leaves, and an Aggregate root's
+// mat-columns — the only place an LM aggregation's group-by column appears
+// when it carries no filter).
+func (a *annotator) findColumn(name string) *storage.Column {
+	if root := a.p.Root; root.Kind == plan.KindAggregate {
+		for i, matName := range a.p.Spec.MatCols {
+			if matName == name && i < len(root.MatColumns) {
+				return root.MatColumns[i]
+			}
+		}
+	}
+	var found *storage.Column
+	plan.Walk(a.p.Root, func(n *plan.Node) {
+		if found != nil {
+			return
+		}
+		if n.Col == name && n.Column != nil {
+			found = n.Column
+			return
+		}
+		for i, spcName := range n.SPCNames {
+			if spcName == name {
+				found = n.SPCColumns[i]
+				return
+			}
+		}
+	})
+	return found
+}

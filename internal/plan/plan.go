@@ -1,0 +1,345 @@
+// Package plan defines the physical-plan layer: a small IR of operator
+// nodes — the paper's data-source cases (DS1–DS4), the SPC leaf, position
+// AND, DS3 value extraction, MERGE, tuple widening and aggregation — from
+// which the four materialization strategies are composed as explicit node
+// trees, plus one generic morsel-parallel executor that runs any such tree.
+//
+// The strategies of internal/core are plan *builders*: each assembles a
+// different tree over the same node vocabulary (EM-pipelined chains DS2→DS4,
+// EM-parallel plants an SPC leaf, LM-parallel ANDs DS1 scans, LM-pipelined
+// chains DS1→DS3+pred), and the executor here interprets whichever shape it
+// is handed, chunk-at-a-time inside chunk-aligned morsels. This is the
+// plan/kernel separation of MorphStore and Rozenberg's column-store model:
+// the tree states WHAT is composed, the compiled kernels underneath
+// (internal/pred, internal/kernels) do the work.
+//
+// Every node carries two annotation slots: the analytical model's predicted
+// cost (filled by internal/model's AnnotatePlan) and observed execution
+// counters (filled when a plan runs with observation enabled), which is what
+// DB.Explain renders side by side.
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"matstore/internal/operators"
+	"matstore/internal/pred"
+	"matstore/internal/storage"
+)
+
+// Kind identifies a physical operator node.
+type Kind uint8
+
+const (
+	// KindDS1 scans a column with a predicate conjunction, producing
+	// positions (data-source case 1).
+	KindDS1 Kind = iota
+	// KindDS2 scans a column with a predicate conjunction, producing early
+	// (position, value) tuples (case 2) — the EM-pipelined leaf.
+	KindDS2
+	// KindDS3 extracts a column's values at the surviving positions
+	// (case 3); a Merge or Aggregate parent supplies the position input.
+	KindDS3
+	// KindDS4 jumps to the positions of early-materialized input tuples,
+	// applies its predicates and widens the passing tuples (case 4).
+	KindDS4
+	// KindSPC is the scan-predicate-construct leaf of EM-parallel plans:
+	// all columns scanned in lockstep, tuples constructed at the bottom.
+	KindSPC
+	// KindAND intersects its children's position sets (Section 3.3).
+	KindAND
+	// KindFilterAt narrows an incoming position set by predicates over one
+	// column (the DS3+predicate step of pipelined LM plans).
+	KindFilterAt
+	// KindPosAll produces the chunk's full position range (no filters).
+	KindPosAll
+	// KindMerge is the n-ary MERGE tuple constructor over DS3 extractions.
+	KindMerge
+	// KindProject emits a tuple batch's output columns into the result.
+	KindProject
+	// KindAggregate folds its input (tuples or positions+columns) into
+	// grouped aggregates.
+	KindAggregate
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindDS1:
+		return "DS1"
+	case KindDS2:
+		return "DS2"
+	case KindDS3:
+		return "DS3"
+	case KindDS4:
+		return "DS4"
+	case KindSPC:
+		return "SPC"
+	case KindAND:
+		return "AND"
+	case KindFilterAt:
+		return "DS3+PRED"
+	case KindPosAll:
+		return "ALLPOS"
+	case KindMerge:
+		return "MERGE"
+	case KindProject:
+		return "PROJECT"
+	case KindAggregate:
+		return "AGG"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Cost is a modeled node cost in microseconds, CPU and I/O separately.
+type Cost struct {
+	CPU float64
+	IO  float64
+}
+
+// Total returns CPU+IO.
+func (c Cost) Total() float64 { return c.CPU + c.IO }
+
+// Observed is a node's execution counters, accumulated across all chunks of
+// all morsels (atomically — morsels run on concurrent workers).
+type Observed struct {
+	// Rows is the number of rows/positions/tuples the node produced.
+	Rows atomic.Int64
+	// Nanos is the node's own accumulated execution time (children's
+	// evaluation excluded).
+	Nanos atomic.Int64
+	// Chunks is the number of chunk invocations.
+	Chunks atomic.Int64
+}
+
+func (o *Observed) add(rows, nanos int64) {
+	o.Rows.Add(rows)
+	o.Nanos.Add(nanos)
+	o.Chunks.Add(1)
+}
+
+// Node is one physical operator. The meaning of Children depends on Kind:
+// Merge and Aggregate over positions take the position subtree as
+// Children[0] (Merge's remaining children are its DS3 extractions); DS4,
+// FilterAt, Project and tuple-domain Aggregate take their single input as
+// Children[0]; AND takes its position inputs; leaves have none.
+type Node struct {
+	Kind     Kind
+	Children []*Node
+
+	// Col and Column name and resolve the column of scan/extract/widen
+	// nodes.
+	Col    string
+	Column *storage.Column
+	// Preds is the node's predicate conjunction as written in the query
+	// (k>1 means a fused multi-predicate scan). execPreds is the simplified
+	// form actually executed.
+	Preds     []pred.Predicate
+	execPreds []pred.Predicate
+
+	// SPC leaf configuration.
+	SPCNames   []string
+	SPCColumns []*storage.Column
+	SPCFilters []operators.IndexedPred
+	SPCOutIdx  []int
+
+	// OutCols are the emitted column names (Merge, Project).
+	OutCols []string
+	// GroupBy/AggCol/Agg configure an Aggregate node.
+	GroupBy, AggCol string
+	Agg             operators.AggFunc
+	// MatColumns are the resolved Spec.MatCols handles of a
+	// position-domain Aggregate node (which re-windows a mini-column when
+	// the multi-column optimization is disabled or did not cover it).
+	MatColumns []*storage.Column
+
+	// Modeled is the analytical model's cost prediction for this node
+	// (valid when HasModel; set by model.AnnotatePlan).
+	Modeled  Cost
+	HasModel bool
+	// Obs accumulates observed execution counters when the plan runs with
+	// observation enabled.
+	Obs Observed
+}
+
+// ExecPreds returns the simplified predicate conjunction the node executes
+// (the pred.SimplifyConj form of Preds).
+func (n *Node) ExecPreds() []pred.Predicate { return n.execPreds }
+
+// Fused reports whether the node evaluates a fused multi-predicate
+// conjunction (more than one predicate as written).
+func (n *Node) Fused() bool { return len(n.Preds) > 1 }
+
+// NewDS1 builds a DS1 position-scan leaf.
+func NewDS1(col string, c *storage.Column, preds []pred.Predicate) *Node {
+	return &Node{Kind: KindDS1, Col: col, Column: c, Preds: preds, execPreds: simplify(preds)}
+}
+
+// NewDS2 builds a DS2 early-materialization scan leaf.
+func NewDS2(col string, c *storage.Column, preds []pred.Predicate) *Node {
+	return &Node{Kind: KindDS2, Col: col, Column: c, Preds: preds, execPreds: simplify(preds)}
+}
+
+// NewDS3 builds a DS3 value-extraction node (positions supplied by the
+// Merge/Aggregate parent).
+func NewDS3(col string, c *storage.Column) *Node {
+	return &Node{Kind: KindDS3, Col: col, Column: c}
+}
+
+// NewDS4 builds a DS4 widening node over a tuple-domain child. Empty preds
+// widen unconditionally (a pure output column).
+func NewDS4(col string, c *storage.Column, preds []pred.Predicate, child *Node) *Node {
+	return &Node{Kind: KindDS4, Col: col, Column: c, Preds: preds, execPreds: simplify(preds), Children: []*Node{child}}
+}
+
+// NewSPC builds the scan-predicate-construct leaf.
+func NewSPC(names []string, cols []*storage.Column, filters []operators.IndexedPred, outIdx []int) *Node {
+	return &Node{Kind: KindSPC, SPCNames: names, SPCColumns: cols, SPCFilters: filters, SPCOutIdx: outIdx}
+}
+
+// NewAND builds a position-intersection node.
+func NewAND(children ...*Node) *Node {
+	return &Node{Kind: KindAND, Children: children}
+}
+
+// NewFilterAt builds a DS3+predicate position-narrowing node.
+func NewFilterAt(col string, c *storage.Column, preds []pred.Predicate, child *Node) *Node {
+	return &Node{Kind: KindFilterAt, Col: col, Column: c, Preds: preds, execPreds: simplify(preds), Children: []*Node{child}}
+}
+
+// NewPosAll builds the filterless full-range position source.
+func NewPosAll() *Node { return &Node{Kind: KindPosAll} }
+
+// NewMerge builds the MERGE tuple constructor: pos is the position subtree,
+// extracts the DS3 children (one per output column, aligned with outCols).
+func NewMerge(pos *Node, extracts []*Node, outCols []string) *Node {
+	return &Node{Kind: KindMerge, Children: append([]*Node{pos}, extracts...), OutCols: outCols}
+}
+
+// NewProject builds the result-emission root over a tuple-domain child.
+func NewProject(child *Node, outCols []string) *Node {
+	return &Node{Kind: KindProject, Children: []*Node{child}, OutCols: outCols}
+}
+
+// NewAggregate builds an aggregation root. The child is either a tuple
+// subtree (EM) or a position subtree (LM, aggregating directly on
+// compressed mini-columns).
+func NewAggregate(child *Node, groupBy, aggCol string, fn operators.AggFunc) *Node {
+	return &Node{Kind: KindAggregate, Children: []*Node{child}, GroupBy: groupBy, AggCol: aggCol, Agg: fn}
+}
+
+func simplify(ps []pred.Predicate) []pred.Predicate {
+	if len(ps) == 0 {
+		return nil
+	}
+	return pred.SimplifyConj(ps)
+}
+
+// PositionsDomain reports whether the node produces a position set.
+func (n *Node) PositionsDomain() bool {
+	switch n.Kind {
+	case KindDS1, KindAND, KindFilterAt, KindPosAll:
+		return true
+	}
+	return false
+}
+
+// Walk visits n and every descendant in depth-first order.
+func Walk(n *Node, fn func(*Node)) {
+	fn(n)
+	for _, c := range n.Children {
+		Walk(c, fn)
+	}
+}
+
+// label renders the node's operator description (without annotations).
+func (n *Node) label() string {
+	preds := func() string {
+		if len(n.Preds) == 0 {
+			return ""
+		}
+		parts := make([]string, len(n.Preds))
+		for i, p := range n.Preds {
+			parts[i] = n.Col + " " + p.String()
+		}
+		s := " (" + strings.Join(parts, " AND ") + ")"
+		if n.Fused() {
+			s += fmt.Sprintf(" [fused x%d]", len(n.Preds))
+		}
+		return s
+	}
+	switch n.Kind {
+	case KindDS1:
+		return "DS1 scan " + n.Col + preds()
+	case KindDS2:
+		return "DS2 scan " + n.Col + preds()
+	case KindDS3:
+		return "DS3 extract " + n.Col
+	case KindDS4:
+		if len(n.Preds) == 0 {
+			return "DS4 widen " + n.Col
+		}
+		return "DS4 widen+filter " + n.Col + preds()
+	case KindSPC:
+		var fs []string
+		for _, f := range n.SPCFilters {
+			fs = append(fs, n.SPCNames[f.Col]+" "+f.Pred.String())
+		}
+		s := "SPC scan (" + strings.Join(n.SPCNames, ", ") + ")"
+		if len(fs) > 0 {
+			s += " where " + strings.Join(fs, " AND ")
+		}
+		return s
+	case KindAND:
+		return fmt.Sprintf("AND (%d position lists)", len(n.Children))
+	case KindFilterAt:
+		return "DS3+pred filter " + n.Col + preds()
+	case KindPosAll:
+		return "ALL positions"
+	case KindMerge:
+		return "MERGE out=(" + strings.Join(n.OutCols, ", ") + ")"
+	case KindProject:
+		return "PROJECT (" + strings.Join(n.OutCols, ", ") + ")"
+	case KindAggregate:
+		return fmt.Sprintf("AGG %v(%s) group by %s", n.Agg, n.AggCol, n.GroupBy)
+	default:
+		return n.Kind.String()
+	}
+}
+
+// Spec carries the query-shape and executor configuration a plan needs at
+// run time, resolved once at build time.
+type Spec struct {
+	// OutNames is the result schema.
+	OutNames []string
+	// Output lists the projected columns of a selection (EM emission order).
+	Output []string
+	// GroupBy/AggCol/Agg describe the aggregation; Aggregating gates them.
+	GroupBy, AggCol string
+	Agg             operators.AggFunc
+	Aggregating     bool
+	// MatCols are the columns materialized at the top of LM plans.
+	MatCols []string
+	// Tuples is the projection's tuple count (the position-space extent).
+	Tuples int64
+	// ChunkSize is the horizontal-partition width in positions.
+	ChunkSize int64
+	// DisableMultiColumn / ForceBitmap / UseZoneIndex mirror core.Options.
+	DisableMultiColumn bool
+	ForceBitmap        bool
+	UseZoneIndex       bool
+}
+
+// Plan is an executable physical plan: a node tree plus its run-time spec.
+type Plan struct {
+	// Label names the strategy that built the plan (display only).
+	Label string
+	Root  *Node
+	Spec  Spec
+
+	// observed records that the plan has run with observation enabled (so
+	// Render shows observed counters).
+	observed bool
+}

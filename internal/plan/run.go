@@ -1,0 +1,530 @@
+package plan
+
+import (
+	"fmt"
+	"time"
+
+	"matstore/internal/datasource"
+	"matstore/internal/encoding"
+	"matstore/internal/exec"
+	"matstore/internal/multicol"
+	"matstore/internal/operators"
+	"matstore/internal/positions"
+	"matstore/internal/rows"
+)
+
+// This file is the single generic morsel executor: it runs ANY plan tree —
+// whichever of the four strategy shapes (or a future hybrid) the builder
+// assembled — by interpreting the tree chunk-at-a-time inside chunk-aligned
+// morsels. The per-strategy driver loops that used to live in
+// internal/core/select_em.go and select_lm.go are replaced by three small
+// interpreters keyed off the tree's domain: a position-domain walk (both LM
+// strategies), a tuple-domain chain walk (EM-pipelined), and the SPC leaf
+// (EM-parallel). Morsel scheduling, partial accumulation and the
+// deterministic merge are shared by all of them.
+
+// RunStats aggregates a plan execution's counters.
+type RunStats struct {
+	TuplesConstructed int64
+	PositionsMatched  int64
+	ChunksSkipped     int64
+	Groups            int
+	Workers           int
+	Morsels           int
+}
+
+// partial is one morsel's private execution state: an aggregator or a
+// columnar result (never both), plus counter deltas. Partials merge in
+// morsel order, which makes parallel output byte-identical to serial output.
+type partial struct {
+	agg     *operators.Aggregator
+	res     *rows.Result
+	matched []positions.Set
+	stats   RunStats
+}
+
+// init allocates the partial's accumulator for the spec's shape and returns
+// both slots (one of them nil).
+func (pt *partial) init(s Spec) (*operators.Aggregator, *rows.Result) {
+	if s.Aggregating {
+		pt.agg = operators.NewAggregator(s.Agg)
+		return pt.agg, nil
+	}
+	pt.res = rows.NewResult(s.OutNames...)
+	return nil, pt.res
+}
+
+// Run executes the plan morsel-parallel across the given worker request
+// (0 = one worker per CPU, 1 = serial chunk-at-a-time) and merges the
+// per-morsel partials deterministically. With observe set, every node
+// accumulates observed rows/time counters for EXPLAIN.
+func (p *Plan) Run(parallelism int, observe bool) (*rows.Result, RunStats, error) {
+	if observe {
+		p.observed = true
+	}
+	workers := exec.Resolve(parallelism)
+	extent := positions.Range{Start: 0, End: p.Spec.Tuples}
+	morsels := exec.Morsels(extent, p.Spec.ChunkSize, workers)
+	parts := make([]*partial, len(morsels))
+	err := exec.Run(workers, len(morsels), func(i int) error {
+		pt := &partial{}
+		if err := p.runMorsel(morsels[i], pt, observe); err != nil {
+			return err
+		}
+		parts[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	if len(parts) == 0 {
+		// Empty projection: no morsels exist, so synthesize one empty
+		// partial and let the merge produce a valid empty result.
+		pt := &partial{}
+		pt.init(p.Spec)
+		parts = []*partial{pt}
+	}
+	var stats RunStats
+	res := mergePartials(p.Spec, parts, &stats)
+	if workers > len(morsels) {
+		workers = len(morsels) // a worker without a morsel never runs
+	}
+	stats.Workers = workers
+	stats.Morsels = len(morsels)
+	if observe {
+		// Root cardinality is only known after the merge.
+		switch p.Root.Kind {
+		case KindAggregate:
+			p.Root.Obs.Rows.Store(int64(stats.Groups))
+		default:
+			p.Root.Obs.Rows.Store(int64(res.NumRows()))
+		}
+	}
+	return res, stats, nil
+}
+
+// mergePartials recombines per-morsel partials deterministically: aggregate
+// states merge through the mergeable-state contract and emit sorted by key;
+// row partials concatenate in morsel (block) order. A lone partial is
+// adopted wholesale, so serial execution does no extra copying.
+func mergePartials(s Spec, parts []*partial, stats *RunStats) *rows.Result {
+	var matched []positions.Set
+	for _, pt := range parts {
+		stats.TuplesConstructed += pt.stats.TuplesConstructed
+		stats.PositionsMatched += pt.stats.PositionsMatched
+		stats.ChunksSkipped += pt.stats.ChunksSkipped
+		matched = append(matched, pt.matched...)
+	}
+	if len(matched) > 0 {
+		// Positions-domain merge: per-chunk descriptors, already in block
+		// order across morsels, concatenate into the query's matched
+		// position set; its cardinality is the PositionsMatched stat.
+		stats.PositionsMatched += positions.Concat(matched...).Count()
+	}
+	if s.Aggregating {
+		agg := parts[0].agg
+		for _, pt := range parts[1:] {
+			agg.Merge(pt.agg)
+		}
+		res := agg.Emit(s.OutNames[0], s.OutNames[1])
+		stats.Groups = agg.Groups()
+		stats.TuplesConstructed += int64(res.NumRows())
+		return res
+	}
+	res := parts[0].res
+	for _, pt := range parts[1:] {
+		if err := res.Append(pt.res); err != nil {
+			// Partials are built from the same query schema; a mismatch is a
+			// programming error, not a runtime condition.
+			panic("plan: " + err.Error())
+		}
+	}
+	return res
+}
+
+// runMorsel dispatches the morsel to the interpreter matching the tree's
+// domain.
+func (p *Plan) runMorsel(r positions.Range, pt *partial, observe bool) error {
+	root := p.Root
+	if len(root.Children) == 0 {
+		return fmt.Errorf("plan: root %v has no input", root.Kind)
+	}
+	child := root.Children[0]
+	switch {
+	case root.Kind == KindMerge, root.Kind == KindAggregate && child.PositionsDomain():
+		return p.runPositionsMorsel(r, pt, observe)
+	case child.Kind == KindSPC:
+		return p.runSPCMorsel(r, pt, observe)
+	default:
+		return p.runTupleMorsel(r, pt, observe)
+	}
+}
+
+// morselState is per-morsel interpreter state shared across chunks: the
+// adaptive FilterAt policies (one per narrowing node, fed by the previous
+// chunk's candidate density) and the per-node compiled DS1 scans (fused
+// conjunction kernels compile once per morsel, not per chunk).
+type morselState struct {
+	adaptive map[*Node]*encoding.AdaptiveFilterAt
+	scans    map[*Node]*datasource.DS1
+}
+
+func (st *morselState) policy(n *Node) *encoding.AdaptiveFilterAt {
+	if st.adaptive == nil {
+		st.adaptive = make(map[*Node]*encoding.AdaptiveFilterAt)
+	}
+	pol, ok := st.adaptive[n]
+	if !ok {
+		pol = &encoding.AdaptiveFilterAt{}
+		st.adaptive[n] = pol
+	}
+	return pol
+}
+
+// ds1 returns the morsel's compiled DS1 for a scan node.
+func (st *morselState) ds1(n *Node, s Spec) *datasource.DS1 {
+	if st.scans == nil {
+		st.scans = make(map[*Node]*datasource.DS1)
+	}
+	ds, ok := st.scans[n]
+	if !ok {
+		ds = &datasource.DS1{
+			Col: n.Column, Preds: n.execPreds,
+			ForceBitmap:  s.ForceBitmap,
+			UseZoneIndex: s.UseZoneIndex,
+		}
+		ds.CompilePreds()
+		st.scans[n] = ds
+	}
+	return ds
+}
+
+// runPositionsMorsel interprets position-domain trees: both LM strategies.
+// The position subtree (DS1 scans, AND, DS3+pred narrowing) produces each
+// chunk's surviving descriptor; the Merge root extracts and merges values,
+// the Aggregate root folds compressed mini-columns directly.
+func (p *Plan) runPositionsMorsel(r positions.Range, pt *partial, observe bool) error {
+	root := p.Root
+	posNode := root.Children[0]
+	var agg *operators.Aggregator
+	var merger *operators.Merger
+	var extracts []*Node
+	if p.Spec.Aggregating {
+		agg = operators.NewAggregator(p.Spec.Agg)
+		pt.agg = agg
+	} else {
+		// The morsel's MERGE accumulates the partial's result (adopted as
+		// pt.res below); per-morsel results concatenate in block order at
+		// the top.
+		merger = operators.NewMerger(p.Spec.OutNames...)
+		extracts = root.Children[1:]
+	}
+
+	st := &morselState{}
+	ch := datasource.NewChunker(r, p.Spec.ChunkSize)
+	valBufs := make([][]int64, len(p.Spec.MatCols))
+	for ci := 0; ci < ch.NumChunks(); ci++ {
+		cr := ch.Chunk(ci)
+		mc := multicol.New(cr)
+		desc, skipped, err := p.evalPositions(posNode, cr, mc, pt, st, observe)
+		if err != nil {
+			return err
+		}
+		if skipped {
+			continue
+		}
+		if desc == nil || desc.Count() == 0 {
+			continue
+		}
+		mc.SetDescriptor(desc)
+		pt.matched = append(pt.matched, desc)
+
+		if p.Spec.Aggregating {
+			// Aggregate directly on compressed data; no tuples constructed.
+			// The aggregator consumes whole mini-columns, so a missing mini
+			// is re-windowed rather than gathered.
+			start := obsStart(observe)
+			minis := make([]encoding.MiniColumn, len(p.Spec.MatCols))
+			for i, name := range p.Spec.MatCols {
+				mini, ok := mc.Mini(name)
+				if !ok || p.Spec.DisableMultiColumn {
+					var err error
+					if mini, err = root.MatColumns[i].Window(cr); err != nil {
+						return err
+					}
+				}
+				minis[i] = mini
+			}
+			operators.AggregateCompressedChunk(agg, minis[0], minis[1], desc)
+			obsNanos(&root.Obs, start, observe)
+			continue
+		}
+
+		// Materialization: DS3 per needed column — from the multi-column's
+		// mini-columns when available (zero re-access); otherwise the
+		// batched block-pinned gather touches only the blocks holding
+		// surviving positions instead of re-windowing the whole chunk.
+		for i, n := range extracts {
+			start := obsStart(observe)
+			if mini, ok := mc.Mini(n.Col); ok && !p.Spec.DisableMultiColumn {
+				valBufs[i] = datasource.DS3{}.ValuesFromMini(mini, desc, valBufs[i][:0])
+			} else {
+				var err error
+				ds3 := datasource.DS3{Col: n.Column}
+				if valBufs[i], err = ds3.ValuesGather(desc, valBufs[i][:0]); err != nil {
+					return err
+				}
+			}
+			if observe {
+				n.Obs.add(int64(len(valBufs[i])), time.Since(start).Nanoseconds())
+			}
+		}
+		start := obsStart(observe)
+		if err := merger.MergeChunk(valBufs...); err != nil {
+			return err
+		}
+		obsNanos(&root.Obs, start, observe)
+	}
+
+	if !p.Spec.Aggregating {
+		pt.stats.TuplesConstructed += merger.TuplesConstructed
+		pt.res = merger.Result()
+	}
+	return nil
+}
+
+// evalPositions evaluates a position-domain subtree for one chunk,
+// attaching every scanned mini-column to the chunk's multi-column. The
+// skipped return reports pipelined chunk skipping: a narrowing node whose
+// input ran dry skips the remaining columns' blocks entirely (counted once
+// per chunk).
+func (p *Plan) evalPositions(n *Node, cr positions.Range, mc *multicol.MultiColumn, pt *partial, st *morselState, observe bool) (positions.Set, bool, error) {
+	switch n.Kind {
+	case KindPosAll:
+		set := positions.Set(positions.NewRanges(cr))
+		if observe {
+			n.Obs.add(set.Count(), 0)
+		}
+		return set, false, nil
+
+	case KindDS1:
+		start := obsStart(observe)
+		ps, mini, err := st.ds1(n, p.Spec).ScanChunk(cr)
+		if err != nil {
+			return nil, false, err
+		}
+		if mini != nil {
+			mc.Attach(n.Col, mini)
+		}
+		if observe {
+			n.Obs.add(ps.Count(), time.Since(start).Nanoseconds())
+		}
+		return ps, false, nil
+
+	case KindAND:
+		sets := make([]positions.Set, len(n.Children))
+		for i, c := range n.Children {
+			s, _, err := p.evalPositions(c, cr, mc, pt, st, observe)
+			if err != nil {
+				return nil, false, err
+			}
+			sets[i] = s
+		}
+		start := obsStart(observe)
+		set := positions.AndAll(sets...)
+		if observe {
+			n.Obs.add(set.Count(), time.Since(start).Nanoseconds())
+		}
+		return set, false, nil
+
+	case KindFilterAt:
+		in, skipped, err := p.evalPositions(n.Children[0], cr, mc, pt, st, observe)
+		if err != nil || skipped {
+			return nil, skipped, err
+		}
+		if in.Count() == 0 {
+			// Pipelined block skipping: this column's blocks (and every
+			// column above) are never read for this chunk.
+			pt.stats.ChunksSkipped++
+			return nil, true, nil
+		}
+		start := obsStart(observe)
+		mini, err := n.Column.Window(cr)
+		if err != nil {
+			return nil, false, err
+		}
+		mc.Attach(n.Col, mini)
+		set := encoding.FilterAtFused(mini, in, n.execPreds, st.policy(n))
+		if observe {
+			n.Obs.add(set.Count(), time.Since(start).Nanoseconds())
+		}
+		return set, false, nil
+
+	default:
+		return nil, false, fmt.Errorf("plan: %v is not a position-domain node", n.Kind)
+	}
+}
+
+// runTupleMorsel interprets the EM-pipelined chain: a DS2 leaf producing
+// early (position, value) tuples, widened (and filtered) by each DS4 node in
+// order, emitted into the result or aggregator at the top. Chunks whose
+// batch runs empty skip the remaining columns' blocks.
+func (p *Plan) runTupleMorsel(r positions.Range, pt *partial, observe bool) error {
+	agg, res := pt.init(p.Spec)
+	// Flatten the chain leaf-first: root.Children[0] is the topmost DS4 (or
+	// the DS2 itself for single-column plans).
+	var chain []*Node
+	for n := p.Root.Children[0]; n != nil; {
+		chain = append(chain, n)
+		if len(n.Children) > 0 {
+			n = n.Children[0]
+		} else {
+			n = nil
+		}
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	if chain[0].Kind != KindDS2 {
+		return fmt.Errorf("plan: tuple chain leaf is %v, want DS2", chain[0].Kind)
+	}
+	// Compile the chain's data sources once per morsel: the DS2 leaf plus
+	// one DS4 (with pre-compiled fused matcher) per widening node.
+	ds2 := datasource.DS2{Col: chain[0].Column, Preds: chain[0].execPreds}
+	ds2.CompilePreds()
+	ds4s := make([]datasource.DS4, len(chain))
+	for i, n := range chain[1:] {
+		ds4s[i+1] = datasource.DS4{Col: n.Column, Preds: n.execPreds}
+		ds4s[i+1].CompilePred()
+	}
+	var valBuf []int64
+	ch := datasource.NewChunker(r, p.Spec.ChunkSize)
+	for ci := 0; ci < ch.NumChunks(); ci++ {
+		cr := ch.Chunk(ci)
+		start := obsStart(observe)
+		batch, err := ds2.ScanChunk(cr, chain[0].Col)
+		if err != nil {
+			return err
+		}
+		pt.stats.TuplesConstructed += int64(batch.Len())
+		if observe {
+			chain[0].Obs.add(int64(batch.Len()), time.Since(start).Nanoseconds())
+		}
+		skipped := false
+		for i := 1; i < len(chain); i++ {
+			if batch.Len() == 0 {
+				pt.stats.ChunksSkipped++
+				skipped = true
+				break
+			}
+			// DS4 widening via the batched block-pinned gather: one fetch
+			// for the whole batch's positions instead of a per-tuple jump,
+			// touching only the blocks that hold surviving positions.
+			start := obsStart(observe)
+			batch, valBuf, err = ds4s[i].ExtendChunkBatched(batch, chain[i].Col, valBuf)
+			if err != nil {
+				return err
+			}
+			pt.stats.TuplesConstructed += int64(batch.Len())
+			if observe {
+				chain[i].Obs.add(int64(batch.Len()), time.Since(start).Nanoseconds())
+			}
+		}
+		if skipped || batch.Len() == 0 {
+			continue
+		}
+		pt.stats.PositionsMatched += int64(batch.Len())
+		start = obsStart(observe)
+		if err := emitBatch(batch, p.Spec, agg, res); err != nil {
+			return err
+		}
+		obsNanos(&p.Root.Obs, start, observe)
+	}
+	return nil
+}
+
+// runSPCMorsel interprets the EM-parallel leaf: every column's chunk is
+// decompressed into a value vector, predicates applied row-wise in lockstep
+// (the retained scalar reference — deliberately unfused), and tuples
+// constructed at the very bottom of the plan.
+func (p *Plan) runSPCMorsel(r positions.Range, pt *partial, observe bool) error {
+	agg, res := pt.init(p.Spec)
+	spc := p.Root.Children[0]
+	ch := datasource.NewChunker(r, p.Spec.ChunkSize)
+	// Scratch buffers are per-morsel (workers share nothing but the pool).
+	scratch := make([][]int64, len(spc.SPCColumns))
+	// SPC constructs tuples column-wise straight into the result (or, for
+	// aggregations, into per-chunk key/value vectors feeding the hash
+	// aggregator).
+	aggDst := make([][]int64, 2)
+	for ci := 0; ci < ch.NumChunks(); ci++ {
+		cr := ch.Chunk(ci)
+		start := obsStart(observe)
+		// EM decompresses early: every column's chunk becomes a value
+		// vector before predicate evaluation (Section 2.1.2's cost).
+		for i, c := range spc.SPCColumns {
+			mini, err := c.Window(cr)
+			if err != nil {
+				return err
+			}
+			scratch[i] = mini.Decompress(scratch[i][:0])
+		}
+		var constructed int64
+		if p.Spec.Aggregating {
+			aggDst[0] = aggDst[0][:0]
+			aggDst[1] = aggDst[1][:0]
+			constructed = operators.SPCChunk(scratch, spc.SPCFilters, spc.SPCOutIdx, aggDst)
+			agg.AddBatch(aggDst[0], aggDst[1])
+		} else {
+			constructed = operators.SPCChunk(scratch, spc.SPCFilters, spc.SPCOutIdx, res.Cols)
+		}
+		pt.stats.TuplesConstructed += constructed
+		pt.stats.PositionsMatched += constructed
+		if observe {
+			spc.Obs.add(constructed, time.Since(start).Nanoseconds())
+		}
+	}
+	return nil
+}
+
+// emitBatch routes a constructed-tuple batch into the aggregator or the
+// result, in output order.
+func emitBatch(batch *rows.Batch, s Spec, agg *operators.Aggregator, res *rows.Result) error {
+	if s.Aggregating {
+		keys, err := batch.Col(s.GroupBy)
+		if err != nil {
+			return err
+		}
+		vals, err := batch.Col(s.AggCol)
+		if err != nil {
+			return err
+		}
+		agg.AddBatch(keys, vals)
+		return nil
+	}
+	for i, name := range s.Output {
+		vals, err := batch.Col(name)
+		if err != nil {
+			return err
+		}
+		res.Cols[i] = append(res.Cols[i], vals...)
+	}
+	return nil
+}
+
+// obsStart returns the timing anchor for an observed section (zero when
+// observation is off, so the fast path never calls the clock).
+func obsStart(observe bool) time.Time {
+	if !observe {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// obsNanos accumulates elapsed time on a node without touching its row
+// counter (used for root nodes, whose cardinality is set once at the end).
+func obsNanos(o *Observed, start time.Time, observe bool) {
+	if observe {
+		o.Nanos.Add(time.Since(start).Nanoseconds())
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"matstore/internal/buffer"
 	"matstore/internal/encoding"
+	"matstore/internal/kernels"
 	"matstore/internal/positions"
 	"matstore/internal/pred"
 )
@@ -399,6 +400,11 @@ func (c *Column) Sorted() bool { return c.hdr.sorted }
 // cases (bit-vector encoding, non-interval predicates) it falls back to
 // reading and filtering the window. The returned bool reports whether the
 // zone fast path was used.
+//
+// Straddling blocks run the compiled predicate kernel block-locally: the
+// decoded block's values (or RLE triples) are filtered in place, without
+// assembling a mini-column window around them — the only work besides the
+// block fetch is the comparison loop itself.
 func (c *Column) ZonePositions(r positions.Range, p pred.Predicate) (positions.Set, bool, error) {
 	lo, hi, intervalOK := p.Interval()
 	if !intervalOK || c.hdr.enc == encoding.BitVector {
@@ -410,6 +416,7 @@ func (c *Column) ZonePositions(r positions.Range, p pred.Predicate) (positions.S
 	}
 	r = r.Intersect(c.Extent())
 	b := positions.NewBuilder(r)
+	var kern pred.Kernel // compiled lazily: many calls never see a straddler
 	for _, i := range c.blocksOverlapping(r) {
 		bi := c.index[i]
 		if bi.MinV > hi || bi.MaxV < lo {
@@ -421,21 +428,46 @@ func (c *Column) ZonePositions(r positions.Range, p pred.Predicate) (positions.S
 			b.AddRange(window)
 			continue
 		}
-		// Straddling block: read and filter just this block's window.
-		mc, err := c.Window(window)
+		// Straddling block: fetch and filter just this block, in place.
+		dec, err := c.block(i)
 		if err != nil {
 			return nil, true, err
 		}
-		it := mc.Filter(p).Runs()
-		for {
-			run, ok := it.Next()
-			if !ok {
-				break
+		switch blk := dec.(type) {
+		case *encoding.PlainBlock:
+			if kern == nil {
+				kern = pred.Compile(p)
 			}
-			b.AddRange(run)
+			zoneFilterPlainBlock(b, blk, window, kern)
+		case *encoding.RLEBlock:
+			for _, t := range blk.Triples {
+				o := t.Cover().Intersect(window)
+				if !o.Empty() && t.Value >= lo && t.Value <= hi {
+					b.AddRange(o)
+				}
+			}
+		default:
+			return nil, true, fmt.Errorf("%s block %d: %w: unexpected block type", c.path, i, ErrCorruptFile)
 		}
 	}
 	return b.Build(), true, nil
+}
+
+// zoneFilterPlainBlock runs the compiled kernel over the window's slice of a
+// plain block, emitting matches into a block-local bitmap whose runs feed
+// the builder.
+func zoneFilterPlainBlock(b *positions.Builder, blk *encoding.PlainBlock, window positions.Range, kern pred.Kernel) {
+	base := window.Start &^ 63
+	bm := positions.NewBitmap(base, window.End-base)
+	kernels.FilterIntoBitmap(bm, window.Start, blk.Vals[window.Start-blk.Start:window.End-blk.Start], kern)
+	it := bm.Runs()
+	for {
+		run, ok := it.Next()
+		if !ok {
+			return
+		}
+		b.AddRange(run)
+	}
 }
 
 // ValueAt reads the single value at pos, touching only the block(s)

@@ -151,3 +151,118 @@ func TestZonePositionsFallbacks(t *testing.T) {
 		t.Errorf("Ne fallback count = %d", ps.Count())
 	}
 }
+
+// TestZoneStraddlingBlockLocalKernel pins the straddling-block fast path for
+// both encodings: when the zone index leaves only straddling blocks, the
+// compiled predicate runs block-locally — the pool sees exactly the
+// straddling block reads AND the resulting positions match a full
+// window-filter reference.
+func TestZoneStraddlingBlockLocalKernel(t *testing.T) {
+	t.Run("plain", func(t *testing.T) {
+		n := 3 * encoding.PlainBlockCap
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(i)
+		}
+		path := filepath.Join(t.TempDir(), "c.col")
+		writeColumn(t, path, encoding.Plain, vals)
+		pool := buffer.New(0)
+		c, err := Open(path, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		// Predicate straddling the middle block only: blocks 0 and 2 are
+		// resolved from zones alone.
+		lo := int64(encoding.PlainBlockCap + encoding.PlainBlockCap/3)
+		hi := int64(encoding.PlainBlockCap + 2*encoding.PlainBlockCap/3)
+		ps, used, err := c.ZonePositions(c.Extent(), pred.InRange(lo, hi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !used {
+			t.Fatal("zone path not used")
+		}
+		if got := pool.Stats().Reads; got != 1 {
+			t.Errorf("Reads = %d, want 1 (only the straddling block)", got)
+		}
+		if !positions.Equal(ps, positions.NewRanges(positions.Range{Start: lo, End: hi})) {
+			t.Errorf("positions differ: count=%d want=%d", ps.Count(), hi-lo)
+		}
+		// Results must equal the window-filter reference exactly.
+		mc, err := c.Window(c.Extent())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := mc.Filter(pred.InRange(lo, hi)); !positions.Equal(ps, want) {
+			t.Error("zone positions differ from window filter")
+		}
+	})
+	t.Run("rle", func(t *testing.T) {
+		// Sorted low-cardinality data: RLE blocks with long runs; a predicate
+		// cutting through one run straddles exactly one block.
+		n := 20000
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(i / 100) // runs of 100
+		}
+		path := filepath.Join(t.TempDir(), "c.col")
+		writeColumn(t, path, encoding.RLE, vals)
+		pool := buffer.New(0)
+		c, err := Open(path, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		ps, used, err := c.ZonePositions(c.Extent(), pred.InRange(50, 151))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !used {
+			t.Fatal("zone path not used for RLE")
+		}
+		mc, err := c.Window(c.Extent())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := mc.Filter(pred.InRange(50, 151)); !positions.Equal(ps, want) {
+			t.Errorf("RLE zone positions differ from window filter (%d vs %d)", ps.Count(), want.Count())
+		}
+		if got, want := ps.Count(), int64(101*100); got != want {
+			t.Errorf("count = %d, want %d", got, want)
+		}
+	})
+	t.Run("rle-straddler-reads", func(t *testing.T) {
+		// Force a value range that spans block boundaries: each block's zone
+		// straddles a Between cut, so the block-local triple loop runs on a
+		// bounded number of blocks while results stay exact.
+		vals := genVals(30000, 40, true, 5)
+		path := filepath.Join(t.TempDir(), "c.col")
+		writeColumn(t, path, encoding.RLE, vals)
+		pool := buffer.New(0)
+		c, err := Open(path, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		p := pred.InRange(10, 30)
+		ps, used, err := c.ZonePositions(c.Extent(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !used {
+			t.Fatal("zone path not used")
+		}
+		reads := pool.Stats().Reads
+		if reads > int64(c.NumBlocks()) {
+			t.Errorf("Reads = %d exceeds block count %d", reads, c.NumBlocks())
+		}
+		mc, err := c.Window(c.Extent())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := mc.Filter(p); !positions.Equal(ps, want) {
+			t.Errorf("positions differ from window filter (%d vs %d)", ps.Count(), want.Count())
+		}
+	})
+}
