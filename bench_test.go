@@ -27,6 +27,7 @@ import (
 	"matstore/internal/encoding"
 	"matstore/internal/operators"
 	"matstore/internal/pred"
+	"matstore/internal/storage"
 	"matstore/internal/tpch"
 )
 
@@ -456,5 +457,107 @@ func BenchmarkFusedMultiPredicate(b *testing.B) {
 			runSelect(b, db, q, matstore.LMParallel)
 		})
 		db.Close()
+	}
+}
+
+// BenchmarkJoinBuild isolates the hash-build phase of the join: the
+// radix-partitioned parallel build (BuildPartitioned, worker counts 1 and
+// 4) against the retained serial reference (BuildRightTable), per
+// inner-table materialization strategy. On the 1-CPU CI container the
+// radix/serial gap at w4 reflects partitioning overhead only; multi-core
+// hosts show the build-phase speedup PR 1 left on the table.
+func BenchmarkJoinBuild(b *testing.B) {
+	e := benchEnv(b)
+	customer, err := e.DB.Projection(tpch.CustomerProj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keyCol, err := customer.Column(tpch.ColCustkey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	valCol, err := customer.Column(tpch.ColNationcode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []string{tpch.ColNationcode}
+	const chunkSize = 65536
+	for _, rs := range []operators.RightStrategy{
+		operators.RightMaterialized, operators.RightMultiColumn, operators.RightSingleColumn,
+	} {
+		b.Run(fmt.Sprintf("%s/serial", rs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rt, err := operators.BuildRightTable(customer, tpch.ColCustkey, payload, rs, chunkSize)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rt.Probe(1) == nil {
+					b.Fatal("empty build")
+				}
+			}
+		})
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/radix-w%d", rs, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					rt, err := operators.BuildPartitioned(keyCol, []*storage.Column{valCol}, payload, rs, chunkSize, workers, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rt.Probe(1) == nil {
+						b.Fatal("empty build")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkJoinProbe isolates the streaming probe phase (batched key and
+// payload gathers, radix-routed lookups, and the single-column strategy's
+// deferred batched fetch) by reusing one built hash side across iterations
+// via Plan.ReuseBuild.
+func BenchmarkJoinProbe(b *testing.B) {
+	e := benchEnv(b)
+	orders, err := e.DB.Projection(tpch.OrdersProj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	customer, err := e.DB.Projection(tpch.CustomerProj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec := core.NewExecutor(e.DB.Pool(), core.Options{})
+	q := core.JoinQuery{
+		LeftKey:     tpch.ColCustkey,
+		LeftPred:    pred.LessThan(tpch.CustkeyForSelectivity(0.5, customer.TupleCount())),
+		LeftOutput:  []string{tpch.ColOrderShipdate},
+		RightKey:    tpch.ColCustkey,
+		RightOutput: []string{tpch.ColNationcode},
+	}
+	for _, rs := range []operators.RightStrategy{
+		operators.RightMaterialized, operators.RightMultiColumn, operators.RightSingleColumn,
+	} {
+		pl, err := exec.BuildJoinPlan(orders, customer, q, rs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pl.ReuseBuild = true
+		if _, _, err := exec.RunJoinPlan(pl, 1, false); err != nil {
+			b.Fatal(err) // populate the reused build
+		}
+		b.Run(rs.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				_, stats, err := exec.RunJoinPlan(pl, 1, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink += stats.TuplesOut
+			}
+			_ = sink
+		})
 	}
 }

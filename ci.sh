@@ -24,3 +24,10 @@ go run ./cmd/csquery -dir "$ci_explain_dir" -proj lineitem \
 go run ./cmd/csquery -dir "$ci_explain_dir" -proj lineitem \
 	-where 'shipdate<300' -groupby returnflag -sum quantity \
 	-strategy em-pipelined -explain | grep -q 'AGG sum(quantity)'
+
+# Smoke-run join EXPLAIN: the radix-build join plan must render both join
+# nodes with modeled vs observed stats (and the resolved partition count).
+go run ./cmd/csquery -dir "$ci_explain_dir" -proj orders -join customer \
+	-leftkey custkey -rightkey custkey -out shipdate -rightout nationcode \
+	-where 'custkey<200' -rightstrategy right-singlecolumn -parallelism 2 \
+	-explain | grep -q 'JOINBUILD'

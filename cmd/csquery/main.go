@@ -11,6 +11,14 @@
 //	csquery ... -strategy advise   # let the cost model pick
 //	csquery ... -parallelism 0     # morsel-parallel across all CPUs
 //	csquery ... -explain           # print the physical plan, modeled vs observed
+//
+// Join mode probes -proj (outer) against -join (inner) on -leftkey/-rightkey,
+// with the inner side materialized per -rightstrategy; -where may carry one
+// predicate over the outer join key (the paper's Section 4.3 experiment):
+//
+//	csquery -dir ./data -proj orders -join customer -leftkey custkey \
+//	        -rightkey custkey -out shipdate -rightout nationcode \
+//	        -where 'custkey<200' -rightstrategy right-singlecolumn -explain
 package main
 
 import (
@@ -38,6 +46,11 @@ func main() {
 	parallelism := flag.Int("parallelism", 1, "morsel-parallel workers (0 = one per CPU, 1 = serial)")
 	limit := flag.Int("limit", 10, "max rows to print")
 	explain := flag.Bool("explain", false, "print the physical plan with modeled vs. observed per-node stats instead of rows")
+	joinProj := flag.String("join", "", "inner projection: join -proj (outer) against it")
+	leftKey := flag.String("leftkey", "", "outer join key column (with -join)")
+	rightKey := flag.String("rightkey", "", "inner join key column (with -join)")
+	rightOut := flag.String("rightout", "", "comma-separated inner output columns (with -join)")
+	rightStrategy := flag.String("rightstrategy", "right-materialized", "inner-table materialization: right-materialized|right-multicolumn|right-singlecolumn")
 	flag.Parse()
 
 	db, err := matstore.Open(*dir)
@@ -50,13 +63,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	q := matstore.Query{GroupBy: *groupby, AggCol: *sum, Agg: fn}
-	if *out != "" {
-		q.Output = strings.Split(*out, ",")
-	}
 	filters, err := parseWhere(*where)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *joinProj != "" {
+		// Selection-only flags would be silently ignored in join mode;
+		// reject them instead of returning surprising output.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "groupby", "sum", "agg", "strategy":
+				log.Fatalf("-%s does not apply in join mode (-join)", f.Name)
+			}
+		})
+		runJoin(db, *proj, *joinProj, *leftKey, *rightKey, *out, *rightOut,
+			*rightStrategy, filters, *parallelism, *limit, *explain)
+		return
+	}
+
+	q := matstore.Query{GroupBy: *groupby, AggCol: *sum, Agg: fn}
+	if *out != "" {
+		q.Output = strings.Split(*out, ",")
 	}
 	q.Filters = filters
 	q.Parallelism = *parallelism
@@ -91,11 +119,78 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	printRows(res, *limit)
+	fmt.Printf("\nstrategy=%v wall=%v workers=%d morsels=%d tuples_out=%d tuples_constructed=%d positions=%d chunks_skipped=%d\n",
+		stats.Strategy, stats.Wall, stats.Workers, stats.Morsels, stats.TuplesOut,
+		stats.TuplesConstructed, stats.PositionsMatched, stats.ChunksSkipped)
+	consts := matstore.PaperConstants()
+	simIO := stats.Buffer.SimulatedIO(1,
+		time.Duration(consts.SEEK)*time.Microsecond,
+		time.Duration(consts.READ)*time.Microsecond)
+	fmt.Printf("buffer: reads=%d hits=%d seeks=%d (modelled cold-disk I/O: %v)\n",
+		stats.Buffer.Reads, stats.Buffer.Hits, stats.Buffer.Seeks, simIO)
+}
+
+// runJoin executes (or explains) the join mode: outer ⋈ inner on the key
+// columns, inner side materialized per the right strategy.
+func runJoin(db *matstore.DB, outer, inner, leftKey, rightKey, out, rightOut, rightStrategy string, filters []matstore.Filter, parallelism, limit int, explain bool) {
+	if leftKey == "" || rightKey == "" {
+		log.Fatal("join mode needs -leftkey and -rightkey")
+	}
+	rs, err := matstore.ParseRightStrategy(rightStrategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := matstore.JoinQuery{
+		LeftKey:     leftKey,
+		LeftPred:    matstore.MatchAll,
+		RightKey:    rightKey,
+		Parallelism: parallelism,
+	}
+	if out != "" {
+		q.LeftOutput = strings.Split(out, ",")
+	}
+	if rightOut != "" {
+		q.RightOutput = strings.Split(rightOut, ",")
+	}
+	switch len(filters) {
+	case 0:
+	case 1:
+		if filters[0].Col != leftKey {
+			log.Fatalf("join -where must predicate the outer join key %q, got %q", leftKey, filters[0].Col)
+		}
+		q.LeftPred = filters[0].Pred
+	default:
+		log.Fatal("join mode accepts at most one -where predicate (over the outer join key)")
+	}
+
+	if explain {
+		ex, err := db.ExplainJoin(outer, inner, q, rs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(ex)
+		return
+	}
+	res, stats, err := db.Join(outer, inner, q, rs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printRows(res, limit)
+	fmt.Printf("\nouter=%v right=%v wall=%v workers=%d morsels=%d partitions=%d build_workers=%d\n",
+		stats.Strategy, stats.RightStrategy, stats.Wall, stats.Workers, stats.Morsels,
+		stats.Join.Partitions, stats.Join.BuildWorkers)
+	fmt.Printf("probes=%d tuples_out=%d build_tuples=%d deferred_fetches=%d\n",
+		stats.Join.LeftProbes, stats.TuplesOut, stats.Join.RightBuildTuples, stats.Join.DeferredFetches)
+}
+
+// printRows prints the result header plus up to limit rows.
+func printRows(res *matstore.Result, limit int) {
 	fmt.Println(strings.Join(res.Columns, "\t"))
 	n := res.NumRows()
 	shown := n
-	if shown > *limit {
-		shown = *limit
+	if shown > limit {
+		shown = limit
 	}
 	for i := 0; i < shown; i++ {
 		row := res.Row(i)
@@ -108,15 +203,6 @@ func main() {
 	if shown < n {
 		fmt.Printf("... (%d rows total)\n", n)
 	}
-	fmt.Printf("\nstrategy=%v wall=%v workers=%d morsels=%d tuples_out=%d tuples_constructed=%d positions=%d chunks_skipped=%d\n",
-		stats.Strategy, stats.Wall, stats.Workers, stats.Morsels, stats.TuplesOut,
-		stats.TuplesConstructed, stats.PositionsMatched, stats.ChunksSkipped)
-	consts := matstore.PaperConstants()
-	simIO := stats.Buffer.SimulatedIO(1,
-		time.Duration(consts.SEEK)*time.Microsecond,
-		time.Duration(consts.READ)*time.Microsecond)
-	fmt.Printf("buffer: reads=%d hits=%d seeks=%d (modelled cold-disk I/O: %v)\n",
-		stats.Buffer.Reads, stats.Buffer.Hits, stats.Buffer.Seeks, simIO)
 }
 
 // parseWhere parses 'col<op>value' predicates separated by commas.

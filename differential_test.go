@@ -327,6 +327,53 @@ func TestDifferentialJoinSelectivitySweep(t *testing.T) {
 	}
 }
 
+// TestDifferentialJoinRadixBuild pins the radix-partitioned parallel hash
+// build byte-identical (row order included) to the retained serial-build
+// reference, sweeping the partition count (1, 2, 8, 64 — and 0, the
+// worker-derived default) across all three inner-table strategies, worker
+// counts and outer selectivities.
+func TestDifferentialJoinRadixBuild(t *testing.T) {
+	serialDB := open(t, matstore.Options{Exec: core.Options{ChunkSize: 1024, SerialJoinBuild: true}})
+	partitionDBs := map[int]*matstore.DB{}
+	for _, p := range []int{0, 1, 2, 8, 64} {
+		partitionDBs[p] = open(t, matstore.Options{Exec: core.Options{ChunkSize: 1024, JoinPartitions: p}})
+	}
+	for _, sel := range []float64{0, 0.1, 0.9} {
+		q := matstore.JoinQuery{
+			LeftKey:     "custkey",
+			LeftPred:    matstore.LessThan(tpch.CustkeyForSelectivity(sel, 1500)),
+			LeftOutput:  []string{"shipdate"},
+			RightKey:    "custkey",
+			RightOutput: []string{"nationcode"},
+			Parallelism: 1,
+		}
+		for _, rs := range []matstore.RightStrategy{
+			matstore.RightMaterialized, matstore.RightMultiColumn, matstore.RightSingleColumn,
+		} {
+			ref, _, err := serialDB.Join("orders", "customer", q, rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p, db := range partitionDBs {
+				for _, par := range []int{1, 4} {
+					q.Parallelism = par
+					res, stats, err := db.Join("orders", "customer", q, rs)
+					if err != nil {
+						t.Fatalf("sel=%v %v/p=%d/par=%d: %v", sel, rs, p, par, err)
+					}
+					if !reflect.DeepEqual(res.Cols, ref.Cols) {
+						t.Errorf("sel=%v %v/p=%d/par=%d: radix result not byte-identical to serial build",
+							sel, rs, p, par)
+					}
+					if p > 0 && stats.Join.Partitions != p {
+						t.Errorf("sel=%v %v/p=%d: reported partitions = %d", sel, rs, p, stats.Join.Partitions)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestDifferentialFusedScans is the acceptance grid for multi-predicate
 // fusion: queries whose consecutive filters hit the same column — the shape
 // the planner fuses into one k-predicate scan pass — must return identical

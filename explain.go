@@ -6,13 +6,14 @@ import (
 	"matstore/internal/plan"
 )
 
-// Explanation is the result of DB.Explain: the physical plan a strategy
-// builds for a query, annotated per node with the analytical model's cost
-// prediction AND the counters observed while actually executing it. When
-// the advisor's ranking disagrees with reality, the node whose modeled and
-// observed columns diverge names the mis-modeled operator.
+// Explanation is the result of DB.Explain or DB.ExplainJoin: the physical
+// plan a strategy builds for a query, annotated per node with the analytical
+// model's cost prediction AND the counters observed while actually executing
+// it. When the advisor's ranking disagrees with reality, the node whose
+// modeled and observed columns diverge names the mis-modeled operator.
 type Explanation struct {
-	// Strategy is the strategy whose plan was explained.
+	// Strategy is the strategy whose plan was explained (for joins: the
+	// shape the outer probe side executes).
 	Strategy Strategy
 	// Plan is the underlying annotated plan tree (for programmatic access).
 	Plan *plan.Plan
@@ -23,18 +24,29 @@ type Explanation struct {
 	Modeled Cost
 	// Stats is the execution's query-level statistics.
 	Stats *Stats
+	// JoinStats carries the full join statistics of an ExplainJoin run (nil
+	// for selections).
+	JoinStats *JoinStats
 	// Result is the query result produced by the explain run.
 	Result *Result
 }
 
 // String renders the explanation: the node tree followed by the modeled
-// total and the observed execution summary.
+// total and the observed execution summary (join runs add the join-side
+// counters: probes, build tuples, partitions, deferred fetches).
 func (ex *Explanation) String() string {
-	return ex.Tree + fmt.Sprintf(
+	s := ex.Tree + fmt.Sprintf(
 		"modeled total: cpu=%.0fµs io=%.0fµs (%.0fµs)\nobserved: wall=%v workers=%d morsels=%d tuples_out=%d tuples_constructed=%d chunks_skipped=%d\n",
 		ex.Modeled.CPU, ex.Modeled.IO, ex.Modeled.Total(),
 		ex.Stats.Wall, ex.Stats.Workers, ex.Stats.Morsels,
 		ex.Stats.TuplesOut, ex.Stats.TuplesConstructed, ex.Stats.ChunksSkipped)
+	if js := ex.JoinStats; js != nil {
+		s += fmt.Sprintf(
+			"join: right=%v probes=%d build_tuples=%d partitions=%d build_workers=%d deferred_fetches=%d\n",
+			js.RightStrategy, js.Join.LeftProbes, js.Join.RightBuildTuples,
+			js.Join.Partitions, js.Join.BuildWorkers, js.Join.DeferredFetches)
+	}
+	return s
 }
 
 // Explain builds the physical plan the strategy would run for q, annotates
@@ -64,5 +76,41 @@ func (db *DB) Explain(projection string, q Query, s Strategy) (*Explanation, err
 		Modeled:  Cost{CPU: total.CPU, IO: total.IO},
 		Stats:    stats,
 		Result:   res,
+	}, nil
+}
+
+// ExplainJoin builds the physical join plan for q (left ⋈ right under the
+// given inner-table materialization strategy), annotates every node with the
+// analytical model's Section 4.3 cost terms, executes the plan with per-node
+// observation enabled — radix-partitioned parallel build, batched probe —
+// and returns the rendered tree with modeled vs. observed stats side by
+// side. q.Parallelism controls both join phases exactly as in Join.
+func (db *DB) ExplainJoin(left, right string, q JoinQuery, rs RightStrategy) (*Explanation, error) {
+	lp, err := db.inner.Projection(left)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := db.inner.Projection(right)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := db.exec.BuildJoinPlan(lp, rp, q, rs)
+	if err != nil {
+		return nil, err
+	}
+	PaperConstants().AnnotatePlan(pl, true)
+	res, stats, err := db.exec.RunJoinPlan(pl, q.Parallelism, true)
+	if err != nil {
+		return nil, err
+	}
+	total := pl.ModeledTotal()
+	return &Explanation{
+		Strategy:  stats.Strategy,
+		Plan:      pl,
+		Tree:      pl.Render(),
+		Modeled:   Cost{CPU: total.CPU, IO: total.IO},
+		Stats:     &stats.Stats,
+		JoinStats: stats,
+		Result:    res,
 	}, nil
 }

@@ -116,3 +116,60 @@ func TestExplainDoesNotDisturbSelect(t *testing.T) {
 		t.Error("Select result changed after Explain")
 	}
 }
+
+// TestExplainJoin: ExplainJoin must execute the join (same result as Join),
+// annotate the build, probe and scan nodes with Section 4.3 model terms, and
+// render the join tree with observed counters including the radix build
+// phase.
+func TestExplainJoin(t *testing.T) {
+	db := open(t, matstore.Options{Exec: core.Options{ChunkSize: 1024}})
+	q := matstore.JoinQuery{
+		LeftKey:     "custkey",
+		LeftPred:    matstore.LessThan(200),
+		LeftOutput:  []string{"shipdate"},
+		RightKey:    "custkey",
+		RightOutput: []string{"nationcode"},
+		Parallelism: 2,
+	}
+	for _, rs := range []matstore.RightStrategy{
+		matstore.RightMaterialized, matstore.RightMultiColumn, matstore.RightSingleColumn,
+	} {
+		ex, err := db.ExplainJoin("orders", "customer", q, rs)
+		if err != nil {
+			t.Fatalf("%v: %v", rs, err)
+		}
+		res, stats, err := db.Join("orders", "customer", q, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ex.Result.Cols, res.Cols) {
+			t.Errorf("%v: explain result differs from Join", rs)
+		}
+		if ex.JoinStats == nil || ex.JoinStats.RightStrategy != rs {
+			t.Fatalf("%v: JoinStats = %+v", rs, ex.JoinStats)
+		}
+		if ex.JoinStats.Join.OutputTuples != stats.Join.OutputTuples {
+			t.Errorf("%v: explain OutputTuples = %d, Join = %d",
+				rs, ex.JoinStats.Join.OutputTuples, stats.Join.OutputTuples)
+		}
+		if ex.Strategy != matstore.LMPipelined {
+			t.Errorf("%v: outer shape = %v, want %v", rs, ex.Strategy, matstore.LMPipelined)
+		}
+		if ex.Modeled.Total() <= 0 {
+			t.Errorf("%v: modeled total = %v", rs, ex.Modeled)
+		}
+		plan.Walk(ex.Plan.Root, func(n *plan.Node) {
+			if !n.HasModel {
+				t.Errorf("%v: node %v has no model annotation", rs, n.Kind)
+			}
+		})
+		for _, want := range []string{"JOINBUILD", "JOINPROBE", "model:", "obs:", "partitions="} {
+			if !strings.Contains(ex.Tree, want) {
+				t.Errorf("%v: tree missing %q:\n%s", rs, want, ex.Tree)
+			}
+		}
+		if !strings.Contains(ex.String(), "join: right="+rs.String()) {
+			t.Errorf("%v: String() missing join summary:\n%s", rs, ex.String())
+		}
+	}
+}

@@ -162,25 +162,49 @@ func (e *Env) executor() *core.Executor {
 	return core.NewExecutor(e.DB.Pool(), core.Options{ChunkSize: e.ChunkSize})
 }
 
-// timeSelect runs the query e.Runs+1 times (first run warms the buffer
-// pool, as the paper's properly-pipelined assumption requires) and returns
-// the minimum wall time in milliseconds.
-func (e *Env) timeSelect(exec *core.Executor, p *storage.Projection, q core.SelectQuery, s core.Strategy) (float64, error) {
-	q.Parallelism = e.Parallelism
+// timeBest runs one timed query e.Runs+1 times (the first run warms the
+// buffer pool, as the paper's properly-pipelined assumption requires) and
+// returns the minimum wall time in milliseconds — the timing policy shared
+// by every figure and ablation.
+func (e *Env) timeBest(run func() (time.Duration, error)) (float64, error) {
 	best := time.Duration(0)
 	for r := 0; r <= e.Runs; r++ {
-		_, stats, err := exec.Select(p, q, s)
+		wall, err := run()
 		if err != nil {
 			return 0, err
 		}
 		if r == 0 {
 			continue // warm-up
 		}
-		if best == 0 || stats.Wall < best {
-			best = stats.Wall
+		if best == 0 || wall < best {
+			best = wall
 		}
 	}
 	return float64(best) / float64(time.Millisecond), nil
+}
+
+// timeSelect applies the timeBest policy to a selection query.
+func (e *Env) timeSelect(exec *core.Executor, p *storage.Projection, q core.SelectQuery, s core.Strategy) (float64, error) {
+	q.Parallelism = e.Parallelism
+	return e.timeBest(func() (time.Duration, error) {
+		_, stats, err := exec.Select(p, q, s)
+		if err != nil {
+			return 0, err
+		}
+		return stats.Wall, nil
+	})
+}
+
+// timeJoin applies the timeBest policy to a join query.
+func (e *Env) timeJoin(exec *core.Executor, q core.JoinQuery, rs operators.RightStrategy) (float64, error) {
+	q.Parallelism = e.Parallelism
+	return e.timeBest(func() (time.Duration, error) {
+		_, stats, err := exec.Join(e.orders, e.customer, q, rs)
+		if err != nil {
+			return 0, err
+		}
+		return stats.Wall, nil
+	})
 }
 
 // selectionQuery builds the paper's Section 4 selection query over the
@@ -368,22 +392,12 @@ func (e *Env) Fig13(sels []float64) (Figure, error) {
 				LeftOutput:  []string{tpch.ColOrderShipdate},
 				RightKey:    tpch.ColCustkey,
 				RightOutput: []string{tpch.ColNationcode},
-				Parallelism: e.Parallelism,
 			}
-			best := time.Duration(0)
-			for r := 0; r <= e.Runs; r++ {
-				_, stats, err := exec.Join(e.orders, e.customer, q, rs)
-				if err != nil {
-					return fig, err
-				}
-				if r == 0 {
-					continue
-				}
-				if best == 0 || stats.Wall < best {
-					best = stats.Wall
-				}
+			ms, err := e.timeJoin(exec, q, rs)
+			if err != nil {
+				return fig, err
 			}
-			ser.Y = append(ser.Y, float64(best)/float64(time.Millisecond))
+			ser.Y = append(ser.Y, ms)
 		}
 	}
 	return fig, nil

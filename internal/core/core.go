@@ -197,6 +197,15 @@ type Options struct {
 	// of fusing consecutive same-column predicates into one multi-predicate
 	// pass (the unfused reference path; ablation and differential testing).
 	DisableFusion bool
+	// JoinPartitions overrides the radix partition count of the parallel
+	// join hash build (rounded up to a power of two; 0 derives it from the
+	// worker count). Results are identical at every partition count.
+	JoinPartitions int
+	// SerialJoinBuild routes joins through the retained serial hash build
+	// (operators.BuildRightTable + RunHashJoin) instead of the
+	// radix-partitioned plan path — the differential-test reference and the
+	// build-ablation baseline.
+	SerialJoinBuild bool
 }
 
 func (o Options) chunkSize() int64 {

@@ -6,6 +6,7 @@ import (
 
 	"matstore/internal/buffer"
 	"matstore/internal/operators"
+	"matstore/internal/plan"
 	"matstore/internal/pred"
 	"matstore/internal/rows"
 	"matstore/internal/storage"
@@ -25,10 +26,10 @@ type JoinQuery struct {
 	LeftOutput  []string
 	RightKey    string
 	RightOutput []string
-	// Parallelism is the probe-phase worker count (0 = one per CPU, 1 =
-	// serial). The hash build and the single-column strategy's deferred
-	// payload fetch stay serial; only the outer-table probe is
-	// morsel-parallel.
+	// Parallelism is the worker count for BOTH join phases (0 = one per
+	// CPU, 1 = serial): the radix-partitioned hash build scans the inner
+	// table morsel-parallel into per-partition tables, and the outer-table
+	// probe streams morsel-parallel against them.
 	Parallelism int
 }
 
@@ -39,10 +40,138 @@ type JoinStats struct {
 	Join          operators.JoinStats
 }
 
+// BuildJoinPlan compiles q into the physical join plan: a PROJECT root over
+// a JOINPROBE node whose children are the outer-table position subtree (a
+// DS1 scan of the outer key when LeftPred filters, ALLPOS otherwise) and
+// the blocking JOINBUILD node for the inner side. The plan runs through the
+// same generic morsel executor as every selection plan — plan.Plan.Run's
+// build-barrier phase constructs the partitioned hash side before the probe
+// morsels stream.
+func (e *Executor) BuildJoinPlan(left, right *storage.Projection, q JoinQuery, rs operators.RightStrategy) (*plan.Plan, error) {
+	if len(q.RightOutput) == 0 && rs != operators.RightMaterialized {
+		return nil, errors.New("core: join without right outputs is a semi-join; use RightMaterialized")
+	}
+	leftKeyCol, err := left.Column(q.LeftKey)
+	if err != nil {
+		return nil, err
+	}
+	leftCols := make([]*storage.Column, len(q.LeftOutput))
+	for i, name := range q.LeftOutput {
+		if leftCols[i], err = left.Column(name); err != nil {
+			return nil, err
+		}
+	}
+	rightKeyCol, err := right.Column(q.RightKey)
+	if err != nil {
+		return nil, err
+	}
+	rightCols := make([]*storage.Column, len(q.RightOutput))
+	for i, name := range q.RightOutput {
+		if rightCols[i], err = right.Column(name); err != nil {
+			return nil, err
+		}
+	}
+
+	var pos *plan.Node
+	if q.LeftPred.Op == pred.All {
+		pos = plan.NewPosAll()
+	} else {
+		pos = plan.NewDS1(q.LeftKey, leftKeyCol, []pred.Predicate{q.LeftPred})
+	}
+	build := plan.NewJoinBuild(q.RightKey, rightKeyCol, q.RightOutput, rightCols, rs, e.Opt.JoinPartitions)
+	probe := plan.NewJoinProbe(q.LeftKey, leftKeyCol, q.LeftOutput, leftCols, pos, build)
+	outNames := append(append([]string{}, q.LeftOutput...), q.RightOutput...)
+	return &plan.Plan{
+		Label: "join " + rs.String(),
+		Root:  plan.NewProject(probe, outNames),
+		Spec: plan.Spec{
+			OutNames:           outNames,
+			Output:             outNames,
+			Tuples:             left.TupleCount(),
+			ChunkSize:          e.Opt.chunkSize(),
+			DisableMultiColumn: e.Opt.DisableMultiColumn,
+			ForceBitmap:        e.Opt.ForceBitmapPositions,
+			UseZoneIndex:       e.Opt.UseZoneIndex,
+		},
+	}, nil
+}
+
 // Join executes q with the given inner-table materialization strategy.
 // left is the outer (probing) projection, right the inner (built)
-// projection.
+// projection. The join is plan-built and plan-run exactly like Select
+// (BuildJoinPlan + RunJoinPlan); Options.SerialJoinBuild routes it through
+// the retained serial-build reference instead (the ablation baseline the
+// differential suite pins the radix build against).
 func (e *Executor) Join(left, right *storage.Projection, q JoinQuery, rs operators.RightStrategy) (*rows.Result, *JoinStats, error) {
+	if e.Opt.SerialJoinBuild {
+		return e.joinSerialBuild(left, right, q, rs)
+	}
+	pl, err := e.BuildJoinPlan(left, right, q, rs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.RunJoinPlan(pl, q.Parallelism, false)
+}
+
+// RunJoinPlan executes a built join plan through the generic morsel
+// executor, wrapping the run in the query-level accounting. With observe
+// set, every plan node accumulates observed rows/time for EXPLAIN.
+func (e *Executor) RunJoinPlan(pl *plan.Plan, parallelism int, observe bool) (*rows.Result, *JoinStats, error) {
+	probe := pl.JoinProbe()
+	if probe == nil {
+		return nil, nil, errors.New("core: RunJoinPlan needs a join plan (PROJECT over JOINPROBE)")
+	}
+	stats := &JoinStats{RightStrategy: probe.Children[1].RightStrategy}
+	stats.Strategy = outerShape(probe)
+	before := e.Pool.Stats()
+	start := time.Now()
+
+	res, runStats, err := pl.Run(parallelism, observe)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Join = runStats.Join
+	stats.Workers = runStats.Workers
+	stats.Morsels = runStats.Morsels
+	stats.PositionsMatched = runStats.PositionsMatched
+	stats.ChunksSkipped = runStats.ChunksSkipped
+	if !e.Opt.SkipOutputIteration {
+		stats.OutputChecksum = drainResult(res)
+	}
+	stats.Wall = time.Since(start)
+	stats.TuplesOut = int64(res.NumRows())
+	stats.TuplesConstructed = runStats.Join.OutputTuples + runStats.Join.RightBuildTuples
+	after := e.Pool.Stats()
+	stats.Buffer = buffer.Stats{
+		Hits:   after.Hits - before.Hits,
+		Misses: after.Misses - before.Misses,
+		Reads:  after.Reads - before.Reads,
+		Seeks:  after.Seeks - before.Seeks,
+	}
+	return res, stats, nil
+}
+
+// outerShape reports the materialization strategy the outer (probe) side of
+// a join plan actually executes, for JoinStats.Strategy: the probe streams
+// positions from its scan subtree and materializes outer payload values late
+// (batched gathers at surviving positions), so a chain subtree is
+// LM-pipelined; a position-AND subtree would be LM-parallel.
+func outerShape(probe *plan.Node) Strategy {
+	shape := LMPipelined
+	plan.Walk(probe.Children[0], func(n *plan.Node) {
+		if n.Kind == plan.KindAND {
+			shape = LMParallel
+		}
+	})
+	return shape
+}
+
+// joinSerialBuild is the retained pre-plan join driver: serial hash build
+// (operators.BuildRightTable) feeding the morsel-parallel probe of
+// operators.RunHashJoin. It exists as the reference implementation the
+// radix-partitioned plan path is differential-tested against, and as the
+// serial side of the build ablation benchmark.
+func (e *Executor) joinSerialBuild(left, right *storage.Projection, q JoinQuery, rs operators.RightStrategy) (*rows.Result, *JoinStats, error) {
 	if len(q.RightOutput) == 0 && rs != operators.RightMaterialized {
 		return nil, nil, errors.New("core: join without right outputs is a semi-join; use RightMaterialized")
 	}
@@ -60,7 +189,7 @@ func (e *Executor) Join(left, right *storage.Projection, q JoinQuery, rs operato
 	}
 
 	stats := &JoinStats{RightStrategy: rs}
-	stats.Strategy = LMParallel // joins always probe from position-filtered outer scans
+	stats.Strategy = LMPipelined // DS1 positions chained into the probe
 	before := e.Pool.Stats()
 	start := time.Now()
 

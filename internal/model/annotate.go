@@ -20,6 +20,9 @@ func (m Constants) AnnotatePlan(p *plan.Plan, hot bool) {
 	a := &annotator{m: m, hot: hot, p: p, accessed: map[string]bool{}}
 	root := p.Root
 	switch {
+	case p.JoinProbe() != nil:
+		a.join(root, p.JoinProbe())
+
 	case root.Kind == plan.KindMerge:
 		frac, rlp := a.pos(root.Children[0])
 		matched := frac * a.tuples()
@@ -60,6 +63,51 @@ type annotator struct {
 	// accessed tracks columns the position subtree touched (their blocks
 	// are pool-resident for DS3, the multi-column free-reuse case).
 	accessed map[string]bool
+}
+
+// join annotates a join tree (PROJECT over JOINPROBE) with the Section 4.3
+// cost terms: the blocking build over the inner table, the outer position
+// scan (annotated by pos), the batched probe with its per-strategy payload
+// access, and output iteration at the root. Output cardinality is estimated
+// as the surviving outer fraction times the inner table's average matches
+// per key (tuples over distinct keys — exact for the paper's FK join).
+func (a *annotator) join(root, probe *plan.Node) {
+	build := probe.Children[1]
+	m := a.m
+
+	keyStats := a.stats(build.Column)
+	payloadStats := make([]ColumnStats, len(build.RightCols))
+	for i, c := range build.RightCols {
+		payloadStats[i] = a.stats(c)
+	}
+	cpu, io := m.JoinBuild(keyStats, payloadStats, build.RightStrategy)
+	setCost(build, cpu, io)
+
+	frac, rlp := a.pos(probe.Children[0])
+	probes := frac * a.tuples()
+	matchPerKey := 1.0
+	if d := build.Column.Distinct(); d > 0 {
+		matchPerKey = keyStats.Tuples / float64(d)
+	}
+	out := probes * matchPerKey
+
+	cpu, io = m.JoinProbe(probes, out, len(probe.LeftCols), payloadStats, build.RightStrategy, keyStats.Tuples)
+	// The batched probe-key gather plus the outer payload gathers: a DS3 per
+	// column at the surviving positions (free re-access when the position
+	// scan already touched the column — the predicated join key's mini-column
+	// is retained by the multi-column optimization).
+	keyReuse := a.accessed[probe.Col] && !a.p.Spec.DisableMultiColumn
+	dcpu, dio := m.DS3(a.stats(probe.Column), probes, rlp, frac, keyReuse)
+	cpu += dcpu
+	io += dio
+	for i, c := range probe.LeftCols {
+		reuse := a.accessed[probe.OutCols[i]] && !a.p.Spec.DisableMultiColumn
+		dcpu, dio := m.DS3(a.stats(c), probes, rlp, frac, reuse)
+		cpu += dcpu
+		io += dio
+	}
+	setCost(probe, cpu, io)
+	setCost(root, m.OutputIteration(out), 0)
 }
 
 func (a *annotator) tuples() float64 {

@@ -45,6 +45,21 @@ func (s RightStrategy) String() string {
 	}
 }
 
+// ParseRightStrategy converts a string (as used by CLI flags) to a
+// RightStrategy.
+func ParseRightStrategy(s string) (RightStrategy, error) {
+	switch s {
+	case "right-materialized", "materialized", "em":
+		return RightMaterialized, nil
+	case "right-multicolumn", "multicolumn", "mc":
+		return RightMultiColumn, nil
+	case "right-singlecolumn", "singlecolumn", "lm", "sc":
+		return RightSingleColumn, nil
+	default:
+		return 0, fmt.Errorf("operators: unknown right strategy %q", s)
+	}
+}
+
 // RightTable is the built (inner) side of a hash join.
 type RightTable struct {
 	strategy  RightStrategy
@@ -59,7 +74,12 @@ type RightTable struct {
 }
 
 // BuildRightTable scans the right projection's key column (and, per
-// strategy, its payload columns) and builds the hash side.
+// strategy, its payload columns) and builds the hash side serially. Since
+// the radix-partitioned build (radix.go) took over the plan-executor join
+// path, this is the retained reference implementation: the differential
+// suite pins the parallel build byte-identical to it, and
+// core.Options.SerialJoinBuild routes joins back through it for the
+// ablation benchmark.
 func BuildRightTable(p *storage.Projection, key string, payload []string, strat RightStrategy, chunkSize int64) (*RightTable, error) {
 	keyCol, err := p.Column(key)
 	if err != nil {
@@ -141,6 +161,13 @@ type JoinStats struct {
 	// DeferredFetches is the number of out-of-order position jumps into
 	// stored right columns (single-column strategy only).
 	DeferredFetches int64
+	// Partitions is the radix partition count of the hash build (0 on the
+	// serial-build reference path).
+	Partitions int
+	// BuildWorkers and BuildMorsels describe the parallel build phase (0 on
+	// the serial-build reference path).
+	BuildWorkers int
+	BuildMorsels int
 }
 
 // JoinSpec describes one hash join: the outer (left) table's key column

@@ -1,0 +1,233 @@
+package operators
+
+import (
+	"matstore/internal/datasource"
+	"matstore/internal/encoding"
+	"matstore/internal/exec"
+	"matstore/internal/storage"
+)
+
+// This file is the radix-partitioned parallel hash build that replaces the
+// serial BuildRightTable on the plan-executor join path (the serial build in
+// join.go survives as the differential-test reference and the ablation
+// benchmark's baseline). Workers scan the inner key column morsel-parallel,
+// routing every (key, position) pair into a per-morsel × per-partition
+// buffer by a radix of the key hash; a barrier later builds one small hash
+// table per partition with no locks, each partition owned by exactly one
+// worker. Because the buffers are indexed by morsel and concatenated in
+// morsel order, the position lists inside every hash bucket come out in
+// ascending position order — exactly the order the serial build's scan
+// produces — so probe results are byte-identical at every worker and
+// partition count.
+
+// HashKey mixes a join key into a full-width hash (the 64-bit finalizer of
+// MurmurHash3). The low bits select the radix partition, so the mix must
+// spread nearby keys — dense foreign-key domains are the common case.
+func HashKey(k int64) uint64 {
+	x := uint64(k)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// NextPow2 returns the smallest power of two >= n (minimum 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// ResolvePartitions picks the radix partition count: an explicit override is
+// rounded up to a power of two (the radix mask needs one); otherwise the
+// next power of two of the worker count, so every build worker can own at
+// least one partition during the lock-free table-build phase.
+func ResolvePartitions(workers, override int) int {
+	if override > 0 {
+		return NextPow2(override)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return NextPow2(workers)
+}
+
+// PartitionedTable is the radix-partitioned inner side of a hash join: one
+// hash table per partition, plus the per-strategy payload storage of
+// RightTable (dense arrays, retained mini-columns, or deferred column
+// handles).
+type PartitionedTable struct {
+	strategy  RightStrategy
+	payload   []string
+	mask      uint64
+	tables    []map[int64][]int64
+	dense     [][]int64               // RightMaterialized: payload[c][rightPos]
+	chunks    [][]encoding.MiniColumn // RightMultiColumn: [chunk][payloadIdx]
+	chunkSize int64
+	cols      []*storage.Column // RightSingleColumn: deferred fetch targets
+
+	// BuildTuples counts right tuples materialized during build.
+	BuildTuples int64
+	// Tuples is the inner table's tuple count (every build scans them all).
+	Tuples int64
+	// Partitions, BuildWorkers and BuildMorsels describe the build phase.
+	Partitions   int
+	BuildWorkers int
+	BuildMorsels int
+}
+
+// Strategy returns the inner-table materialization strategy built.
+func (rt *PartitionedTable) Strategy() RightStrategy { return rt.strategy }
+
+// Payload returns the payload column names.
+func (rt *PartitionedTable) Payload() []string { return rt.payload }
+
+// Probe returns the right positions matching key in ascending position
+// order (nil if none). Safe for concurrent use: the tables are read-only
+// after build.
+func (rt *PartitionedTable) Probe(key int64) []int64 {
+	return rt.tables[HashKey(key)&rt.mask][key]
+}
+
+// DenseValue returns payload column c's value at a right position
+// (RightMaterialized only).
+func (rt *PartitionedTable) DenseValue(c int, pos int64) int64 { return rt.dense[c][pos] }
+
+// PayloadMinis returns the retained compressed mini-columns of the chunk
+// holding a right position (RightMultiColumn only).
+func (rt *PartitionedTable) PayloadMinis(pos int64) []encoding.MiniColumn {
+	return rt.chunks[pos/rt.chunkSize]
+}
+
+// DeferredCol returns payload column c's stored-column handle for the
+// post-join positional fetch (RightSingleColumn only).
+func (rt *PartitionedTable) DeferredCol(c int) *storage.Column { return rt.cols[c] }
+
+// buildEntry is one scanned (key, right position) pair awaiting its
+// partition's table build.
+type buildEntry struct {
+	key, pos int64
+}
+
+// BuildPartitioned scans the inner key column (and, per strategy, its
+// payload columns) morsel-parallel and builds the radix-partitioned hash
+// side. workers is the resolved worker count; partitions <= 0 derives the
+// partition count from it. The same chunkSize as the probe side keeps the
+// multi-column chunk addressing aligned.
+func BuildPartitioned(key *storage.Column, payloadCols []*storage.Column, payload []string, strat RightStrategy, chunkSize int64, workers, partitions int) (*PartitionedTable, error) {
+	extent := key.Extent()
+	if workers < 1 {
+		workers = 1
+	}
+	p := ResolvePartitions(workers, partitions)
+	rt := &PartitionedTable{
+		strategy:   strat,
+		payload:    payload,
+		mask:       uint64(p - 1),
+		tables:     make([]map[int64][]int64, p),
+		chunkSize:  chunkSize,
+		Tuples:     extent.Len(),
+		Partitions: p,
+	}
+	numChunks := (extent.Len() + chunkSize - 1) / chunkSize
+	switch strat {
+	case RightMaterialized:
+		// Construct right tuples at build (early materialization): each
+		// payload column decompresses into one position-addressable array.
+		// Morsels fill disjoint ranges of the shared arrays, so no locks.
+		rt.dense = make([][]int64, len(payloadCols))
+		for c := range payloadCols {
+			rt.dense[c] = make([]int64, extent.Len())
+		}
+	case RightMultiColumn:
+		// Retain the payload mini-columns, compressed, in memory. Chunks are
+		// morsel-aligned, so each slot is written by exactly one worker.
+		rt.chunks = make([][]encoding.MiniColumn, numChunks)
+	case RightSingleColumn:
+		rt.cols = payloadCols
+	}
+
+	morsels := exec.Morsels(extent, chunkSize, workers)
+	if workers > len(morsels) {
+		workers = len(morsels)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rt.BuildWorkers = workers
+	rt.BuildMorsels = len(morsels)
+
+	// Phase 1: morsel-parallel partitioning scan. Buffers are indexed by
+	// (morsel, partition) so phase 2 can concatenate them in morsel order,
+	// reproducing the serial build's ascending-position bucket order.
+	perMorsel := make([][][]buildEntry, len(morsels))
+	buildTuples := make([]int64, len(morsels))
+	err := exec.Run(workers, len(morsels), func(i int) error {
+		bufs := make([][]buildEntry, p)
+		ch := datasource.NewChunker(morsels[i], chunkSize)
+		var keyBuf []int64
+		for ci := 0; ci < ch.NumChunks(); ci++ {
+			r := ch.Chunk(ci)
+			mc, err := key.Window(r)
+			if err != nil {
+				return err
+			}
+			keyBuf = mc.Decompress(keyBuf[:0])
+			for j, k := range keyBuf {
+				pt := HashKey(k) & rt.mask
+				bufs[pt] = append(bufs[pt], buildEntry{key: k, pos: r.Start + int64(j)})
+			}
+			switch strat {
+			case RightMaterialized:
+				for c := range payloadCols {
+					pm, err := payloadCols[c].Window(r)
+					if err != nil {
+						return err
+					}
+					dst := rt.dense[c][r.Start:r.Start:r.End]
+					pm.Decompress(dst)
+				}
+				buildTuples[i] += int64(len(keyBuf))
+			case RightMultiColumn:
+				minis := make([]encoding.MiniColumn, len(payloadCols))
+				for c := range payloadCols {
+					var err error
+					if minis[c], err = payloadCols[c].Window(r); err != nil {
+						return err
+					}
+				}
+				rt.chunks[r.Start/chunkSize] = minis
+			}
+		}
+		perMorsel[i] = bufs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range buildTuples {
+		rt.BuildTuples += n
+	}
+
+	// Phase 2 (after the scan barrier): one hash table per partition, built
+	// lock-free — each partition is owned by a single worker, and morsel
+	// order concatenation keeps bucket position lists ascending.
+	return rt, exec.Run(workers, p, func(pt int) error {
+		n := 0
+		for m := range perMorsel {
+			n += len(perMorsel[m][pt])
+		}
+		tbl := make(map[int64][]int64, n)
+		for m := range perMorsel {
+			for _, e := range perMorsel[m][pt] {
+				tbl[e.key] = append(tbl[e.key], e.pos)
+			}
+		}
+		rt.tables[pt] = tbl
+		return nil
+	})
+}

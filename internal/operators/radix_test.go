@@ -1,0 +1,118 @@
+package operators
+
+import (
+	"reflect"
+	"testing"
+
+	"matstore/internal/storage"
+)
+
+func TestNextPow2(t *testing.T) {
+	for n, want := range map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 63: 64, 64: 64, 65: 128} {
+		if got := NextPow2(n); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestResolvePartitions(t *testing.T) {
+	for _, tc := range []struct{ workers, override, want int }{
+		{1, 0, 1}, {2, 0, 2}, {3, 0, 4}, {8, 0, 8},
+		{4, 1, 1}, {1, 8, 8}, {1, 5, 8}, {0, 0, 1},
+	} {
+		if got := ResolvePartitions(tc.workers, tc.override); got != tc.want {
+			t.Errorf("ResolvePartitions(%d, %d) = %d, want %d", tc.workers, tc.override, got, tc.want)
+		}
+	}
+}
+
+// TestHashKeySpread sanity-checks that the radix bits of dense key domains
+// (the common foreign-key case) spread across partitions rather than
+// clustering in a few buckets.
+func TestHashKeySpread(t *testing.T) {
+	const p = 8
+	var counts [p]int
+	for k := int64(0); k < 8000; k++ {
+		counts[HashKey(k)&(p-1)]++
+	}
+	for i, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Errorf("partition %d holds %d of 8000 dense keys (want ~1000)", i, c)
+		}
+	}
+}
+
+// TestBuildPartitionedMatchesSerial pins the radix-partitioned build
+// byte-identical to the serial BuildRightTable reference: for every
+// strategy, worker count and partition count, probing any key must return
+// the same ascending right-position list, and the per-strategy payload
+// storage must hold the same values.
+func TestBuildPartitionedMatchesSerial(t *testing.T) {
+	_, right := joinFixture(t)
+	keyCol, err := right.Column("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	valCol, err := right.Column("val")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunkSize = 64
+	for _, rs := range []RightStrategy{RightMaterialized, RightMultiColumn, RightSingleColumn} {
+		ref, err := BuildRightTable(right, "k", []string{"val"}, rs, chunkSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 7} {
+			for _, partitions := range []int{0, 1, 2, 8, 64} {
+				rt, err := BuildPartitioned(keyCol, []*storage.Column{valCol}, []string{"val"}, rs, chunkSize, workers, partitions)
+				if err != nil {
+					t.Fatalf("%v/w=%d/p=%d: %v", rs, workers, partitions, err)
+				}
+				if rt.BuildTuples != ref.BuildTuples {
+					t.Errorf("%v/w=%d/p=%d: BuildTuples = %d, want %d", rs, workers, partitions, rt.BuildTuples, ref.BuildTuples)
+				}
+				for k := int64(-1); k < 12; k++ {
+					got, want := rt.Probe(k), ref.Probe(k)
+					if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+						t.Errorf("%v/w=%d/p=%d: Probe(%d) = %v, want %v", rs, workers, partitions, k, got, want)
+					}
+					for _, rpos := range got {
+						switch rs {
+						case RightMaterialized:
+							if gotV, wantV := rt.DenseValue(0, rpos), ref.dense[0][rpos]; gotV != wantV {
+								t.Errorf("%v: DenseValue(0, %d) = %d, want %d", rs, rpos, gotV, wantV)
+							}
+						case RightMultiColumn:
+							if gotV, wantV := rt.PayloadMinis(rpos)[0].ValueAt(rpos), ref.chunks[rpos/chunkSize][0].ValueAt(rpos); gotV != wantV {
+								t.Errorf("%v: mini value at %d = %d, want %d", rs, rpos, gotV, wantV)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildPartitionedEmptyRight checks the degenerate empty inner table:
+// probes must return nothing and the build must not fault.
+func TestBuildPartitionedEmptyRight(t *testing.T) {
+	_, right := joinFixture(t)
+	keyCol, err := right.Column("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An empty extent comes from a zero-tuple projection; simulate by
+	// probing a table built over the fixture but asking for missing keys.
+	rt, err := BuildPartitioned(keyCol, nil, nil, RightMaterialized, 64, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Probe(999); got != nil {
+		t.Errorf("Probe(999) = %v, want nil", got)
+	}
+	if rt.Partitions != 4 {
+		t.Errorf("Partitions = %d, want 4", rt.Partitions)
+	}
+}

@@ -1,0 +1,197 @@
+package plan
+
+import (
+	"time"
+
+	"matstore/internal/datasource"
+	"matstore/internal/multicol"
+	"matstore/internal/operators"
+	"matstore/internal/positions"
+	"matstore/internal/rows"
+	"matstore/internal/storage"
+)
+
+// This file is the join half of the generic morsel executor: the blocking
+// build-barrier phase that radix-partitions the inner table before any probe
+// morsel starts, the streaming probe interpreter that runs inside the same
+// morsel loop as every other plan shape, and the deferred right-payload
+// post-pass of the single-column strategy. The probe side is fully batched:
+// outer keys and outer payload values are gathered per chunk through the
+// multi-column's retained mini-columns or the block-pinned
+// storage.Column.GatherAt path — never a per-row ValueAt — and joined rows
+// are emitted column-wise.
+
+// runJoinBuild executes the plan's build-barrier phase: the inner table is
+// scanned morsel-parallel into radix partitions and one hash table is built
+// per partition, all through the same exec scheduler the probe morsels use.
+// Nothing streams until the build completes. The returned table flows
+// through the run explicitly (node state is only a ReuseBuild cache behind
+// the plan's build mutex), so concurrent Run calls on a shared plan each
+// probe the table their own build phase produced.
+func (p *Plan) runJoinBuild(build *Node, workers int, stats *RunStats, observe bool) (*operators.PartitionedTable, error) {
+	p.buildMu.Lock()
+	rt := build.built
+	if rt == nil || !p.ReuseBuild {
+		start := obsStart(observe)
+		var err error
+		rt, err = operators.BuildPartitioned(
+			build.Column, build.RightCols, build.RightPayload,
+			build.RightStrategy, p.Spec.ChunkSize, workers, build.Partitions)
+		if err != nil {
+			p.buildMu.Unlock()
+			return nil, err
+		}
+		build.built = rt
+		if observe {
+			build.Obs.add(rt.Tuples, time.Since(start).Nanoseconds())
+		}
+	}
+	p.buildMu.Unlock()
+	stats.Join.RightBuildTuples = rt.BuildTuples
+	stats.Join.Partitions = rt.Partitions
+	stats.Join.BuildWorkers = rt.BuildWorkers
+	stats.Join.BuildMorsels = rt.BuildMorsels
+	return rt, nil
+}
+
+// runJoinProbeMorsel interprets one outer-table morsel of a join tree: the
+// position subtree (DS1 on the outer key, or ALLPOS) yields each chunk's
+// surviving positions; probe keys and outer payload values are gathered
+// batched at those positions; each key routes to its radix partition's hash
+// table; and matches emit column-wise into the morsel's partial result. For
+// the single-column strategy, matched right positions accumulate in
+// pt.pending (aligned with result rows) for the post-merge deferred fetch.
+func (p *Plan) runJoinProbeMorsel(r positions.Range, pt *partial, rt *operators.PartitionedTable, observe bool) error {
+	probe := p.Root.Children[0]
+	posNode := probe.Children[0]
+	pt.res = rows.NewResult(p.Spec.OutNames...)
+	base := len(probe.LeftCols)
+	payload := rt.Payload()
+
+	st := &morselState{}
+	ch := datasource.NewChunker(r, p.Spec.ChunkSize)
+	var keyBuf []int64
+	leftBufs := make([][]int64, base)
+	var matchIdx []int32
+	var matchPos []int64
+	for ci := 0; ci < ch.NumChunks(); ci++ {
+		cr := ch.Chunk(ci)
+		mc := multicol.New(cr)
+		desc, skipped, err := p.evalPositions(posNode, cr, mc, pt, st, observe)
+		if err != nil {
+			return err
+		}
+		if skipped || desc == nil || desc.Count() == 0 {
+			continue
+		}
+		pt.matched = append(pt.matched, desc)
+
+		// Batched key gather: from the scan's retained mini-column when the
+		// multi-column covers it, else the block-pinned gather.
+		start := obsStart(observe)
+		if keyBuf, err = p.gatherAt(mc, probe.Col, probe.Column, desc, keyBuf[:0]); err != nil {
+			return err
+		}
+		// Batched outer payload gather at the same surviving positions.
+		for c, col := range probe.LeftCols {
+			if leftBufs[c], err = p.gatherAt(mc, probe.OutCols[c], col, desc, leftBufs[c][:0]); err != nil {
+				return err
+			}
+		}
+
+		// Probe: route each key to its partition; collect (chunk-local key
+		// index, right position) match pairs.
+		matchIdx, matchPos = matchIdx[:0], matchPos[:0]
+		for i, k := range keyBuf {
+			for _, rpos := range rt.Probe(k) {
+				matchIdx = append(matchIdx, int32(i))
+				matchPos = append(matchPos, rpos)
+			}
+		}
+		pt.stats.Join.LeftProbes += int64(len(keyBuf))
+		if len(matchIdx) == 0 {
+			if observe {
+				probe.Obs.add(0, time.Since(start).Nanoseconds())
+			}
+			continue
+		}
+
+		// Column-wise emission: outer payload by match index, inner payload
+		// per strategy (dense array, retained compressed minis, or zeros
+		// awaiting the deferred batched fetch).
+		for c := range probe.LeftCols {
+			col, vals := pt.res.Cols[c], leftBufs[c]
+			for _, i := range matchIdx {
+				col = append(col, vals[i])
+			}
+			pt.res.Cols[c] = col
+		}
+		switch rt.Strategy() {
+		case operators.RightMaterialized:
+			for c := range payload {
+				col := pt.res.Cols[base+c]
+				for _, rpos := range matchPos {
+					col = append(col, rt.DenseValue(c, rpos))
+				}
+				pt.res.Cols[base+c] = col
+			}
+		case operators.RightMultiColumn:
+			for c := range payload {
+				col := pt.res.Cols[base+c]
+				for _, rpos := range matchPos {
+					col = append(col, rt.PayloadMinis(rpos)[c].ValueAt(rpos))
+				}
+				pt.res.Cols[base+c] = col
+			}
+		default:
+			for c := range payload {
+				col := pt.res.Cols[base+c]
+				for range matchPos {
+					col = append(col, 0) // filled by the deferred post-pass
+				}
+				pt.res.Cols[base+c] = col
+			}
+			pt.pending = append(pt.pending, matchPos...)
+		}
+		pt.stats.Join.OutputTuples += int64(len(matchIdx))
+		if observe {
+			probe.Obs.add(int64(len(matchIdx)), time.Since(start).Nanoseconds())
+		}
+	}
+	return nil
+}
+
+// gatherAt extracts a column's values at the surviving positions of one
+// chunk: from the multi-column's retained mini when available (zero
+// re-access), otherwise through the batched block-pinned gather.
+func (p *Plan) gatherAt(mc *multicol.MultiColumn, name string, col *storage.Column, desc positions.Set, dst []int64) ([]int64, error) {
+	if mini, ok := mc.Mini(name); ok && !p.Spec.DisableMultiColumn {
+		return datasource.DS3{}.ValuesFromMini(mini, desc, dst), nil
+	}
+	return datasource.DS3{Col: col}.ValuesGather(desc, dst)
+}
+
+// joinDeferredFetch is the single-column strategy's post-join positional
+// fetch: right positions emerge from the probe in left order, so no merge
+// join on position is possible (Section 4.3) — but the fetch is batched, one
+// block-pinned GatherUnordered per payload column over the merged pending
+// list, scattering values back into the already-emitted result rows.
+func (p *Plan) joinDeferredFetch(probe *Node, rt *operators.PartitionedTable, res *rows.Result, pending []int64, stats *RunStats, observe bool) error {
+	if rt.Strategy() != operators.RightSingleColumn || len(pending) == 0 {
+		return nil
+	}
+	base := len(probe.LeftCols)
+	start := obsStart(observe)
+	var vals []int64
+	for c := range rt.Payload() {
+		var err error
+		vals, err = rt.DeferredCol(c).GatherUnordered(pending, vals[:0])
+		if err != nil {
+			return err
+		}
+		copy(res.Cols[base+c], vals)
+		stats.Join.DeferredFetches += int64(len(pending))
+	}
+	obsNanos(&probe.Obs, start, observe)
+	return nil
+}

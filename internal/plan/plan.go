@@ -21,7 +21,9 @@ package plan
 
 import (
 	"fmt"
+	"math"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"matstore/internal/operators"
@@ -62,6 +64,16 @@ const (
 	// KindAggregate folds its input (tuples or positions+columns) into
 	// grouped aggregates.
 	KindAggregate
+	// KindJoinBuild is the blocking hash-build side of an equi-join: a
+	// radix-partitioned, morsel-parallel scan of the inner key column into
+	// per-partition hash tables, with the inner payload materialized per the
+	// node's RightStrategy (Section 4.3). It runs in the plan's build-barrier
+	// phase, before any probe morsel starts.
+	KindJoinBuild
+	// KindJoinProbe streams outer-table positions (Children[0]) against the
+	// built hash side (Children[1]), gathering probe keys and outer payload
+	// values batched per chunk and emitting joined tuples.
+	KindJoinProbe
 )
 
 func (k Kind) String() string {
@@ -88,6 +100,10 @@ func (k Kind) String() string {
 		return "PROJECT"
 	case KindAggregate:
 		return "AGG"
+	case KindJoinBuild:
+		return "JOINBUILD"
+	case KindJoinProbe:
+		return "JOINPROBE"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -154,6 +170,24 @@ type Node struct {
 	// position-domain Aggregate node (which re-windows a mini-column when
 	// the multi-column optimization is disabled or did not cover it).
 	MatColumns []*storage.Column
+
+	// Join-node configuration. A JoinBuild node names the inner key in Col
+	// (Column resolves it) and carries the payload schema and materialization
+	// strategy; Partitions overrides the radix partition count (0 derives the
+	// next power of two of the worker count at run time). A JoinProbe node
+	// names the outer key in Col and its outer payload in OutCols/LeftCols.
+	RightStrategy operators.RightStrategy
+	RightPayload  []string
+	RightCols     []*storage.Column
+	Partitions    int
+	// LeftCols are the probe node's resolved outer payload columns (aligned
+	// with OutCols).
+	LeftCols []*storage.Column
+	// built caches the most recent build-barrier phase's partitioned hash
+	// side (guarded by the owning Plan's buildMu): the ReuseBuild fast path
+	// and the EXPLAIN renderer read it; execution itself threads the table
+	// through the run, so concurrent Run calls never share it implicitly.
+	built *operators.PartitionedTable
 
 	// Modeled is the analytical model's cost prediction for this node
 	// (valid when HasModel; set by model.AnnotatePlan).
@@ -230,6 +264,29 @@ func NewAggregate(child *Node, groupBy, aggCol string, fn operators.AggFunc) *No
 	return &Node{Kind: KindAggregate, Children: []*Node{child}, GroupBy: groupBy, AggCol: aggCol, Agg: fn}
 }
 
+// NewJoinBuild builds the blocking inner-side hash-build node. partitions
+// overrides the radix partition count (0 = next power of two of the run's
+// worker count).
+func NewJoinBuild(keyCol string, key *storage.Column, payload []string, payloadCols []*storage.Column, rs operators.RightStrategy, partitions int) *Node {
+	return &Node{
+		Kind: KindJoinBuild, Col: keyCol, Column: key,
+		RightPayload: payload, RightCols: payloadCols,
+		RightStrategy: rs, Partitions: partitions,
+	}
+}
+
+// NewJoinProbe builds the streaming probe node: pos is the outer-table
+// position subtree (a DS1 scan of the outer key, or ALLPOS when the join
+// carries no outer predicate), build the JoinBuild node it probes into.
+// leftOut/leftCols are the outer payload columns emitted per match.
+func NewJoinProbe(keyCol string, key *storage.Column, leftOut []string, leftCols []*storage.Column, pos, build *Node) *Node {
+	return &Node{
+		Kind: KindJoinProbe, Col: keyCol, Column: key,
+		OutCols: leftOut, LeftCols: leftCols,
+		Children: []*Node{pos, build},
+	}
+}
+
 func simplify(ps []pred.Predicate) []pred.Predicate {
 	if len(ps) == 0 {
 		return nil
@@ -304,6 +361,11 @@ func (n *Node) label() string {
 		return "PROJECT (" + strings.Join(n.OutCols, ", ") + ")"
 	case KindAggregate:
 		return fmt.Sprintf("AGG %v(%s) group by %s", n.Agg, n.AggCol, n.GroupBy)
+	case KindJoinBuild:
+		return fmt.Sprintf("JOINBUILD %s [radix, %s] payload=(%s)",
+			n.Col, n.RightStrategy, strings.Join(n.RightPayload, ", "))
+	case KindJoinProbe:
+		return fmt.Sprintf("JOINPROBE %s = %s [batched gather]", n.Col, n.Children[1].Col)
 	default:
 		return n.Kind.String()
 	}
@@ -339,7 +401,36 @@ type Plan struct {
 	Root  *Node
 	Spec  Spec
 
+	// ReuseBuild keeps a join plan's partitioned hash side across Run calls
+	// instead of rebuilding it per run — the probe-isolation switch for
+	// benchmarks and a stepping stone toward shared build caching.
+	ReuseBuild bool
+
 	// observed records that the plan has run with observation enabled (so
 	// Render shows observed counters).
 	observed bool
+
+	// skewBits carries the previous run's observed per-morsel selectivity
+	// skew (float64 bits) into the next run's morsel sizing
+	// (exec.AdaptiveMorselsPerWorker). Atomic so concurrent Run calls on a
+	// shared plan stay race-free.
+	skewBits atomic.Uint64
+	// buildMu serializes the build-barrier phase's access to the JOINBUILD
+	// node's cached hash side.
+	buildMu sync.Mutex
 }
+
+// JoinProbe returns the plan's probe node, or nil when the plan is not a
+// join tree (join plans are always PROJECT over JOINPROBE).
+func (p *Plan) JoinProbe() *Node {
+	if p.Root != nil && p.Root.Kind == KindProject &&
+		len(p.Root.Children) == 1 && p.Root.Children[0].Kind == KindJoinProbe {
+		return p.Root.Children[0]
+	}
+	return nil
+}
+
+// ObservedSkew returns the per-morsel selectivity skew (coefficient of
+// variation of matched density) recorded by the plan's most recent parallel
+// run, 0 before any observation.
+func (p *Plan) ObservedSkew() float64 { return math.Float64frombits(p.skewBits.Load()) }

@@ -50,6 +50,9 @@ func (p *Plan) annotations(n *Node) string {
 		if ch := n.Obs.Chunks.Load(); ch > 0 {
 			obs += fmt.Sprintf(" chunks=%d", ch)
 		}
+		if n.Kind == KindJoinBuild && n.built != nil {
+			obs += fmt.Sprintf(" partitions=%d build_workers=%d", n.built.Partitions, n.built.BuildWorkers)
+		}
 		parts = append(parts, obs)
 	}
 	if len(parts) == 0 {

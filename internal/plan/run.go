@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"matstore/internal/datasource"
@@ -31,6 +32,9 @@ type RunStats struct {
 	Groups            int
 	Workers           int
 	Morsels           int
+	// Join carries the join-specific counters of a join tree (zero for
+	// selection/aggregation plans).
+	Join operators.JoinStats
 }
 
 // partial is one morsel's private execution state: an aggregator or a
@@ -40,6 +44,10 @@ type partial struct {
 	agg     *operators.Aggregator
 	res     *rows.Result
 	matched []positions.Set
+	// pending is a join probe's deferred right positions (single-column
+	// strategy), aligned with res rows; partials concatenate in morsel order
+	// so pending[i] stays the right position of result row i.
+	pending []int64
 	stats   RunStats
 }
 
@@ -58,17 +66,34 @@ func (pt *partial) init(s Spec) (*operators.Aggregator, *rows.Result) {
 // (0 = one worker per CPU, 1 = serial chunk-at-a-time) and merges the
 // per-morsel partials deterministically. With observe set, every node
 // accumulates observed rows/time counters for EXPLAIN.
+//
+// Join trees add a build-barrier phase: the JOINBUILD node's partitioned
+// hash side is constructed (itself morsel-parallel) before the streaming
+// probe morsels start, and the single-column strategy's deferred payload
+// fetch runs batched after the merge.
 func (p *Plan) Run(parallelism int, observe bool) (*rows.Result, RunStats, error) {
 	if observe {
 		p.observed = true
 	}
+	var stats RunStats
 	workers := exec.Resolve(parallelism)
+	probe := p.JoinProbe()
+	var built *operators.PartitionedTable
+	if probe != nil {
+		var err error
+		if built, err = p.runJoinBuild(probe.Children[1], workers, &stats, observe); err != nil {
+			return nil, RunStats{}, err
+		}
+	}
 	extent := positions.Range{Start: 0, End: p.Spec.Tuples}
-	morsels := exec.Morsels(extent, p.Spec.ChunkSize, workers)
+	// Morsel sizing adapts to the previous run's observed per-morsel
+	// selectivity skew (first run: the static default carving).
+	perWorker := exec.AdaptiveMorselsPerWorker(p.ObservedSkew())
+	morsels := exec.MorselsN(extent, p.Spec.ChunkSize, workers, perWorker)
 	parts := make([]*partial, len(morsels))
 	err := exec.Run(workers, len(morsels), func(i int) error {
 		pt := &partial{}
-		if err := p.runMorsel(morsels[i], pt, observe); err != nil {
+		if err := p.runMorsel(morsels[i], pt, built, observe); err != nil {
 			return err
 		}
 		parts[i] = pt
@@ -84,13 +109,28 @@ func (p *Plan) Run(parallelism int, observe bool) (*rows.Result, RunStats, error
 		pt.init(p.Spec)
 		parts = []*partial{pt}
 	}
-	var stats RunStats
+	p.updateSkew(morsels, parts)
 	res := mergePartials(p.Spec, parts, &stats)
+	if probe != nil {
+		var pending []int64
+		if len(parts) == 1 {
+			pending = parts[0].pending
+		} else {
+			for _, pt := range parts {
+				pending = append(pending, pt.pending...)
+			}
+		}
+		if err := p.joinDeferredFetch(probe, built, res, pending, &stats, observe); err != nil {
+			return nil, RunStats{}, err
+		}
+	}
 	if workers > len(morsels) {
 		workers = len(morsels) // a worker without a morsel never runs
 	}
 	stats.Workers = workers
 	stats.Morsels = len(morsels)
+	stats.Join.Workers = stats.Workers
+	stats.Join.Morsels = stats.Morsels
 	if observe {
 		// Root cardinality is only known after the merge.
 		switch p.Root.Kind {
@@ -103,6 +143,37 @@ func (p *Plan) Run(parallelism int, observe bool) (*rows.Result, RunStats, error
 	return res, stats, nil
 }
 
+// updateSkew records the run's per-morsel selectivity skew — the
+// coefficient of variation of matched-position density across morsels — for
+// the next run's adaptive morsel sizing. Serial runs (one morsel) carry no
+// skew signal and leave the previous observation in place.
+func (p *Plan) updateSkew(morsels []positions.Range, parts []*partial) {
+	if len(morsels) < 2 || len(parts) != len(morsels) {
+		return
+	}
+	dens := make([]float64, len(parts))
+	var mean float64
+	for i, pt := range parts {
+		matched := pt.stats.PositionsMatched
+		for _, d := range pt.matched {
+			matched += d.Count()
+		}
+		dens[i] = float64(matched) / float64(morsels[i].Len())
+		mean += dens[i]
+	}
+	mean /= float64(len(dens))
+	if mean <= 0 {
+		p.skewBits.Store(math.Float64bits(0))
+		return
+	}
+	var variance float64
+	for _, d := range dens {
+		variance += (d - mean) * (d - mean)
+	}
+	variance /= float64(len(dens))
+	p.skewBits.Store(math.Float64bits(math.Sqrt(variance) / mean))
+}
+
 // mergePartials recombines per-morsel partials deterministically: aggregate
 // states merge through the mergeable-state contract and emit sorted by key;
 // row partials concatenate in morsel (block) order. A lone partial is
@@ -113,6 +184,8 @@ func mergePartials(s Spec, parts []*partial, stats *RunStats) *rows.Result {
 		stats.TuplesConstructed += pt.stats.TuplesConstructed
 		stats.PositionsMatched += pt.stats.PositionsMatched
 		stats.ChunksSkipped += pt.stats.ChunksSkipped
+		stats.Join.LeftProbes += pt.stats.Join.LeftProbes
+		stats.Join.OutputTuples += pt.stats.Join.OutputTuples
 		matched = append(matched, pt.matched...)
 	}
 	if len(matched) > 0 {
@@ -143,8 +216,8 @@ func mergePartials(s Spec, parts []*partial, stats *RunStats) *rows.Result {
 }
 
 // runMorsel dispatches the morsel to the interpreter matching the tree's
-// domain.
-func (p *Plan) runMorsel(r positions.Range, pt *partial, observe bool) error {
+// domain. built is the run's partitioned hash side (join trees only).
+func (p *Plan) runMorsel(r positions.Range, pt *partial, built *operators.PartitionedTable, observe bool) error {
 	root := p.Root
 	if len(root.Children) == 0 {
 		return fmt.Errorf("plan: root %v has no input", root.Kind)
@@ -153,6 +226,8 @@ func (p *Plan) runMorsel(r positions.Range, pt *partial, observe bool) error {
 	switch {
 	case root.Kind == KindMerge, root.Kind == KindAggregate && child.PositionsDomain():
 		return p.runPositionsMorsel(r, pt, observe)
+	case child.Kind == KindJoinProbe:
+		return p.runJoinProbeMorsel(r, pt, built, observe)
 	case child.Kind == KindSPC:
 		return p.runSPCMorsel(r, pt, observe)
 	default:

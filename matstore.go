@@ -125,6 +125,10 @@ var (
 // ParseStrategy converts a string such as "lm-parallel" to a Strategy.
 func ParseStrategy(s string) (Strategy, error) { return core.ParseStrategy(s) }
 
+// ParseRightStrategy converts a string such as "right-materialized" to a
+// join inner-table RightStrategy.
+func ParseRightStrategy(s string) (RightStrategy, error) { return operators.ParseRightStrategy(s) }
+
 // PaperConstants returns the Table 2 constants from the paper's hardware.
 func PaperConstants() Constants { return model.Paper }
 
