@@ -1,0 +1,77 @@
+package matstore
+
+import (
+	"matstore/internal/model"
+	"matstore/internal/pred"
+)
+
+// JoinAdvice is the analytical model's evaluation of a join query: the
+// predicted end-to-end cost of each inner-table materialization strategy
+// (Section 4.3 build + probe terms composed with the outer scan and output
+// iteration) and the argmin — the Figure 13 winner at the query's
+// selectivity.
+type JoinAdvice struct {
+	// Best is the inner-table strategy with the lowest predicted total cost.
+	Best RightStrategy
+	// Costs maps every inner-table strategy to its predicted cost.
+	Costs map[RightStrategy]Cost
+	// Inputs are the derived model inputs (for inspection/debugging).
+	Inputs model.JoinInputs
+}
+
+// JoinStrategies lists the three inner-table strategies in presentation
+// order.
+var JoinStrategies = model.JoinStrategies
+
+// AdviseJoin predicts per-strategy costs for the join left ⋈ right over a
+// warm buffer pool using the paper's Table 2 constants, deriving all model
+// inputs from catalog statistics: the outer predicate's selectivity from the
+// outer key's min/max, and the matches-per-key fan-out from the inner key's
+// distinct count (exact for the paper's foreign-key join).
+func (db *DB) AdviseJoin(left, right string, q JoinQuery) (JoinAdvice, error) {
+	lp, err := db.inner.Projection(left)
+	if err != nil {
+		return JoinAdvice{}, err
+	}
+	rp, err := db.inner.Projection(right)
+	if err != nil {
+		return JoinAdvice{}, err
+	}
+	leftKey, err := lp.Column(q.LeftKey)
+	if err != nil {
+		return JoinAdvice{}, err
+	}
+	rightKey, err := rp.Column(q.RightKey)
+	if err != nil {
+		return JoinAdvice{}, err
+	}
+	in := model.JoinInputs{
+		Outer:       columnStats(leftKey, true),
+		Key:         columnStats(rightKey, true),
+		NumLeftCols: len(q.LeftOutput),
+		SF:          1,
+		MatchPerKey: 1,
+	}
+	for _, name := range q.RightOutput {
+		c, err := rp.Column(name)
+		if err != nil {
+			return JoinAdvice{}, err
+		}
+		in.Payload = append(in.Payload, columnStats(c, true))
+	}
+	if q.LeftPred.Op != pred.All {
+		lo, hi := leftKey.MinMax()
+		in.SF = q.LeftPred.Selectivity(lo, hi)
+	}
+	if d := rightKey.Distinct(); d > 0 {
+		in.MatchPerKey = in.Key.Tuples / float64(d)
+	}
+
+	consts := PaperConstants()
+	adv := JoinAdvice{Costs: make(map[RightStrategy]Cost, len(JoinStrategies)), Inputs: in}
+	adv.Best, _ = consts.AdviseJoin(in)
+	for _, rs := range JoinStrategies {
+		adv.Costs[rs] = consts.JoinCost(in, rs)
+	}
+	return adv, nil
+}

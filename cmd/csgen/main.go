@@ -22,15 +22,16 @@ func main() {
 	dir := flag.String("dir", "./data", "output directory")
 	scale := flag.Float64("scale", 0.1, "TPC-H scale factor (1.0 = 6M lineitem rows; the paper used 10)")
 	seed := flag.Uint64("seed", 42, "generator seed")
+	parallelism := flag.Int("parallelism", 0, "generation workers (0 = one per CPU; output is byte-identical at every count)")
 	flag.Parse()
 
-	cfg := tpch.Config{Scale: *scale, Seed: *seed}
+	cfg := tpch.Config{Scale: *scale, Seed: *seed, Workers: *parallelism}
 	fmt.Printf("generating scale %g: lineitem=%d orders=%d customer=%d rows under %s\n",
 		*scale, cfg.LineitemRows(), cfg.OrdersRows(), cfg.CustomerRows(), *dir)
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		log.Fatal(err)
 	}
-	if err := matstore.Generate(*dir, *scale, *seed); err != nil {
+	if err := tpch.Generate(*dir, cfg); err != nil {
 		log.Fatal(err)
 	}
 

@@ -51,6 +51,7 @@ func main() {
 	rightKey := flag.String("rightkey", "", "inner join key column (with -join)")
 	rightOut := flag.String("rightout", "", "comma-separated inner output columns (with -join)")
 	rightStrategy := flag.String("rightstrategy", "right-materialized", "inner-table materialization: right-materialized|right-multicolumn|right-singlecolumn")
+	advise := flag.Bool("advise", false, "join mode: let the Section 4.3 cost terms pick the inner-table strategy")
 	flag.Parse()
 
 	db, err := matstore.Open(*dir)
@@ -63,7 +64,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	filters, err := parseWhere(*where)
+	filters, err := matstore.ParseWhere(*where)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,8 +79,11 @@ func main() {
 			}
 		})
 		runJoin(db, *proj, *joinProj, *leftKey, *rightKey, *out, *rightOut,
-			*rightStrategy, filters, *parallelism, *limit, *explain)
+			*rightStrategy, filters, *parallelism, *limit, *explain, *advise)
 		return
+	}
+	if *advise {
+		log.Fatal("-advise applies only in join mode (-join); use -strategy advise for selections")
 	}
 
 	q := matstore.Query{GroupBy: *groupby, AggCol: *sum, Agg: fn}
@@ -132,14 +136,18 @@ func main() {
 }
 
 // runJoin executes (or explains) the join mode: outer ⋈ inner on the key
-// columns, inner side materialized per the right strategy.
-func runJoin(db *matstore.DB, outer, inner, leftKey, rightKey, out, rightOut, rightStrategy string, filters []matstore.Filter, parallelism, limit int, explain bool) {
+// columns, inner side materialized per the right strategy (or, with advise,
+// per the cost model's Figure 13 pick).
+func runJoin(db *matstore.DB, outer, inner, leftKey, rightKey, out, rightOut, rightStrategy string, filters []matstore.Filter, parallelism, limit int, explain, advise bool) {
 	if leftKey == "" || rightKey == "" {
 		log.Fatal("join mode needs -leftkey and -rightkey")
 	}
-	rs, err := matstore.ParseRightStrategy(rightStrategy)
-	if err != nil {
-		log.Fatal(err)
+	var rs matstore.RightStrategy
+	var err error
+	if !advise {
+		if rs, err = matstore.ParseRightStrategy(rightStrategy); err != nil {
+			log.Fatal(err)
+		}
 	}
 	q := matstore.JoinQuery{
 		LeftKey:     leftKey,
@@ -162,6 +170,18 @@ func runJoin(db *matstore.DB, outer, inner, leftKey, rightKey, out, rightOut, ri
 		q.LeftPred = filters[0].Pred
 	default:
 		log.Fatal("join mode accepts at most one -where predicate (over the outer join key)")
+	}
+
+	if advise {
+		adv, err := db.AdviseJoin(outer, inner, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs = adv.Best
+		fmt.Printf("advisor chose %v; predicted join costs:\n", rs)
+		for _, s := range matstore.JoinStrategies {
+			fmt.Printf("  %-20v %s\n", s, adv.Costs[s])
+		}
 	}
 
 	if explain {
@@ -203,54 +223,4 @@ func printRows(res *matstore.Result, limit int) {
 	if shown < n {
 		fmt.Printf("... (%d rows total)\n", n)
 	}
-}
-
-// parseWhere parses 'col<op>value' predicates separated by commas.
-// Supported operators: <, <=, =, !=, >=, >.
-func parseWhere(s string) ([]matstore.Filter, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []matstore.Filter
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		f, err := parsePredicate(part)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, f)
-	}
-	return out, nil
-}
-
-func parsePredicate(s string) (matstore.Filter, error) {
-	// Two-character operators first.
-	for _, op := range []string{"<=", ">=", "!=", "<", ">", "="} {
-		i := strings.Index(s, op)
-		if i <= 0 {
-			continue
-		}
-		col := strings.TrimSpace(s[:i])
-		val, err := strconv.ParseInt(strings.TrimSpace(s[i+len(op):]), 10, 64)
-		if err != nil {
-			return matstore.Filter{}, fmt.Errorf("predicate %q: %v", s, err)
-		}
-		var p matstore.Predicate
-		switch op {
-		case "<":
-			p = matstore.LessThan(val)
-		case "<=":
-			p = matstore.AtMost(val)
-		case "=":
-			p = matstore.Equals(val)
-		case "!=":
-			p = matstore.NotEquals(val)
-		case ">=":
-			p = matstore.AtLeast(val)
-		case ">":
-			p = matstore.GreaterThan(val)
-		}
-		return matstore.Filter{Col: col, Pred: p}, nil
-	}
-	return matstore.Filter{}, fmt.Errorf("cannot parse predicate %q", s)
 }

@@ -1,0 +1,105 @@
+// Command csserve serves a generated database over HTTP: the concurrent
+// query service of internal/service (admission-controlled sessions, shared
+// join-build and plan caches, fair-share worker derating) behind JSON
+// endpoints.
+//
+// Usage:
+//
+//	csserve -dir ./data -addr :8088 -worker-budget 4 -max-concurrent 8
+//
+//	curl -s localhost:8088/query -d '{"projection":"lineitem",
+//	     "output":["shipdate","linenum"], "where":["shipdate<400"],
+//	     "strategy":"lm-parallel"}'
+//	curl -s localhost:8088/join -d '{"left":"orders","right":"customer",
+//	     "leftkey":"custkey","rightkey":"custkey","leftout":["shipdate"],
+//	     "rightout":["nationcode"],"where":["custkey<200"]}'
+//	curl -s localhost:8088/explain -d '{...}'     # plan tree, modeled vs observed
+//	curl -s localhost:8088/stats                  # admission + cache counters
+//
+// Client mode (for scripts and CI environments without curl): -get URL
+// performs a GET, -post URL with -data BODY performs a POST; either prints
+// the response body and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"matstore"
+	"matstore/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("csserve: ")
+	dir := flag.String("dir", "./data", "database directory")
+	addr := flag.String("addr", ":8088", "listen address")
+	budget := flag.Int("worker-budget", 0, "global worker budget shared by in-flight queries (0 = one per CPU)")
+	maxConc := flag.Int("max-concurrent", 0, "admission limit; requests past it queue (0 = 2x budget)")
+	buildMB := flag.Int64("build-cache-mb", 0, "join-build cache budget in MiB (0 = 64, negative = disabled)")
+	planEntries := flag.Int("plan-cache", 0, "plan cache entries (0 = 256, negative = disabled)")
+	get := flag.String("get", "", "client mode: GET this URL, print the body, exit")
+	post := flag.String("post", "", "client mode: POST -data to this URL, print the body, exit")
+	data := flag.String("data", "", "client mode: POST body for -post")
+	flag.Parse()
+
+	if *get != "" || *post != "" {
+		if err := client(*get, *post, *data); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	db, err := matstore.Open(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	buildBytes := *buildMB
+	if buildBytes > 0 {
+		buildBytes <<= 20
+	}
+	srv := service.New(db, service.Config{
+		MaxConcurrent:    *maxConc,
+		WorkerBudget:     *budget,
+		BuildCacheBytes:  buildBytes,
+		PlanCacheEntries: *planEntries,
+	})
+	cfg := srv.Config()
+	log.Printf("serving %s on %s (worker budget %d, admission limit %d, projections %v)",
+		*dir, *addr, cfg.WorkerBudget, cfg.MaxConcurrent, db.Projections())
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+// client is the curl-free HTTP helper for scripts: one GET or POST, body to
+// stdout, non-2xx status as an error.
+func client(get, post, data string) error {
+	var (
+		resp *http.Response
+		err  error
+	)
+	if get != "" {
+		resp, err = http.Get(get)
+	} else {
+		resp, err = http.Post(post, "application/json", strings.NewReader(data))
+	}
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(body)
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return nil
+}

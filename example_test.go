@@ -66,7 +66,7 @@ func Example() {
 	fmt.Printf("advisor class: %v\n", adv.Best == matstore.LMParallel || adv.Best == matstore.LMPipelined)
 
 	// Output:
-	// selection: 6703 rows, 6703 tuples constructed
+	// selection: 6718 rows, 6718 tuples constructed
 	// aggregation: 3 groups from 3 tuples constructed
 	// advisor class: true
 }

@@ -112,7 +112,7 @@ type Env struct {
 // dir. The marker file records the generation parameters so mismatched
 // datasets are regenerated.
 func Setup(dir string, scale float64, seed uint64) (*Env, error) {
-	marker := filepath.Join(dir, fmt.Sprintf("generated-v%d-scale%g-seed%d", storage.FormatVersion, scale, seed))
+	marker := filepath.Join(dir, fmt.Sprintf("generated-v%d.%d-scale%g-seed%d", storage.FormatVersion, tpch.GenVersion, scale, seed))
 	if _, err := os.Stat(marker); err != nil {
 		if err := os.RemoveAll(dir); err != nil {
 			return nil, err

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"matstore"
+	"matstore/internal/service"
+	"matstore/internal/tpch"
+)
+
+// Server-path benchmarks for the perf snapshot (make bench-json →
+// BENCH_PR5.json): the cold vs cached join build isolates what the shared
+// build cache saves per query, and the admission benchmark measures
+// closed-loop mixed-workload throughput under 8 concurrent sessions on one
+// worker budget.
+
+func benchServer(b *testing.B, caches bool) *service.Server {
+	b.Helper()
+	envOnce.Do(func() {
+		envDir, envErr = os.MkdirTemp("", "matstore-bench-test")
+	})
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	// Reuse the test env's generated dataset (Setup is idempotent).
+	e, err := Setup(envDir, 0.002, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Close()
+	db, err := matstore.Open(envDir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	cfg := service.Config{WorkerBudget: 2, MaxConcurrent: 8}
+	if !caches {
+		cfg.BuildCacheBytes = -1
+		cfg.PlanCacheEntries = -1
+	}
+	return service.New(db, cfg)
+}
+
+func benchJoin() matstore.JoinQuery {
+	return matstore.JoinQuery{
+		LeftKey:     tpch.ColCustkey,
+		LeftPred:    matstore.LessThan(150),
+		LeftOutput:  []string{tpch.ColOrderShipdate},
+		RightKey:    tpch.ColCustkey,
+		RightOutput: []string{tpch.ColNationcode},
+	}
+}
+
+// BenchmarkServerJoinBuildCold: every join rebuilds the partitioned hash
+// side (caches disabled) — the no-sharing baseline.
+func BenchmarkServerJoinBuildCold(b *testing.B) {
+	srv := benchServer(b, false)
+	sess := srv.NewSession()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Join(tpch.OrdersProj, tpch.CustomerProj, benchJoin(), matstore.RightMaterialized); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerJoinBuildCached: the same join through the shared build
+// and plan caches — after the first iteration every probe reuses the
+// retained hash side.
+func BenchmarkServerJoinBuildCached(b *testing.B) {
+	srv := benchServer(b, true)
+	sess := srv.NewSession()
+	if _, err := sess.Join(tpch.OrdersProj, tpch.CustomerProj, benchJoin(), matstore.RightMaterialized); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := sess.Join(tpch.OrdersProj, tpch.CustomerProj, benchJoin(), matstore.RightMaterialized)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.Info.BuildCacheHit {
+			b.Fatal("cached join missed the build cache")
+		}
+	}
+}
+
+// BenchmarkServerAdmission8Sessions: one closed-loop pass of the mixed
+// workload by 8 concurrent sessions through admission control on a 2-worker
+// budget (queries queue and derate).
+func BenchmarkServerAdmission8Sessions(b *testing.B) {
+	srv := benchServer(b, true)
+	reqs := MixedWorkload(300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunClosedLoop(srv, 8, 1, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

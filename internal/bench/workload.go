@@ -1,0 +1,187 @@
+// Mixed-workload closed-loop driver: replays a paper-shaped query mix —
+// selections and aggregations under all four materialization strategies plus
+// the Figure 13 join under all three inner-table strategies, at several
+// selectivities — through a service.Server with N concurrent closed-loop
+// sessions. The service differential suite replays the same mix
+// request-by-request against serial single-query execution; the server-path
+// benchmarks drive it for throughput numbers.
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"matstore"
+	"matstore/internal/service"
+	"matstore/internal/tpch"
+)
+
+// Request is one workload item: a selection/aggregation or a join.
+type Request struct {
+	Name   string
+	IsJoin bool
+
+	// Selection fields (IsJoin false).
+	Projection string
+	Query      matstore.Query
+	Strategy   matstore.Strategy
+
+	// Join fields (IsJoin true).
+	Left, Right   string
+	JoinQuery     matstore.JoinQuery
+	RightStrategy matstore.RightStrategy
+}
+
+// Run executes the request through a server session (parallelism as granted
+// by the admission governor) and returns the result with the service info.
+func (r Request) Run(sess *service.Session) (*matstore.Result, service.Info, error) {
+	if r.IsJoin {
+		out, err := sess.Join(r.Left, r.Right, r.JoinQuery, r.RightStrategy)
+		if err != nil {
+			return nil, service.Info{}, err
+		}
+		return out.Res, out.Info, nil
+	}
+	out, err := sess.Select(r.Projection, r.Query, r.Strategy)
+	if err != nil {
+		return nil, service.Info{}, err
+	}
+	return out.Res, out.Info, nil
+}
+
+// RunSerial executes the request directly against a DB, serial
+// chunk-at-a-time (parallelism 1) — the reference the differential suite
+// pins served results against.
+func (r Request) RunSerial(db *matstore.DB) (*matstore.Result, error) {
+	if r.IsJoin {
+		q := r.JoinQuery
+		q.Parallelism = 1
+		res, _, err := db.Join(r.Left, r.Right, q, r.RightStrategy)
+		return res, err
+	}
+	q := r.Query
+	q.Parallelism = 1
+	res, _, err := db.Select(r.Projection, q, r.Strategy)
+	return res, err
+}
+
+// MixedWorkload builds the standard mix over the generated TPC-H-shaped
+// dataset: the Section 4 selection at low/mid/high selectivity × all four
+// strategies, an aggregation under both pipelined strategies, and the
+// Figure 13 join at two selectivities × all three inner-table strategies.
+// nCust is the customer cardinality (scales the join predicate).
+func MixedWorkload(nCust int64) []Request {
+	var reqs []Request
+	for _, sel := range []float64{0.02, 0.5, 0.9} {
+		for _, s := range []matstore.Strategy{
+			matstore.EMPipelined, matstore.EMParallel, matstore.LMPipelined, matstore.LMParallel,
+		} {
+			reqs = append(reqs, Request{
+				Name:       fmt.Sprintf("select/%v/sel=%v", s, sel),
+				Projection: tpch.LineitemProj,
+				Query: matstore.Query{
+					Output: []string{tpch.ColShipdate, tpch.ColLinenum},
+					Filters: []matstore.Filter{
+						{Col: tpch.ColShipdate, Pred: matstore.LessThan(tpch.ShipdateForSelectivity(sel))},
+						{Col: tpch.ColLinenum, Pred: matstore.LessThan(tpch.LinenumMax)},
+					},
+				},
+				Strategy: s,
+			})
+		}
+	}
+	for _, s := range []matstore.Strategy{matstore.EMPipelined, matstore.LMPipelined} {
+		reqs = append(reqs, Request{
+			Name:       fmt.Sprintf("agg/%v", s),
+			Projection: tpch.LineitemProj,
+			Query: matstore.Query{
+				Filters: []matstore.Filter{
+					{Col: tpch.ColShipdate, Pred: matstore.LessThan(tpch.ShipdateForSelectivity(0.5))},
+				},
+				GroupBy: tpch.ColRetflag,
+				AggCol:  tpch.ColQuantity,
+				Agg:     matstore.Sum,
+			},
+			Strategy: s,
+		})
+	}
+	for _, sel := range []float64{0.1, 0.9} {
+		for _, rs := range []matstore.RightStrategy{
+			matstore.RightMaterialized, matstore.RightMultiColumn, matstore.RightSingleColumn,
+		} {
+			reqs = append(reqs, Request{
+				Name:   fmt.Sprintf("join/%v/sel=%v", rs, sel),
+				IsJoin: true,
+				Left:   tpch.OrdersProj,
+				Right:  tpch.CustomerProj,
+				JoinQuery: matstore.JoinQuery{
+					LeftKey:     tpch.ColCustkey,
+					LeftPred:    matstore.LessThan(tpch.CustkeyForSelectivity(sel, nCust)),
+					LeftOutput:  []string{tpch.ColOrderShipdate},
+					RightKey:    tpch.ColCustkey,
+					RightOutput: []string{tpch.ColNationcode},
+				},
+				RightStrategy: rs,
+			})
+		}
+	}
+	return reqs
+}
+
+// WorkloadStats aggregates one closed-loop run.
+type WorkloadStats struct {
+	Requests       int64
+	PlanCacheHits  int64
+	BuildCacheHits int64
+	Wall           time.Duration
+}
+
+// RunClosedLoop replays the mix through the server: sessions concurrent
+// closed-loop clients each perform rounds full passes over reqs, starting at
+// staggered offsets so different request shapes overlap in flight. The first
+// error aborts the run.
+func RunClosedLoop(srv *service.Server, sessions, rounds int, reqs []Request) (WorkloadStats, error) {
+	var stats WorkloadStats
+	var planHits, buildHits, count atomic.Int64
+	errs := make([]error, sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < sessions; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sess := srv.NewSession()
+			off := c * len(reqs) / sessions
+			for round := 0; round < rounds; round++ {
+				for i := range reqs {
+					req := reqs[(off+i)%len(reqs)]
+					_, info, err := req.Run(sess)
+					if err != nil {
+						errs[c] = fmt.Errorf("%s: %w", req.Name, err)
+						return
+					}
+					count.Add(1)
+					if info.PlanCacheHit {
+						planHits.Add(1)
+					}
+					if info.BuildCacheHit {
+						buildHits.Add(1)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	stats.Wall = time.Since(start)
+	stats.Requests = count.Load()
+	stats.PlanCacheHits = planHits.Load()
+	stats.BuildCacheHits = buildHits.Load()
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}

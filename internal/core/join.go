@@ -79,6 +79,7 @@ func (e *Executor) BuildJoinPlan(left, right *storage.Projection, q JoinQuery, r
 		pos = plan.NewDS1(q.LeftKey, leftKeyCol, []pred.Predicate{q.LeftPred})
 	}
 	build := plan.NewJoinBuild(q.RightKey, rightKeyCol, q.RightOutput, rightCols, rs, e.Opt.JoinPartitions)
+	build.Proj = right.Name() // the shared build cache's keying identity
 	probe := plan.NewJoinProbe(q.LeftKey, leftKeyCol, q.LeftOutput, leftCols, pos, build)
 	outNames := append(append([]string{}, q.LeftOutput...), q.RightOutput...)
 	return &plan.Plan{

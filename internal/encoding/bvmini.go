@@ -205,6 +205,13 @@ func (m *BVMini) Decompress(dst []int64) []int64 {
 	return dst
 }
 
+// MemBytes estimates the window's heap footprint: one full-cover bitmap per
+// distinct value plus the value list.
+func (m *BVMini) MemBytes() int64 {
+	words := (m.cov.Len() + 63) / 64
+	return int64(len(m.vals))*(8+24+8*words) + 8*int64(len(m.vals))
+}
+
 func (m *BVMini) decompressInto(out []int64) {
 	for i, bm := range m.bms {
 		v := m.vals[i]

@@ -90,6 +90,10 @@ type MiniColumn interface {
 	ValueAt(pos int64) int64
 	// Decompress appends every value in the window to dst in position order.
 	Decompress(dst []int64) []int64
+	// MemBytes estimates the window's resident heap footprint — the
+	// accounting unit of caches that retain mini-columns (the join build
+	// cache's multi-column payload entries).
+	MemBytes() int64
 }
 
 // SumRange returns the sum of the values at positions [r.Start, r.End) of mc,

@@ -303,6 +303,16 @@ func (m *PlainMini) Decompress(dst []int64) []int64 {
 	return dst
 }
 
+// MemBytes estimates the window's heap footprint: one word per value plus
+// per-segment bookkeeping.
+func (m *PlainMini) MemBytes() int64 {
+	var b int64
+	for _, s := range m.segs {
+		b += 24 + 8*int64(len(s.vals))
+	}
+	return b
+}
+
 func (m *PlainMini) statsRange(r positions.Range) RunStats {
 	r = r.Intersect(m.cov)
 	if r.Empty() {

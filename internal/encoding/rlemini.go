@@ -225,6 +225,10 @@ func (m *RLEMini) Decompress(dst []int64) []int64 {
 	return dst
 }
 
+// MemBytes estimates the window's heap footprint: one triple (value, start,
+// length) per run.
+func (m *RLEMini) MemBytes() int64 { return 24 * int64(len(m.triples)) }
+
 // statsRange aggregates whole runs: each overlapping triple contributes
 // value×overlap to the sum and overlap to the count in O(1).
 func (m *RLEMini) statsRange(r positions.Range) RunStats {

@@ -59,6 +59,25 @@ func Resolve(parallelism int) int {
 	return parallelism
 }
 
+// Share returns the fair per-query slice of a global worker budget divided
+// across inflight concurrent queries: budget/inflight rounded down, never
+// below 1 (every admitted query makes progress) and never above the budget.
+// The admission governor derates each query's parallelism with this so P
+// concurrent queries never oversubscribe the pool.
+func Share(budget, inflight int) int {
+	if budget < 1 {
+		budget = 1
+	}
+	if inflight < 1 {
+		inflight = 1
+	}
+	share := budget / inflight
+	if share < 1 {
+		return 1
+	}
+	return share
+}
+
 // Morsels partitions extent into contiguous morsels whose boundaries fall
 // on chunk boundaries relative to extent.Start, so that chunking a morsel
 // reproduces exactly the chunks sequential execution would have visited.

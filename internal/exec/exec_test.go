@@ -189,3 +189,27 @@ func TestAdaptiveMorselsPerWorker(t *testing.T) {
 		t.Errorf("factor not monotone: %d > %d", mid, high)
 	}
 }
+
+// TestShare pins the fair-share derating the admission governor applies:
+// budget/inflight rounded down, floored at 1, capped at the budget.
+func TestShare(t *testing.T) {
+	for _, tc := range []struct {
+		budget, inflight, want int
+	}{
+		{4, 1, 4},
+		{4, 2, 2},
+		{4, 3, 1},
+		{4, 4, 1},
+		{4, 100, 1}, // oversubscribed: everyone still makes progress
+		{1, 1, 1},
+		{1, 8, 1},
+		{8, 3, 2},
+		{0, 1, 1}, // degenerate budget
+		{4, 0, 4}, // degenerate inflight
+		{-2, -1, 1},
+	} {
+		if got := Share(tc.budget, tc.inflight); got != tc.want {
+			t.Errorf("Share(%d, %d) = %d, want %d", tc.budget, tc.inflight, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package operators
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func bcKey(proj string, partitions int) BuildKey {
+	return BuildKey{Proj: proj, KeyCol: "k", Payload: "p", Strategy: RightMaterialized,
+		Partitions: partitions, ChunkSize: 1024}
+}
+
+func fakeTable(bytes int64) *PartitionedTable {
+	return &PartitionedTable{SizeBytes: bytes, Tuples: bytes / 8}
+}
+
+// TestBuildCacheHitMiss: a miss builds once, the repeat hits without calling
+// build, and distinct keys build separately.
+func TestBuildCacheHitMiss(t *testing.T) {
+	c := NewBuildCache(1 << 20)
+	calls := 0
+	build := func() (*PartitionedTable, error) { calls++; return fakeTable(100), nil }
+
+	rt1, hit, err := c.GetOrBuild(bcKey("a", 0), build)
+	if err != nil || hit || calls != 1 {
+		t.Fatalf("first get: hit=%v calls=%d err=%v", hit, calls, err)
+	}
+	rt2, hit, err := c.GetOrBuild(bcKey("a", 0), func() (*PartitionedTable, error) {
+		t.Fatal("repeat invoked build")
+		return nil, nil
+	})
+	if err != nil || !hit || rt2 != rt1 {
+		t.Fatalf("repeat: hit=%v same=%v err=%v", hit, rt2 == rt1, err)
+	}
+	if _, hit, _ = c.GetOrBuild(bcKey("a", 8), build); hit {
+		t.Error("different partition override hit the cache")
+	}
+	if _, hit, _ = c.GetOrBuild(bcKey("b", 0), build); hit {
+		t.Error("different projection hit the cache")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 3 || st.Entries != 3 || st.Bytes != 300 {
+		t.Errorf("stats = %+v, want 1 hit, 3 misses, 3 entries, 300 bytes", st)
+	}
+}
+
+// TestBuildCacheLRUEviction: inserts over the byte budget evict the least
+// recently used entries; touching an entry protects it.
+func TestBuildCacheLRUEviction(t *testing.T) {
+	c := NewBuildCache(250)
+	mk := func(proj string) {
+		c.GetOrBuild(bcKey(proj, 0), func() (*PartitionedTable, error) { return fakeTable(100), nil })
+	}
+	mk("a")
+	mk("b")
+	// Touch "a" so "b" is the LRU victim.
+	if _, hit, _ := c.GetOrBuild(bcKey("a", 0), func() (*PartitionedTable, error) { return fakeTable(100), nil }); !hit {
+		t.Fatal("touch of a missed")
+	}
+	mk("c") // 300 bytes > 250: evicts b
+	if _, hit, _ := c.GetOrBuild(bcKey("b", 0), func() (*PartitionedTable, error) { return fakeTable(100), nil }); hit {
+		t.Error("LRU victim b still cached")
+	}
+	st := c.Stats()
+	if st.Evictions < 1 {
+		t.Errorf("evictions = %d, want >= 1", st.Evictions)
+	}
+	if st.Bytes > 250 {
+		t.Errorf("cache bytes %d exceed capacity 250", st.Bytes)
+	}
+	// An entry larger than the whole budget is served but never retained.
+	if _, hit, _ := c.GetOrBuild(bcKey("huge", 0), func() (*PartitionedTable, error) { return fakeTable(1000), nil }); hit {
+		t.Error("oversized build reported as hit")
+	}
+	if _, hit, _ := c.GetOrBuild(bcKey("huge", 0), func() (*PartitionedTable, error) { return fakeTable(1000), nil }); hit {
+		t.Error("oversized build was retained")
+	}
+}
+
+// TestBuildCacheGenerationInvalidation: bumping a projection's generation
+// drops its entries and only its entries.
+func TestBuildCacheGenerationInvalidation(t *testing.T) {
+	c := NewBuildCache(0) // unbounded
+	build := func() (*PartitionedTable, error) { return fakeTable(64), nil }
+	c.GetOrBuild(bcKey("a", 0), build)
+	c.GetOrBuild(bcKey("b", 0), build)
+	if g := c.Generation("a"); g != 0 {
+		t.Fatalf("fresh generation = %d", g)
+	}
+	c.Invalidate("a")
+	if g := c.Generation("a"); g != 1 {
+		t.Errorf("generation after bump = %d, want 1", g)
+	}
+	if _, hit, _ := c.GetOrBuild(bcKey("a", 0), build); hit {
+		t.Error("invalidated entry hit")
+	}
+	if _, hit, _ := c.GetOrBuild(bcKey("b", 0), build); !hit {
+		t.Error("unrelated projection's entry was dropped")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+// TestBuildCacheErrorNotCached: a failing build is returned to the caller
+// and retains nothing.
+func TestBuildCacheErrorNotCached(t *testing.T) {
+	c := NewBuildCache(0)
+	boom := errors.New("scan failed")
+	if _, _, err := c.GetOrBuild(bcKey("a", 0), func() (*PartitionedTable, error) { return nil, boom }); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	calls := 0
+	if _, hit, err := c.GetOrBuild(bcKey("a", 0), func() (*PartitionedTable, error) {
+		calls++
+		return fakeTable(10), nil
+	}); err != nil || hit || calls != 1 {
+		t.Errorf("retry after failure: hit=%v calls=%d err=%v", hit, calls, err)
+	}
+}
+
+// TestBuildCacheSingleFlight: concurrent misses on one key share a single
+// build instead of racing duplicate scans.
+func TestBuildCacheSingleFlight(t *testing.T) {
+	c := NewBuildCache(0)
+	var mu sync.Mutex
+	calls := 0
+	gate := make(chan struct{})
+	build := func() (*PartitionedTable, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		<-gate
+		return fakeTable(32), nil
+	}
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]*PartitionedTable, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rt, _, err := c.GetOrBuild(bcKey("a", 0), build)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = rt
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if calls != 1 {
+		t.Errorf("build ran %d times for one key", calls)
+	}
+	for i := 1; i < waiters; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("waiter %d got a different table", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (single flight)", st.Misses)
+	}
+}
+
+// TestBuildCacheWaiterSeesInvalidation: a request that starts after an
+// Invalidate must never be served a build that began before it — the waiter
+// re-checks the generation after the shared flight completes and rebuilds.
+func TestBuildCacheWaiterSeesInvalidation(t *testing.T) {
+	c := NewBuildCache(0)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	stale := fakeTable(8)
+	fresh := fakeTable(16)
+	builderGot := make(chan *PartitionedTable, 1)
+	go func() {
+		// The build func is invoked again if its result went stale: the
+		// first call blocks on the gate and returns the doomed table, the
+		// retry returns fresh data.
+		calls := 0
+		rt, _, err := c.GetOrBuild(bcKey("a", 0), func() (*PartitionedTable, error) {
+			calls++
+			if calls == 1 {
+				close(started)
+				<-gate
+				return stale, nil
+			}
+			return fresh, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		builderGot <- rt
+	}()
+	<-started
+	c.Invalidate("a") // the in-flight build is now of a dead generation
+	done := make(chan *PartitionedTable, 1)
+	go func() {
+		rt, _, err := c.GetOrBuild(bcKey("a", 0), func() (*PartitionedTable, error) { return fresh, nil })
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rt
+	}()
+	close(gate)
+	if rt := <-done; rt == stale {
+		t.Error("post-invalidation request was served the pre-invalidation build")
+	}
+	if rt := <-builderGot; rt == stale {
+		t.Error("the overtaken builder itself was served its stale table")
+	}
+	// The stale table must not have been retained either.
+	if rt, hit, _ := c.GetOrBuild(bcKey("a", 0), func() (*PartitionedTable, error) { return fresh, nil }); hit && rt == stale {
+		t.Error("stale build was cached across the generation bump")
+	}
+}

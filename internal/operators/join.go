@@ -168,6 +168,10 @@ type JoinStats struct {
 	// the serial-build reference path).
 	BuildWorkers int
 	BuildMorsels int
+	// BuildCacheHit reports that the build phase was satisfied from a shared
+	// retained build (the service-level build cache or Plan.ReuseBuild)
+	// instead of scanning the inner table.
+	BuildCacheHit bool
 }
 
 // JoinSpec describes one hash join: the outer (left) table's key column

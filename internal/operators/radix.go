@@ -78,6 +78,10 @@ type PartitionedTable struct {
 	Partitions   int
 	BuildWorkers int
 	BuildMorsels int
+	// SizeBytes estimates the table's resident heap footprint (hash buckets
+	// plus the per-strategy payload storage) — the accounting unit of the
+	// shared build cache's memory budget.
+	SizeBytes int64
 }
 
 // Strategy returns the inner-table materialization strategy built.
@@ -216,7 +220,7 @@ func BuildPartitioned(key *storage.Column, payloadCols []*storage.Column, payloa
 	// Phase 2 (after the scan barrier): one hash table per partition, built
 	// lock-free — each partition is owned by a single worker, and morsel
 	// order concatenation keeps bucket position lists ascending.
-	return rt, exec.Run(workers, p, func(pt int) error {
+	if err := exec.Run(workers, p, func(pt int) error {
 		n := 0
 		for m := range perMorsel {
 			n += len(perMorsel[m][pt])
@@ -229,5 +233,34 @@ func BuildPartitioned(key *storage.Column, payloadCols []*storage.Column, payloa
 		}
 		rt.tables[pt] = tbl
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
+	rt.SizeBytes = rt.memBytes()
+	return rt, nil
+}
+
+// memBytes estimates the built table's heap footprint: hash buckets (map
+// header overhead per key plus the position list) and the per-strategy
+// payload storage. Deferred column handles (single-column) weigh nothing —
+// they point at the stored files.
+func (rt *PartitionedTable) memBytes() int64 {
+	var b int64
+	for _, tbl := range rt.tables {
+		b += 48 * int64(len(tbl)) // map bucket + key + slice header
+		for _, poss := range tbl {
+			b += 8 * int64(len(poss))
+		}
+	}
+	for _, col := range rt.dense {
+		b += 8 * int64(len(col))
+	}
+	for _, minis := range rt.chunks {
+		for _, m := range minis {
+			if m != nil {
+				b += m.MemBytes()
+			}
+		}
+	}
+	return b
 }

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"strings"
 	"time"
 
 	"matstore/internal/datasource"
@@ -31,17 +32,34 @@ import (
 func (p *Plan) runJoinBuild(build *Node, workers int, stats *RunStats, observe bool) (*operators.PartitionedTable, error) {
 	p.buildMu.Lock()
 	rt := build.built
-	if rt == nil || !p.ReuseBuild {
+	cached := rt != nil && p.ReuseBuild
+	if !cached {
 		start := obsStart(observe)
+		buildFn := func() (*operators.PartitionedTable, error) {
+			return operators.BuildPartitioned(
+				build.Column, build.RightCols, build.RightPayload,
+				build.RightStrategy, p.Spec.ChunkSize, workers, build.Partitions)
+		}
 		var err error
-		rt, err = operators.BuildPartitioned(
-			build.Column, build.RightCols, build.RightPayload,
-			build.RightStrategy, p.Spec.ChunkSize, workers, build.Partitions)
+		if p.Builds != nil {
+			// Shared retained-build path: the cache either hands back a table
+			// another query already built (no inner-table scan at all) or
+			// builds one and retains it for the next query.
+			rt, cached, err = p.Builds.GetOrBuild(p.buildKey(build), buildFn)
+		} else {
+			rt, err = buildFn()
+		}
 		if err != nil {
 			p.buildMu.Unlock()
 			return nil, err
 		}
-		build.built = rt
+		// Retain the table on the node only for the readers that need it —
+		// the ReuseBuild fast path above and the EXPLAIN renderer (observe).
+		// Unconditional retention would pin one hash side per plan held by
+		// the service plan cache, outside the build cache's byte budget.
+		if p.ReuseBuild || observe {
+			build.built = rt
+		}
 		if observe {
 			build.Obs.add(rt.Tuples, time.Since(start).Nanoseconds())
 		}
@@ -51,7 +69,23 @@ func (p *Plan) runJoinBuild(build *Node, workers int, stats *RunStats, observe b
 	stats.Join.Partitions = rt.Partitions
 	stats.Join.BuildWorkers = rt.BuildWorkers
 	stats.Join.BuildMorsels = rt.BuildMorsels
+	stats.Join.BuildCacheHit = cached
 	return rt, nil
+}
+
+// buildKey derives the shared-cache identity of a JOINBUILD node: everything
+// the built table's contents depend on. The partition override (not the
+// resolved count) keys the entry — results are byte-identical at every
+// partition count, so a build produced under one worker count serves all.
+func (p *Plan) buildKey(build *Node) operators.BuildKey {
+	return operators.BuildKey{
+		Proj:       build.Proj,
+		KeyCol:     build.Col,
+		Payload:    strings.Join(build.RightPayload, ","),
+		Strategy:   build.RightStrategy,
+		Partitions: build.Partitions,
+		ChunkSize:  p.Spec.ChunkSize,
+	}
 }
 
 // runJoinProbeMorsel interprets one outer-table morsel of a join tree: the

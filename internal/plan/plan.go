@@ -176,6 +176,9 @@ type Node struct {
 	// strategy; Partitions overrides the radix partition count (0 derives the
 	// next power of two of the worker count at run time). A JoinProbe node
 	// names the outer key in Col and its outer payload in OutCols/LeftCols.
+	// Proj names the inner projection a JoinBuild scans — the identity a
+	// shared build cache keys on.
+	Proj          string
 	RightStrategy operators.RightStrategy
 	RightPayload  []string
 	RightCols     []*storage.Column
@@ -403,8 +406,15 @@ type Plan struct {
 
 	// ReuseBuild keeps a join plan's partitioned hash side across Run calls
 	// instead of rebuilding it per run — the probe-isolation switch for
-	// benchmarks and a stepping stone toward shared build caching.
+	// benchmarks; Builds generalizes it across plans.
 	ReuseBuild bool
+
+	// Builds, when set, routes the build-barrier phase through a shared
+	// retained-build source (the service layer's keyed join-build cache), so
+	// repeated joins over one inner table share a single partitioned hash
+	// side across queries and sessions. The returned tables are read-only
+	// after build, so sharing them between concurrent probes is safe.
+	Builds BuildSource
 
 	// observed records that the plan has run with observation enabled (so
 	// Render shows observed counters).
@@ -418,6 +428,14 @@ type Plan struct {
 	// buildMu serializes the build-barrier phase's access to the JOINBUILD
 	// node's cached hash side.
 	buildMu sync.Mutex
+}
+
+// BuildSource provides shared retained join builds: GetOrBuild returns the
+// table cached under key (hit=true) or builds, retains and returns a fresh
+// one via build. Implementations must be safe for concurrent use; the
+// canonical one is operators.BuildCache.
+type BuildSource interface {
+	GetOrBuild(key operators.BuildKey, build func() (*operators.PartitionedTable, error)) (*operators.PartitionedTable, bool, error)
 }
 
 // JoinProbe returns the plan's probe node, or nil when the plan is not a

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"matstore/internal/exec"
+)
+
+// The governor is the service's admission controller and worker-budget
+// arbiter. Admission bounds how many requests are in flight at once
+// (requests past the limit queue FIFO-ish on the monitor); the worker
+// budget is the global exec pool allowance divided across the in-flight
+// queries. Each admitted query is granted a derated parallelism — its fair
+// share of the budget at admission time, clamped so the sum of grants NEVER
+// exceeds the budget — which it passes to plan.Plan.Run as the morsel worker
+// count. A query that cannot get even one worker waits for a release, so P
+// concurrent queries never oversubscribe the pool.
+type governor struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	slots  int // remaining admission slots
+	budget int // global worker budget
+	inUse  int // workers currently granted
+	// inflight counts admitted queries (holding or awaiting workers) — the
+	// denominator of the fair share.
+	inflight int
+
+	// Counters (guarded by mu; snapshot via snapshot()).
+	admitted, completed       int64
+	queuedAdmission           int64
+	queuedWorkers             int64
+	grantsSum                 int64
+	maxInflight, peakInUse    int
+	queuedNanos, runningNanos int64
+}
+
+func newGovernor(maxConcurrent, budget int) *governor {
+	g := &governor{slots: maxConcurrent, budget: budget}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// admit blocks until an admission slot and at least one worker are free,
+// then grants the query its derated parallelism: min(requested, fair share
+// of the budget, workers still unclaimed). want <= 0 requests the full fair
+// share (the "auto" parallelism of Query.Parallelism). It returns the grant
+// and the release closure the query must defer.
+func (g *governor) admit(want int) (grant int, release func(), queued time.Duration) {
+	start := time.Now()
+	g.mu.Lock()
+	if g.slots == 0 {
+		g.queuedAdmission++
+		for g.slots == 0 {
+			g.cond.Wait()
+		}
+	}
+	g.slots--
+	g.admitted++
+	g.inflight++
+	if g.inflight > g.maxInflight {
+		g.maxInflight = g.inflight
+	}
+
+	if g.inUse >= g.budget {
+		g.queuedWorkers++
+		for g.inUse >= g.budget {
+			g.cond.Wait()
+		}
+	}
+	if want <= 0 || want > g.budget {
+		want = g.budget
+	}
+	grant = exec.Share(g.budget, g.inflight)
+	if grant > want {
+		grant = want
+	}
+	if free := g.budget - g.inUse; grant > free {
+		grant = free // the wait above guarantees free >= 1
+	}
+	g.inUse += grant
+	if g.inUse > g.peakInUse {
+		g.peakInUse = g.inUse
+	}
+	g.grantsSum += int64(grant)
+	queued = time.Since(start)
+	g.queuedNanos += queued.Nanoseconds()
+	g.mu.Unlock()
+
+	var once sync.Once
+	release = func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.inUse -= grant
+			g.inflight--
+			g.slots++
+			g.completed++
+			g.runningNanos += time.Since(start).Nanoseconds() - queued.Nanoseconds()
+			g.cond.Broadcast()
+			g.mu.Unlock()
+		})
+	}
+	return grant, release, queued
+}
+
+// AdmissionStats is a snapshot of the governor's counters.
+type AdmissionStats struct {
+	// Admitted and Completed count requests through the gate.
+	Admitted  int64 `json:"admitted"`
+	Completed int64 `json:"completed"`
+	// InFlight and MaxInFlight describe concurrent load.
+	InFlight    int `json:"in_flight"`
+	MaxInFlight int `json:"max_in_flight"`
+	// QueuedAdmission counts requests that waited for an admission slot;
+	// QueuedWorkers counts admitted requests that waited for a worker.
+	QueuedAdmission int64 `json:"queued_admission"`
+	QueuedWorkers   int64 `json:"queued_workers"`
+	// WorkerBudget is the configured global budget; WorkersInUse and
+	// PeakWorkersInUse track grants against it (peak never exceeds budget).
+	WorkerBudget     int `json:"worker_budget"`
+	WorkersInUse     int `json:"workers_in_use"`
+	PeakWorkersInUse int `json:"peak_workers_in_use"`
+	// WorkersGranted sums every query's granted parallelism;
+	// WorkersGranted/Completed is the mean per-query derated width.
+	WorkersGranted int64 `json:"workers_granted"`
+	// QueuedNanos and RunningNanos split request wall time at the gate.
+	QueuedNanos  int64 `json:"queued_nanos"`
+	RunningNanos int64 `json:"running_nanos"`
+}
+
+func (g *governor) snapshot() AdmissionStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return AdmissionStats{
+		Admitted:         g.admitted,
+		Completed:        g.completed,
+		InFlight:         g.inflight,
+		MaxInFlight:      g.maxInflight,
+		QueuedAdmission:  g.queuedAdmission,
+		QueuedWorkers:    g.queuedWorkers,
+		WorkerBudget:     g.budget,
+		WorkersInUse:     g.inUse,
+		PeakWorkersInUse: g.peakInUse,
+		WorkersGranted:   g.grantsSum,
+		QueuedNanos:      g.queuedNanos,
+		RunningNanos:     g.runningNanos,
+	}
+}

@@ -1,0 +1,381 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"matstore"
+)
+
+// HTTP front-end: JSON endpoints over a Server. Every request runs through
+// a fresh session and the admission gate.
+//
+//	POST /query   {projection, output, where, groupby, aggcol, agg,
+//	               strategy, parallelism, limit}
+//	POST /join    {left, right, leftkey, rightkey, where, leftout, rightout,
+//	               rightstrategy, parallelism, limit}
+//	POST /explain query body (join body when "right" is set) -> plan tree
+//	GET  /stats   admission, worker and cache counters
+//
+// where is a list of "col<op>value" strings (ParseWhere syntax); /join
+// accepts at most one, over the outer join key. strategy accepts the four
+// strategy names or "advise" (the cost model picks); rightstrategy accepts
+// the three right-side names or "advise" (the Section 4.3 terms pick).
+
+// QueryRequest is the /query (and selection /explain) body.
+type QueryRequest struct {
+	Projection  string   `json:"projection"`
+	Output      []string `json:"output,omitempty"`
+	Where       []string `json:"where,omitempty"`
+	GroupBy     string   `json:"groupby,omitempty"`
+	AggCol      string   `json:"aggcol,omitempty"`
+	Agg         string   `json:"agg,omitempty"`
+	Strategy    string   `json:"strategy,omitempty"`
+	Parallelism int      `json:"parallelism,omitempty"`
+	Limit       int      `json:"limit,omitempty"`
+}
+
+// JoinRequest is the /join (and join /explain) body.
+type JoinRequest struct {
+	Left          string   `json:"left"`
+	Right         string   `json:"right"`
+	LeftKey       string   `json:"leftkey"`
+	RightKey      string   `json:"rightkey"`
+	Where         []string `json:"where,omitempty"`
+	LeftOutput    []string `json:"leftout,omitempty"`
+	RightOutput   []string `json:"rightout,omitempty"`
+	RightStrategy string   `json:"rightstrategy,omitempty"`
+	Parallelism   int      `json:"parallelism,omitempty"`
+	Limit         int      `json:"limit,omitempty"`
+}
+
+// QueryResponse is the /query and /join response.
+type QueryResponse struct {
+	Columns  []string  `json:"columns"`
+	Rows     [][]int64 `json:"rows"`
+	RowCount int       `json:"row_count"`
+	Checksum int64     `json:"checksum"`
+	Strategy string    `json:"strategy"`
+	Wall     int64     `json:"wall_nanos"`
+	Workers  int       `json:"workers"`
+	Morsels  int       `json:"morsels"`
+	Queued   int64     `json:"queued_nanos"`
+	Session  int64     `json:"session"`
+	// Cache reuse flags: the ci smoke greps build_cache_hit on a repeated
+	// join.
+	PlanCacheHit  bool `json:"plan_cache_hit"`
+	BuildCacheHit bool `json:"build_cache_hit"`
+	// Join-only counters.
+	Partitions      int   `json:"partitions,omitempty"`
+	Probes          int64 `json:"probes,omitempty"`
+	BuildTuples     int64 `json:"build_tuples,omitempty"`
+	DeferredFetches int64 `json:"deferred_fetches,omitempty"`
+}
+
+// ExplainResponse is the /explain response.
+type ExplainResponse struct {
+	Strategy  string  `json:"strategy"`
+	Tree      string  `json:"tree"`
+	ModeledUS float64 `json:"modeled_total_us"`
+	Wall      int64   `json:"wall_nanos"`
+	Workers   int     `json:"workers"`
+	RowCount  int     `json:"row_count"`
+}
+
+const defaultRowLimit = 100
+
+// Handler returns the server's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) { s.handleQuery(w, r) })
+	mux.HandleFunc("/join", func(w http.ResponseWriter, r *http.Request) { s.handleJoin(w, r) })
+	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) { s.handleExplain(w, r) })
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+func (r QueryRequest) build() (matstore.Query, error) {
+	filters, err := parseWhereList(r.Where)
+	if err != nil {
+		return matstore.Query{}, err
+	}
+	q := matstore.Query{
+		Output:      r.Output,
+		Filters:     filters,
+		GroupBy:     r.GroupBy,
+		AggCol:      r.AggCol,
+		Parallelism: r.Parallelism,
+	}
+	if r.Agg != "" {
+		if q.Agg, err = matstore.ParseAggFunc(r.Agg); err != nil {
+			return matstore.Query{}, err
+		}
+	}
+	return q, nil
+}
+
+// strategyFor resolves the request strategy, consulting the cost model for
+// "advise" (the advisor needs at least one filter; it falls back to
+// LM-parallel otherwise, the paper's all-round default).
+func (s *Server) strategyFor(name, projection string, q matstore.Query) (matstore.Strategy, error) {
+	switch name {
+	case "", "advise":
+		if name == "advise" && len(q.Filters) > 0 {
+			adv, err := s.db.AdviseParallel(projection, q, s.cfg.WorkerBudget)
+			if err != nil {
+				return 0, err
+			}
+			return adv.Best, nil
+		}
+		return matstore.LMParallel, nil
+	default:
+		return matstore.ParseStrategy(name)
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	q, err := req.build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	strat, err := s.strategyFor(req.Strategy, req.Projection, q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out, err := s.NewSession().Select(req.Projection, q, strat)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	resp := baseResponse(out.Res, out.Stats, out.Info, req.Limit)
+	resp.Strategy = out.Stats.Strategy.String()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (r JoinRequest) build() (matstore.JoinQuery, error) {
+	q := matstore.JoinQuery{
+		LeftKey:     r.LeftKey,
+		LeftPred:    matstore.MatchAll,
+		LeftOutput:  r.LeftOutput,
+		RightKey:    r.RightKey,
+		RightOutput: r.RightOutput,
+		Parallelism: r.Parallelism,
+	}
+	filters, err := parseWhereList(r.Where)
+	if err != nil {
+		return q, err
+	}
+	switch len(filters) {
+	case 0:
+	case 1:
+		if filters[0].Col != q.LeftKey {
+			return q, fmt.Errorf("join where must predicate the outer join key %q, got %q", q.LeftKey, filters[0].Col)
+		}
+		q.LeftPred = filters[0].Pred
+	default:
+		return q, fmt.Errorf("join accepts at most one where predicate, got %d", len(filters))
+	}
+	return q, nil
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	q, err := req.build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rs, err := s.rightStrategyFor(req, q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out, err := s.NewSession().Join(req.Left, req.Right, q, rs)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	resp := baseResponse(out.Res, &out.Stats.Stats, out.Info, req.Limit)
+	resp.Strategy = out.Stats.RightStrategy.String()
+	resp.Partitions = out.Stats.Join.Partitions
+	resp.Probes = out.Stats.Join.LeftProbes
+	resp.BuildTuples = out.Stats.Join.RightBuildTuples
+	resp.DeferredFetches = out.Stats.Join.DeferredFetches
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// rightStrategyFor resolves the inner-table strategy, consulting the
+// Section 4.3 cost terms for "advise".
+func (s *Server) rightStrategyFor(req JoinRequest, q matstore.JoinQuery) (matstore.RightStrategy, error) {
+	switch req.RightStrategy {
+	case "":
+		return matstore.RightMaterialized, nil
+	case "advise":
+		adv, err := s.db.AdviseJoin(req.Left, req.Right, q)
+		if err != nil {
+			return 0, err
+		}
+		return adv.Best, nil
+	default:
+		return matstore.ParseRightStrategy(req.RightStrategy)
+	}
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	// One body shape for both: the join fields decide which explain runs.
+	var probe struct {
+		Right string `json:"right"`
+	}
+	var raw json.RawMessage
+	if !decodeBody(w, r, &raw) {
+		return
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var (
+		ex   *matstore.Explanation
+		info Info
+	)
+	if probe.Right != "" {
+		var req JoinRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		q, err := req.build()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		rs, err := s.rightStrategyFor(req, q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if ex, info, err = s.NewSession().ExplainJoin(req.Left, req.Right, q, rs); err != nil {
+			writeServiceError(w, err)
+			return
+		}
+	} else {
+		var req QueryRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		q, err := req.build()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		strat, err := s.strategyFor(req.Strategy, req.Projection, q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if ex, info, err = s.NewSession().Explain(req.Projection, q, strat); err != nil {
+			writeServiceError(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{
+		Strategy:  ex.Strategy.String(),
+		Tree:      ex.String(),
+		ModeledUS: ex.Modeled.Total(),
+		Wall:      ex.Stats.Wall.Nanoseconds(),
+		Workers:   info.Workers,
+		RowCount:  ex.Result.NumRows(),
+	})
+}
+
+func baseResponse(res *matstore.Result, stats *matstore.Stats, info Info, limit int) *QueryResponse {
+	if limit == 0 {
+		limit = defaultRowLimit
+	}
+	n := res.NumRows()
+	shown := n
+	if limit > 0 && shown > limit {
+		shown = limit
+	}
+	rows := make([][]int64, shown)
+	for i := range rows {
+		rows[i] = res.Row(i)
+	}
+	return &QueryResponse{
+		Columns:       res.Columns,
+		Rows:          rows,
+		RowCount:      n,
+		Checksum:      stats.OutputChecksum,
+		Wall:          stats.Wall.Nanoseconds(),
+		Workers:       info.Workers,
+		Morsels:       stats.Morsels,
+		Queued:        info.Queued.Nanoseconds(),
+		Session:       info.Session,
+		PlanCacheHit:  info.PlanCacheHit,
+		BuildCacheHit: info.BuildCacheHit,
+	}
+}
+
+func parseWhereList(where []string) ([]matstore.Filter, error) {
+	var out []matstore.Filter
+	for _, s := range where {
+		f, err := matstore.ParsePredicateExpr(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost && r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeServiceError maps a session error onto an HTTP status: request
+// faults (RequestError: unknown projection/column, malformed shape) are 400,
+// execution failures are 500 so monitoring and retry logic see a server
+// fault.
+func writeServiceError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var re *RequestError
+	if errors.As(err, &re) {
+		status = http.StatusBadRequest
+	}
+	writeError(w, status, err)
+}

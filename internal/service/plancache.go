@@ -1,0 +1,150 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+
+	"matstore"
+	"matstore/internal/plan"
+)
+
+// The plan cache skips BuildPlan/BuildJoinPlan for repeated query shapes: a
+// plan is self-contained (columns resolved, chunk size and ablation switches
+// captured at build time) and plan.Plan.Run is safe for concurrent callers
+// (per-run partials, atomic node counters, a build mutex on the hash side),
+// so one cached plan serves any number of concurrent sessions at any
+// parallelism. Keys canonicalize the query shape; the executor's options are
+// fixed per server, so they stay out of the key. Parallelism is a Run-time
+// argument, not a plan property, so queries differing only in worker count
+// share an entry.
+
+// PlanCacheStats are the plan cache's cumulative counters.
+type PlanCacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+}
+
+type planEntry struct {
+	key string
+	pl  *plan.Plan
+}
+
+// planCache is a mutex-guarded LRU of built plans, bounded by entry count.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element // of *planEntry
+	lru     *list.List
+	stats   PlanCacheStats
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+func (c *planCache) get(key string) (*plan.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.stats.Hits++
+	return el.Value.(*planEntry).pl, true
+}
+
+func (c *planCache) put(key string, pl *plan.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A concurrent miss built the same plan; keep the existing entry so
+		// in-flight runs and future hits share one.
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&planEntry{key: key, pl: pl})
+	for c.cap > 0 && c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*planEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// clear drops every entry (projection invalidation is conservative: plans
+// pin resolved column handles).
+func (c *planCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+}
+
+func (c *planCache) snapshot() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = c.lru.Len()
+	st.Capacity = c.cap
+	return st
+}
+
+// keyStr appends one user-supplied string length-prefixed, so names
+// containing the key's own delimiters can never make two different request
+// shapes collide on one entry (a collision would skip validation and serve
+// the wrong cached plan).
+func keyStr(b *strings.Builder, s string) {
+	fmt.Fprintf(b, "%d:%s;", len(s), s)
+}
+
+// keyList appends a name list with its arity, length-prefixing each element.
+func keyList(b *strings.Builder, items []string) {
+	fmt.Fprintf(b, "%d[", len(items))
+	for _, s := range items {
+		keyStr(b, s)
+	}
+	b.WriteString("]")
+}
+
+// selectKey canonicalizes a selection/aggregation query shape. Filter order
+// is semantically significant (it decides pipelined plan shape and fusion
+// groups), so it is preserved, not sorted.
+func selectKey(proj string, q matstore.Query, s matstore.Strategy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "s|%d|", s)
+	keyStr(&b, proj)
+	keyList(&b, q.Output)
+	keyStr(&b, q.GroupBy)
+	keyStr(&b, q.AggCol)
+	fmt.Fprintf(&b, "fn=%d|", q.Agg)
+	for _, f := range q.Filters {
+		keyStr(&b, f.Col)
+		fmt.Fprintf(&b, "%d %d %d;", f.Pred.Op, f.Pred.A, f.Pred.B)
+	}
+	return b.String()
+}
+
+// joinKey canonicalizes a join query shape.
+func joinKey(left, right string, q matstore.JoinQuery, rs matstore.RightStrategy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "j|%d|", rs)
+	keyStr(&b, left)
+	keyStr(&b, right)
+	keyStr(&b, q.LeftKey)
+	fmt.Fprintf(&b, "%d %d %d|", q.LeftPred.Op, q.LeftPred.A, q.LeftPred.B)
+	keyList(&b, q.LeftOutput)
+	keyStr(&b, q.RightKey)
+	keyList(&b, q.RightOutput)
+	return b.String()
+}

@@ -1,0 +1,350 @@
+// Package service is the concurrent query-serving subsystem layered over
+// the matstore engine: it turns the one-query-at-a-time executor of the
+// paper reproduction into a server that runs many queries against one DB,
+// one buffer pool and one global worker budget at once.
+//
+// Three cooperating parts:
+//
+//   - Admission control & worker sharing (admission.go): requests enter
+//     through sessions and an admission gate (at most MaxConcurrent in
+//     flight; the rest queue), and each admitted query's morsel parallelism
+//     is derated to its fair share of the global WorkerBudget, clamped so
+//     the sum of grants never exceeds the budget.
+//   - Shared caches: a keyed join-build cache (operators.BuildCache) shares
+//     partitioned hash sides across queries under a byte budget with LRU
+//     eviction and generation invalidation, and a plan cache (plancache.go)
+//     skips BuildPlan for repeated query shapes.
+//   - A serving front-end (http.go, cmd/csserve): HTTP JSON endpoints
+//     /query, /join, /explain and /stats over a Server.
+//
+// Sharing caches and derating parallelism are pure execution choices — the
+// paper's core invariant — so every response is byte-identical to serial
+// single-query execution; the concurrent differential suite locks that in.
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"matstore"
+	"matstore/internal/buffer"
+	"matstore/internal/core"
+	"matstore/internal/operators"
+	"matstore/internal/plan"
+	"matstore/internal/storage"
+)
+
+// DefaultBuildCacheBytes bounds the join-build cache when Config leaves it 0.
+const DefaultBuildCacheBytes = 64 << 20
+
+// DefaultPlanCacheEntries bounds the plan cache when Config leaves it 0.
+const DefaultPlanCacheEntries = 256
+
+// Config tunes a Server.
+type Config struct {
+	// MaxConcurrent is the admission limit: at most this many requests
+	// execute at once, the rest queue. 0 derives 2× the worker budget
+	// (enough queueing to keep workers saturated without unbounded pile-up).
+	MaxConcurrent int
+	// WorkerBudget is the global morsel-worker budget divided across
+	// in-flight queries (0 = one per CPU).
+	WorkerBudget int
+	// BuildCacheBytes bounds the shared join-build cache (0 = the 64 MiB
+	// default, negative = cache disabled).
+	BuildCacheBytes int64
+	// PlanCacheEntries bounds the plan cache (0 = the 256-entry default,
+	// negative = cache disabled).
+	PlanCacheEntries int
+}
+
+// Server serves concurrent queries against one matstore.DB.
+type Server struct {
+	db    *matstore.DB
+	exec  *core.Executor
+	store *storage.DB
+	cfg   Config
+
+	gov    *governor
+	builds *operators.BuildCache // nil when disabled
+	plans  *planCache            // nil when disabled
+
+	sessions   atomic.Int64
+	queries    atomic.Int64
+	planBuilds atomic.Int64
+}
+
+// New wraps an open DB in a serving layer.
+func New(db *matstore.DB, cfg Config) *Server {
+	// Resolve every default before cfg is captured, so Config() reports the
+	// configuration actually in effect.
+	if cfg.WorkerBudget <= 0 {
+		cfg.WorkerBudget = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2 * cfg.WorkerBudget
+	}
+	if cfg.BuildCacheBytes == 0 {
+		cfg.BuildCacheBytes = DefaultBuildCacheBytes
+	}
+	if cfg.PlanCacheEntries == 0 {
+		cfg.PlanCacheEntries = DefaultPlanCacheEntries
+	}
+	s := &Server{
+		db:    db,
+		exec:  db.Exec(),
+		store: db.Storage(),
+		cfg:   cfg,
+		gov:   newGovernor(cfg.MaxConcurrent, cfg.WorkerBudget),
+	}
+	if cfg.BuildCacheBytes > 0 {
+		s.builds = operators.NewBuildCache(cfg.BuildCacheBytes)
+	}
+	if cfg.PlanCacheEntries > 0 {
+		s.plans = newPlanCache(cfg.PlanCacheEntries)
+	}
+	return s
+}
+
+// DB returns the wrapped database.
+func (s *Server) DB() *matstore.DB { return s.db }
+
+// Config returns the resolved configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// InvalidateProjection marks a projection's data as changed: cached join
+// builds over it are dropped by a generation bump, and the plan cache is
+// cleared (plans pin resolved column handles, so invalidation is
+// conservative).
+func (s *Server) InvalidateProjection(name string) {
+	if s.builds != nil {
+		s.builds.Invalidate(name)
+	}
+	if s.plans != nil {
+		s.plans.clear()
+	}
+}
+
+// Stats is the /stats snapshot: admission, worker and cache counters.
+type Stats struct {
+	Sessions  int64          `json:"sessions"`
+	Queries   int64          `json:"queries"`
+	Admission AdmissionStats `json:"admission"`
+	// PlanBuilds counts BuildPlan/BuildJoinPlan invocations; with the plan
+	// cache on it lags Queries by exactly the hit count.
+	PlanBuilds int64                     `json:"plan_builds"`
+	PlanCache  PlanCacheStats            `json:"plan_cache"`
+	BuildCache operators.BuildCacheStats `json:"build_cache"`
+	Pool       buffer.Stats              `json:"buffer_pool"`
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Sessions:   s.sessions.Load(),
+		Queries:    s.queries.Load(),
+		Admission:  s.gov.snapshot(),
+		PlanBuilds: s.planBuilds.Load(),
+		Pool:       s.db.PoolStats(),
+	}
+	if s.plans != nil {
+		st.PlanCache = s.plans.snapshot()
+	}
+	if s.builds != nil {
+		st.BuildCache = s.builds.Stats()
+	}
+	return st
+}
+
+// RequestError marks a failure attributable to the request itself — unknown
+// projection or column, malformed query shape — rather than the server. The
+// HTTP layer maps it to 400 Bad Request; execution failures stay 500.
+type RequestError struct{ Err error }
+
+func (e *RequestError) Error() string { return e.Err.Error() }
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// badRequest wraps a non-nil error as a RequestError.
+func badRequest(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &RequestError{Err: err}
+}
+
+// Session is one client's handle on the server; all request methods go
+// through admission control. Sessions are safe for concurrent use and cheap
+// to create (the HTTP front-end makes one per request).
+type Session struct {
+	srv *Server
+	// ID numbers the session (diagnostics only).
+	ID int64
+}
+
+// NewSession opens a session.
+func (s *Server) NewSession() *Session {
+	return &Session{srv: s, ID: s.sessions.Add(1)}
+}
+
+// Info describes how the service executed one request.
+type Info struct {
+	Session int64 `json:"session"`
+	// Workers is the granted (derated) morsel parallelism.
+	Workers int `json:"workers"`
+	// Queued is the time spent waiting at the admission gate.
+	Queued time.Duration `json:"queued_nanos"`
+	// PlanCacheHit and BuildCacheHit report shared-cache reuse.
+	PlanCacheHit  bool `json:"plan_cache_hit"`
+	BuildCacheHit bool `json:"build_cache_hit"`
+}
+
+// SelectResult is a served selection/aggregation response.
+type SelectResult struct {
+	Res   *matstore.Result
+	Stats *matstore.Stats
+	Info  Info
+}
+
+// JoinResult is a served join response.
+type JoinResult struct {
+	Res   *matstore.Result
+	Stats *matstore.JoinStats
+	Info  Info
+}
+
+// Select runs a selection/aggregation through admission control and the
+// plan cache. The query's Parallelism is a ceiling on the granted worker
+// share (0 = take the full fair share).
+func (c *Session) Select(projection string, q matstore.Query, strat matstore.Strategy) (*SelectResult, error) {
+	s := c.srv
+	grant, release, queued := s.gov.admit(q.Parallelism)
+	defer release()
+	s.queries.Add(1)
+
+	p, err := s.store.Projection(projection)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	info := Info{Session: c.ID, Workers: grant, Queued: queued}
+	var pl *plan.Plan
+	if s.plans != nil {
+		key := selectKey(projection, q, strat)
+		if cached, ok := s.plans.get(key); ok {
+			pl, info.PlanCacheHit = cached, true
+		} else {
+			if pl, err = s.buildSelect(p, q, strat); err != nil {
+				return nil, badRequest(err)
+			}
+			s.plans.put(key, pl)
+		}
+	} else if pl, err = s.buildSelect(p, q, strat); err != nil {
+		return nil, badRequest(err)
+	}
+	res, stats, err := s.exec.RunPlan(pl, strat, grant, false)
+	if err != nil {
+		return nil, err
+	}
+	return &SelectResult{Res: res, Stats: stats, Info: info}, nil
+}
+
+func (s *Server) buildSelect(p *storage.Projection, q matstore.Query, strat matstore.Strategy) (*plan.Plan, error) {
+	s.planBuilds.Add(1)
+	return s.exec.BuildPlan(p, q, strat)
+}
+
+// Join runs an equi-join through admission control and both shared caches:
+// the plan cache skips BuildJoinPlan for a repeated shape, and the build
+// cache shares the partitioned hash side across queries over the same inner
+// table.
+func (c *Session) Join(left, right string, q matstore.JoinQuery, rs matstore.RightStrategy) (*JoinResult, error) {
+	s := c.srv
+	grant, release, queued := s.gov.admit(q.Parallelism)
+	defer release()
+	s.queries.Add(1)
+
+	info := Info{Session: c.ID, Workers: grant, Queued: queued}
+	var pl *plan.Plan
+	var err error
+	if s.plans != nil {
+		key := joinKey(left, right, q, rs)
+		if cached, ok := s.plans.get(key); ok {
+			pl, info.PlanCacheHit = cached, true
+		} else {
+			if pl, err = s.buildJoin(left, right, q, rs); err != nil {
+				return nil, badRequest(err)
+			}
+			s.plans.put(key, pl)
+		}
+	} else if pl, err = s.buildJoin(left, right, q, rs); err != nil {
+		return nil, badRequest(err)
+	}
+	res, stats, err := s.exec.RunJoinPlan(pl, grant, false)
+	if err != nil {
+		return nil, err
+	}
+	info.BuildCacheHit = stats.Join.BuildCacheHit
+	return &JoinResult{Res: res, Stats: stats, Info: info}, nil
+}
+
+func (s *Server) buildJoin(left, right string, q matstore.JoinQuery, rs matstore.RightStrategy) (*plan.Plan, error) {
+	lp, err := s.store.Projection(left)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := s.store.Projection(right)
+	if err != nil {
+		return nil, err
+	}
+	s.planBuilds.Add(1)
+	pl, err := s.exec.BuildJoinPlan(lp, rp, q, rs)
+	if err != nil {
+		return nil, err
+	}
+	if s.builds != nil {
+		pl.Builds = s.builds
+	}
+	return pl, nil
+}
+
+// Explain runs DB.Explain (selection) through admission control; the
+// observed run executes at the granted parallelism. Explains bypass the plan
+// cache — their per-node observed counters want a fresh tree.
+func (c *Session) Explain(projection string, q matstore.Query, strat matstore.Strategy) (*matstore.Explanation, Info, error) {
+	grant, release, queued := c.srv.gov.admit(q.Parallelism)
+	defer release()
+	c.srv.queries.Add(1)
+	info := Info{Session: c.ID, Workers: grant, Queued: queued}
+	p, err := c.srv.store.Projection(projection)
+	if err != nil {
+		return nil, info, badRequest(err)
+	}
+	if err := q.Validate(p); err != nil {
+		return nil, info, badRequest(err)
+	}
+	q.Parallelism = grant
+	ex, err := c.srv.db.Explain(projection, q, strat)
+	return ex, info, err
+}
+
+// ExplainJoin runs DB.ExplainJoin through admission control.
+func (c *Session) ExplainJoin(left, right string, q matstore.JoinQuery, rs matstore.RightStrategy) (*matstore.Explanation, Info, error) {
+	grant, release, queued := c.srv.gov.admit(q.Parallelism)
+	defer release()
+	c.srv.queries.Add(1)
+	info := Info{Session: c.ID, Workers: grant, Queued: queued}
+	for _, proj := range []string{left, right} {
+		if _, err := c.srv.store.Projection(proj); err != nil {
+			return nil, info, badRequest(err)
+		}
+	}
+	q.Parallelism = grant
+	ex, err := c.srv.db.ExplainJoin(left, right, q, rs)
+	return ex, info, err
+}
+
+// String renders a one-line server description.
+func (s *Server) String() string {
+	return fmt.Sprintf("service.Server{budget=%d, max_concurrent=%d, build_cache=%v, plan_cache=%v}",
+		s.cfg.WorkerBudget, s.cfg.MaxConcurrent, s.builds != nil, s.plans != nil)
+}

@@ -10,6 +10,7 @@ import (
 
 	"matstore/internal/buffer"
 	"matstore/internal/encoding"
+	"matstore/internal/exec"
 )
 
 // A Projection is the C-Store unit of physical design: a subset of a table's
@@ -169,26 +170,36 @@ func (pw *ProjectionWriter) Close() (ProjectionMeta, error) {
 		if err := w.Close(); err != nil {
 			return ProjectionMeta{}, err
 		}
-		pw.meta.Columns = append(pw.meta.Columns, ColumnMeta{
-			Name:      pw.specs[i].Name,
-			Encoding:  pw.specs[i].Encoding.String(),
-			File:      pw.specs[i].Name + ".col",
-			Min:       w.minV,
-			Max:       w.maxV,
-			Distinct:  distinctOf(w),
-			AvgRunLen: avgRunOf(w),
-			Blocks:    int64(len(w.index)),
-		})
+		pw.meta.Columns = append(pw.meta.Columns, columnMeta(pw.specs[i], w))
 	}
 	pw.meta.TupleCount = pw.count
-	raw, err := json.MarshalIndent(pw.meta, "", "  ")
-	if err != nil {
-		return ProjectionMeta{}, err
-	}
-	if err := os.WriteFile(filepath.Join(pw.dir, metaFile), raw, 0o644); err != nil {
+	if err := writeMetaFile(pw.dir, pw.meta); err != nil {
 		return ProjectionMeta{}, err
 	}
 	return pw.meta, nil
+}
+
+// columnMeta assembles the catalog record of one closed column writer.
+func columnMeta(spec ColumnSpec, w *ColumnWriter) ColumnMeta {
+	return ColumnMeta{
+		Name:      spec.Name,
+		Encoding:  spec.Encoding.String(),
+		File:      spec.Name + ".col",
+		Min:       w.minV,
+		Max:       w.maxV,
+		Distinct:  distinctOf(w),
+		AvgRunLen: avgRunOf(w),
+		Blocks:    int64(len(w.index)),
+	}
+}
+
+// writeMetaFile marshals and writes a projection's meta.json.
+func writeMetaFile(dir string, meta ProjectionMeta) error {
+	raw, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, metaFile), raw, 0o644)
 }
 
 func distinctOf(w *ColumnWriter) int64 {
@@ -203,6 +214,50 @@ func avgRunOf(w *ColumnWriter) float64 {
 		return 1
 	}
 	return float64(w.count) / float64(w.runs)
+}
+
+// WriteProjectionParallel writes one projection with its column files
+// produced concurrently: emit(i, w) streams column i's full value sequence
+// into its writer, and the column tasks fan out over a bounded worker pool
+// (workers <= 1 writes serially). Column files are independent — each one's
+// bytes depend only on its own value stream — so output is byte-identical
+// at every worker count; meta.json is assembled after all columns close.
+// This is the projection-writing half of parallel data generation.
+func WriteProjectionParallel(dir, name string, sortKey []string, specs []ColumnSpec, workers int, emit func(col int, w *ColumnWriter) error) (ProjectionMeta, error) {
+	if len(specs) == 0 {
+		return ProjectionMeta{}, errors.New("storage: projection needs at least one column")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ProjectionMeta{}, err
+	}
+	writers := make([]*ColumnWriter, len(specs))
+	err := exec.Run(exec.Resolve(workers), len(specs), func(i int) error {
+		w, err := NewColumnWriter(filepath.Join(dir, specs[i].Name+".col"), specs[i].Encoding)
+		if err != nil {
+			return err
+		}
+		writers[i] = w
+		if err := emit(i, w); err != nil {
+			w.Close() // release the file handle; the emit error wins
+			return err
+		}
+		return w.Close()
+	})
+	if err != nil {
+		return ProjectionMeta{}, err
+	}
+	meta := ProjectionMeta{Name: name, SortKey: sortKey, TupleCount: writers[0].count}
+	for i, w := range writers {
+		if w.count != meta.TupleCount {
+			return ProjectionMeta{}, fmt.Errorf("storage: column %s has %d tuples, %s has %d",
+				specs[i].Name, w.count, specs[0].Name, meta.TupleCount)
+		}
+		meta.Columns = append(meta.Columns, columnMeta(specs[i], w))
+	}
+	if err := writeMetaFile(dir, meta); err != nil {
+		return ProjectionMeta{}, err
+	}
+	return meta, nil
 }
 
 // DB is a directory of projections sharing one buffer pool.

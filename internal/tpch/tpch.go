@@ -1,6 +1,12 @@
 // Package tpch generates the TPC-H-shaped data the paper's experiments run
 // over (Section 4), using a deterministic stdlib-only PRNG in place of
-// dbgen. It reproduces the properties the experiments exploit:
+// dbgen. Generation is morsel-parallel over the internal/exec pool: the row
+// space is carved into fixed shards, each shard draws from its own
+// seed-derived PRNG stream, shard buffers concatenate in a fixed order, and
+// every column file is encoded and written by an independent task
+// (storage.WriteProjectionParallel) — so the output files are byte-identical
+// at every worker count. It reproduces the properties the experiments
+// exploit:
 //
 //   - A lineitem projection (RETURNFLAG, SHIPDATE, LINENUM, QUANTITY) sorted
 //     by (RETURNFLAG, SHIPDATE, LINENUM). RETURNFLAG has 3 distinct values,
@@ -24,8 +30,15 @@ import (
 	"path/filepath"
 
 	"matstore/internal/encoding"
+	"matstore/internal/exec"
 	"matstore/internal/storage"
 )
+
+// GenVersion identifies the generator's output bytes: bump it whenever the
+// generated data changes for a given (scale, seed), so cached datasets
+// (internal/bench's marker files) regenerate. Version 2 introduced
+// seed-per-shard parallel generation.
+const GenVersion = 2
 
 const (
 	// ShipdateDays is the number of distinct SHIPDATE values (the TPC-H
@@ -72,6 +85,10 @@ type Config struct {
 	// Seed makes generation deterministic; different seeds give different
 	// data with identical statistics.
 	Seed uint64
+	// Workers parallelizes shard generation and column-file writing over the
+	// internal/exec pool (0 = one per CPU, 1 = serial). Output files are
+	// byte-identical at every worker count.
+	Workers int
 }
 
 // LineitemRows returns the lineitem cardinality at this scale.
@@ -101,6 +118,14 @@ func (r *rng) intn(n int64) int64 {
 	return int64(r.next() % uint64(n))
 }
 
+// shardSalt derives a shard's private PRNG stream from the generator seed
+// and the shard's fixed identity (never its index in a worker-dependent
+// carving), so any carving of the row space replays identical bytes.
+func shardSalt(seed, table, a, b uint64) uint64 {
+	r := newRNG(seed ^ table ^ a*0x9e3779b97f4a7c15 ^ b*0xc4ceb9fe1a85ec53)
+	return r.next()
+}
+
 // Generate writes all three projections under dir.
 func Generate(dir string, cfg Config) error {
 	if cfg.Scale <= 0 {
@@ -115,6 +140,32 @@ func Generate(dir string, cfg Config) error {
 	return GenerateCustomer(filepath.Join(dir, CustomerProj), cfg)
 }
 
+// colRuns buffers one shard column as (value, count) runs — O(1) per run to
+// replay into a ColumnWriter, and compact for the run-heavy sorted columns.
+// Run fragmentation at shard boundaries cannot leak into the output bytes:
+// ColumnWriter.AppendRun coalesces adjacent equal values itself.
+type colRuns struct {
+	vals, lens []int64
+}
+
+func (c *colRuns) add(v, n int64) {
+	if n <= 0 {
+		return
+	}
+	c.vals = append(c.vals, v)
+	c.lens = append(c.lens, n)
+}
+
+// replay appends the runs to a column writer.
+func (c *colRuns) replay(w *storage.ColumnWriter) error {
+	for i, v := range c.vals {
+		if err := w.AppendRun(v, c.lens[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // linenumWeights is the TPC-H LINENUM frequency: an order has 1..7 line
 // items uniformly, so P(linenum = k) ∝ 8-k. LINENUM < 7 therefore selects
 // 27/28 ≈ 96.4% of rows — the paper's fixed 96% predicate.
@@ -124,12 +175,51 @@ var linenumWeights = [LinenumMax]int64{7, 6, 5, 4, 3, 2, 1}
 // (8-k)/LinenumWeightSum, so linenum < 7 selects 27/28 of all rows.
 const LinenumWeightSum = 28
 
+// lineitemShardDays is the shipdate span of one lineitem generation shard:
+// 2526 days split into ~16 shards per RETURNFLAG group, enough morsels for
+// any worker count without fragmenting the buffers.
+const lineitemShardDays = 158
+
+// liShard is one lineitem generation unit — a (returnflag, day range) slab
+// of the sorted row space — with its buffered column runs. quantity is
+// buffered raw (one random draw per row).
+type liShard struct {
+	flag       int64
+	day0, day1 int64
+	flagRuns   colRuns
+	dateRuns   colRuns
+	lnRuns     colRuns // shared by the plain, RLE and bit-vector copies
+	qty        []int64
+}
+
 // GenerateLineitem writes the lineitem projection: rows sorted by
 // (RETURNFLAG, SHIPDATE, LINENUM), generated cell-by-cell so sorted columns
-// are emitted as runs without a sort pass.
+// are emitted as runs without a sort pass. Shards generate in parallel from
+// seed-per-shard PRNG streams and each column file is written by its own
+// task, so the files are byte-identical at every cfg.Workers.
 func GenerateLineitem(dir string, cfg Config) error {
 	n := cfg.LineitemRows()
-	pw, err := storage.NewProjectionWriter(dir, LineitemProj,
+	// RETURNFLAG shares: A≈25%, N≈50%, R≈25% (encoded 0,1,2).
+	flagRows := [3]int64{n / 4, n / 2, n - n/4 - n/2}
+	var shards []*liShard
+	for flag := int64(0); flag < 3; flag++ {
+		for day0 := int64(0); day0 < ShipdateDays; day0 += lineitemShardDays {
+			day1 := day0 + lineitemShardDays
+			if day1 > ShipdateDays {
+				day1 = ShipdateDays
+			}
+			shards = append(shards, &liShard{flag: flag, day0: day0, day1: day1})
+		}
+	}
+	workers := exec.Resolve(cfg.Workers)
+	if err := exec.Run(workers, len(shards), func(i int) error {
+		shards[i].generate(cfg, flagRows[shards[i].flag])
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	_, err := storage.WriteProjectionParallel(dir, LineitemProj,
 		[]string{ColRetflag, ColShipdate, ColLinenum},
 		[]storage.ColumnSpec{
 			{Name: ColRetflag, Encoding: encoding.RLE},
@@ -138,36 +228,48 @@ func GenerateLineitem(dir string, cfg Config) error {
 			{Name: ColLinenumRLE, Encoding: encoding.RLE},
 			{Name: ColLinenumBV, Encoding: encoding.BitVector},
 			{Name: ColQuantity, Encoding: encoding.Plain},
+		},
+		workers,
+		func(col int, w *storage.ColumnWriter) error {
+			for _, s := range shards {
+				var err error
+				switch col {
+				case 0:
+					err = s.flagRuns.replay(w)
+				case 1:
+					err = s.dateRuns.replay(w)
+				case 2, 3, 4:
+					err = s.lnRuns.replay(w)
+				default:
+					for _, q := range s.qty {
+						if err = w.Append(q); err != nil {
+							break
+						}
+					}
+				}
+				if err != nil {
+					return err
+				}
+			}
+			return nil
 		})
-	if err != nil {
-		return err
-	}
-	r := newRNG(cfg.Seed ^ 0x11ea)
-
-	// RETURNFLAG shares: A≈25%, N≈50%, R≈25% (encoded 0,1,2).
-	flagRows := [3]int64{n / 4, n / 2, n - n/4 - n/2}
-	for flag := int64(0); flag < 3; flag++ {
-		if err := emitFlagGroup(pw, r, flag, flagRows[flag]); err != nil {
-			return err
-		}
-	}
-	_, err = pw.Close()
 	return err
 }
 
-// emitFlagGroup writes one RETURNFLAG run, spreading rows uniformly over
-// the shipdate domain and, within each day, over LINENUM with the
-// triangular weights.
-func emitFlagGroup(pw *storage.ProjectionWriter, r *rng, flag, rows int64) error {
-	if rows <= 0 {
-		return nil
+// generate fills the shard's buffers: rows spread uniformly over the shard's
+// days (deterministic proportional allocation against the whole flag group)
+// and, within each day, over LINENUM with the triangular weights.
+func (s *liShard) generate(cfg Config, flagRows int64) {
+	if flagRows <= 0 {
+		return
 	}
-	// Deterministic proportional allocation of rows to days, with the
-	// remainder spread by a rotating offset so no day is systematically
-	// favored.
-	base := rows / ShipdateDays
-	rem := rows % ShipdateDays
-	for day := int64(0); day < ShipdateDays; day++ {
+	r := newRNG(cfg.Seed ^ 0x11ea ^ shardSalt(cfg.Seed, 'L', uint64(s.flag), uint64(s.day0)))
+	// The flag group's rows allocate to days independently of sharding: day
+	// counts depend only on (flagRows, day), so any shard can compute its
+	// slice of the allocation locally.
+	base := flagRows / ShipdateDays
+	rem := flagRows % ShipdateDays
+	for day := s.day0; day < s.day1; day++ {
 		cnt := base
 		if day < rem {
 			cnt++
@@ -175,22 +277,20 @@ func emitFlagGroup(pw *storage.ProjectionWriter, r *rng, flag, rows int64) error
 		if cnt == 0 {
 			continue
 		}
-		if err := emitDayGroup(pw, r, flag, day, cnt); err != nil {
-			return err
-		}
+		s.emitDay(r, day, cnt)
 	}
-	return nil
 }
 
-func emitDayGroup(pw *storage.ProjectionWriter, r *rng, flag, day, cnt int64) error {
-	// Allocate cnt rows across LINENUM values 1..7 by triangular weights.
+// emitDay allocates cnt rows across LINENUM values 1..7 by triangular
+// weights (rounding remainder distributed by weighted random draws) and
+// buffers the runs.
+func (s *liShard) emitDay(r *rng, day, cnt int64) {
 	var counts [LinenumMax]int64
 	var assigned int64
 	for l := 0; l < LinenumMax; l++ {
 		counts[l] = cnt * linenumWeights[l] / LinenumWeightSum
 		assigned += counts[l]
 	}
-	// Distribute the rounding remainder randomly (weighted draws).
 	for assigned < cnt {
 		w := r.intn(LinenumWeightSum)
 		for l := 0; l < LinenumMax; l++ {
@@ -202,40 +302,85 @@ func emitDayGroup(pw *storage.ProjectionWriter, r *rng, flag, day, cnt int64) er
 			w -= linenumWeights[l]
 		}
 	}
+	s.flagRuns.add(s.flag, cnt)
+	s.dateRuns.add(day, cnt)
 	for l := 0; l < LinenumMax; l++ {
+		s.lnRuns.add(int64(l+1), counts[l])
 		for k := int64(0); k < counts[l]; k++ {
-			if err := pw.AppendRow(flag, day, int64(l+1), int64(l+1), int64(l+1), 1+r.intn(QuantityMax)); err != nil {
-				return err
-			}
+			s.qty = append(s.qty, 1+r.intn(QuantityMax))
 		}
 	}
-	return nil
+}
+
+// rowShardSize is the row span of one orders/customer generation shard.
+const rowShardSize = 1 << 17
+
+// rowShards carves [0, n) into fixed-size shards (independent of the worker
+// count, so shard PRNG streams are carving-stable).
+func rowShards(n int64) []int64 {
+	var starts []int64
+	for s := int64(0); s < n; s += rowShardSize {
+		starts = append(starts, s)
+	}
+	if len(starts) == 0 {
+		starts = []int64{0}
+	}
+	return starts
 }
 
 // GenerateOrders writes the orders projection: CUSTKEY uniform over the
 // customer key space (so a custkey < X predicate has linear selectivity, as
-// Figure 13 requires) and an unsorted SHIPDATE payload column.
+// Figure 13 requires) and an unsorted SHIPDATE payload column. Row-range
+// shards generate in parallel from seed-per-shard streams; the two column
+// files are written by independent tasks.
 func GenerateOrders(dir string, cfg Config) error {
 	n := cfg.OrdersRows()
 	nCust := cfg.CustomerRows()
 	if nCust == 0 {
 		return fmt.Errorf("tpch: scale %v yields no customers", cfg.Scale)
 	}
-	pw, err := storage.NewProjectionWriter(dir, OrdersProj, nil,
+	starts := rowShards(n)
+	custkey := make([][]int64, len(starts))
+	shipdate := make([][]int64, len(starts))
+	workers := exec.Resolve(cfg.Workers)
+	if err := exec.Run(workers, len(starts), func(i int) error {
+		start := starts[i]
+		end := start + rowShardSize
+		if end > n {
+			end = n
+		}
+		r := newRNG(cfg.Seed ^ 0x0bde ^ shardSalt(cfg.Seed, 'O', uint64(start), 0))
+		ck := make([]int64, 0, end-start)
+		sd := make([]int64, 0, end-start)
+		for p := start; p < end; p++ {
+			ck = append(ck, r.intn(nCust))
+			sd = append(sd, r.intn(ShipdateDays))
+		}
+		custkey[i], shipdate[i] = ck, sd
+		return nil
+	}); err != nil {
+		return err
+	}
+	_, err := storage.WriteProjectionParallel(dir, OrdersProj, nil,
 		[]storage.ColumnSpec{
 			{Name: ColCustkey, Encoding: encoding.Plain},
 			{Name: ColOrderShipdate, Encoding: encoding.Plain},
+		},
+		workers,
+		func(col int, w *storage.ColumnWriter) error {
+			cols := custkey
+			if col == 1 {
+				cols = shipdate
+			}
+			for _, vals := range cols {
+				for _, v := range vals {
+					if err := w.Append(v); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
 		})
-	if err != nil {
-		return err
-	}
-	r := newRNG(cfg.Seed ^ 0x0bde)
-	for i := int64(0); i < n; i++ {
-		if err := pw.AppendRow(r.intn(nCust), r.intn(ShipdateDays)); err != nil {
-			return err
-		}
-	}
-	_, err = pw.Close()
 	return err
 }
 
@@ -244,21 +389,49 @@ func GenerateOrders(dir string, cfg Config) error {
 // nations.
 func GenerateCustomer(dir string, cfg Config) error {
 	n := cfg.CustomerRows()
-	pw, err := storage.NewProjectionWriter(dir, CustomerProj, []string{ColCustkey},
+	starts := rowShards(n)
+	nation := make([][]int64, len(starts))
+	workers := exec.Resolve(cfg.Workers)
+	if err := exec.Run(workers, len(starts), func(i int) error {
+		start := starts[i]
+		end := start + rowShardSize
+		if end > n {
+			end = n
+		}
+		r := newRNG(cfg.Seed ^ 0xc057 ^ shardSalt(cfg.Seed, 'C', uint64(start), 0))
+		nc := make([]int64, 0, end-start)
+		for p := start; p < end; p++ {
+			nc = append(nc, r.intn(Nations))
+		}
+		nation[i] = nc
+		return nil
+	}); err != nil {
+		return err
+	}
+	_, err := storage.WriteProjectionParallel(dir, CustomerProj, []string{ColCustkey},
 		[]storage.ColumnSpec{
 			{Name: ColCustkey, Encoding: encoding.Plain},
 			{Name: ColNationcode, Encoding: encoding.Plain},
+		},
+		workers,
+		func(col int, w *storage.ColumnWriter) error {
+			if col == 0 {
+				for i := int64(0); i < n; i++ {
+					if err := w.Append(i); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for _, vals := range nation {
+				for _, v := range vals {
+					if err := w.Append(v); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
 		})
-	if err != nil {
-		return err
-	}
-	r := newRNG(cfg.Seed ^ 0xc057)
-	for i := int64(0); i < n; i++ {
-		if err := pw.AppendRow(i, r.intn(Nations)); err != nil {
-			return err
-		}
-	}
-	_, err = pw.Close()
 	return err
 }
 

@@ -137,7 +137,8 @@ func Calibrate() Constants { return model.Calibrate() }
 
 // Generate writes TPC-H-shaped sample projections (lineitem, orders,
 // customer) under dir at the given scale factor (1.0 ≈ 6M lineitem rows;
-// the paper used 10.0).
+// the paper used 10.0). Generation is morsel-parallel across all CPUs;
+// output bytes are identical at every worker count.
 func Generate(dir string, scale float64, seed uint64) error {
 	return tpch.Generate(dir, tpch.Config{Scale: scale, Seed: seed})
 }
@@ -172,6 +173,15 @@ func Open(dir string, opts ...Options) (*DB, error) {
 
 // Close releases all column files.
 func (db *DB) Close() error { return db.inner.Close() }
+
+// Exec exposes the underlying executor for in-module serving layers
+// (internal/service builds and runs plans directly so it can cache them);
+// the returned executor shares this DB's buffer pool and options.
+func (db *DB) Exec() *core.Executor { return db.exec }
+
+// Storage exposes the underlying projection store for in-module serving
+// layers.
+func (db *DB) Storage() *storage.DB { return db.inner }
 
 // Projections lists the open projection names.
 func (db *DB) Projections() []string { return db.inner.ProjectionNames() }

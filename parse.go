@@ -1,0 +1,59 @@
+package matstore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseWhere parses a comma-separated predicate list such as
+// "shipdate<400,linenum<7" into filters — the WHERE syntax shared by the
+// csquery CLI and the csserve HTTP front-end. Supported operators:
+// <, <=, =, !=, >=, >.
+func ParseWhere(s string) ([]Filter, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []Filter
+	for _, part := range strings.Split(s, ",") {
+		f, err := ParsePredicateExpr(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// ParsePredicateExpr parses one "col<op>value" predicate expression.
+func ParsePredicateExpr(s string) (Filter, error) {
+	// Two-character operators first, so "<=" does not parse as "<".
+	for _, op := range []string{"<=", ">=", "!=", "<", ">", "="} {
+		i := strings.Index(s, op)
+		if i <= 0 {
+			continue
+		}
+		col := strings.TrimSpace(s[:i])
+		val, err := strconv.ParseInt(strings.TrimSpace(s[i+len(op):]), 10, 64)
+		if err != nil {
+			return Filter{}, fmt.Errorf("predicate %q: %v", s, err)
+		}
+		var p Predicate
+		switch op {
+		case "<":
+			p = LessThan(val)
+		case "<=":
+			p = AtMost(val)
+		case "=":
+			p = Equals(val)
+		case "!=":
+			p = NotEquals(val)
+		case ">=":
+			p = AtLeast(val)
+		case ">":
+			p = GreaterThan(val)
+		}
+		return Filter{Col: col, Pred: p}, nil
+	}
+	return Filter{}, fmt.Errorf("cannot parse predicate %q", s)
+}

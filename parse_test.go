@@ -1,4 +1,4 @@
-package main
+package matstore_test
 
 import (
 	"reflect"
@@ -7,7 +7,7 @@ import (
 	"matstore"
 )
 
-func TestParsePredicate(t *testing.T) {
+func TestParsePredicateExpr(t *testing.T) {
 	for _, tc := range []struct {
 		in   string
 		want matstore.Filter
@@ -20,27 +20,27 @@ func TestParsePredicate(t *testing.T) {
 		{"qty>10", matstore.Filter{Col: "qty", Pred: matstore.GreaterThan(10)}},
 		{" qty > -5 ", matstore.Filter{Col: "qty", Pred: matstore.GreaterThan(-5)}},
 	} {
-		got, err := parsePredicate(tc.in)
+		got, err := matstore.ParsePredicateExpr(tc.in)
 		if err != nil {
-			t.Errorf("parsePredicate(%q): %v", tc.in, err)
+			t.Errorf("ParsePredicateExpr(%q): %v", tc.in, err)
 			continue
 		}
 		if !reflect.DeepEqual(got, tc.want) {
-			t.Errorf("parsePredicate(%q) = %+v, want %+v", tc.in, got, tc.want)
+			t.Errorf("ParsePredicateExpr(%q) = %+v, want %+v", tc.in, got, tc.want)
 		}
 	}
 }
 
-func TestParsePredicateErrors(t *testing.T) {
+func TestParsePredicateExprErrors(t *testing.T) {
 	for _, in := range []string{"", "shipdate", "<5", "shipdate<abc", "shipdate~5"} {
-		if _, err := parsePredicate(in); err == nil {
-			t.Errorf("parsePredicate(%q) accepted", in)
+		if _, err := matstore.ParsePredicateExpr(in); err == nil {
+			t.Errorf("ParsePredicateExpr(%q) accepted", in)
 		}
 	}
 }
 
 func TestParseWhere(t *testing.T) {
-	got, err := parseWhere("a<1,b>=2")
+	got, err := matstore.ParseWhere("a<1,b>=2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,12 +49,12 @@ func TestParseWhere(t *testing.T) {
 		{Col: "b", Pred: matstore.AtLeast(2)},
 	}
 	if !reflect.DeepEqual(got, want) {
-		t.Errorf("parseWhere = %+v", got)
+		t.Errorf("ParseWhere = %+v", got)
 	}
-	if got, err := parseWhere(""); err != nil || got != nil {
+	if got, err := matstore.ParseWhere(""); err != nil || got != nil {
 		t.Errorf("empty where = %v, %v", got, err)
 	}
-	if _, err := parseWhere("a<1,junk"); err == nil {
+	if _, err := matstore.ParseWhere("a<1,junk"); err == nil {
 		t.Error("junk clause accepted")
 	}
 }
