@@ -28,12 +28,14 @@ bench:
 # snapshot (name → ns/op, allocs/op; min of 3 runs). Not part of the tier-1
 # gate — run it when touching a hot path and check in the updated
 # BENCH_PR<N>.json so the perf trajectory stays diffable.
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR6.json
 bench-json:
 	{ $(GO) test -run xxx -bench 'Filter|Gather|Extract|SumRange|And|BitmapRunIteration|Builder' \
 		-benchtime 1x -count 3 ./internal/encoding ./internal/storage ./internal/positions ; \
 	  $(GO) test -run xxx -bench 'FusedMultiPredicate' -benchtime 20x -count 3 . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkJoin(Build|Probe)$$' -benchtime 20x -count 3 . ; \
-	  $(GO) test -run xxx -bench 'BenchmarkServer(JoinBuild(Cold|Cached)|Admission8Sessions)$$' \
-		-benchtime 20x -count 3 ./internal/bench ; } \
+	  $(GO) test -run xxx -bench 'BenchmarkServer(JoinBuild(Cold|Cached)|ResultCacheHit)$$' \
+		-benchtime 20x -count 3 ./internal/bench ; \
+	  $(GO) test -run xxx -bench 'BenchmarkServerClosedLoop(Hit|Miss)$$' \
+		-benchtime 5x -count 3 ./internal/bench ; } \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_JSON)

@@ -22,11 +22,12 @@ type Advice struct {
 }
 
 // Advise predicts per-strategy costs for q over a warm buffer pool using
-// the paper's Table 2 constants, deriving all model inputs from catalog
-// statistics. The prediction is for serial (one-worker) execution; use
-// AdviseParallel for a morsel-parallel prediction.
+// the DB's current model constants (Table 2 until calibrated), deriving all
+// model inputs from catalog statistics. The prediction is for serial
+// (one-worker) execution; use AdviseParallel for a morsel-parallel
+// prediction.
 func (db *DB) Advise(projection string, q Query) (Advice, error) {
-	return db.AdviseWith(PaperConstants(), projection, q, true)
+	return db.AdviseWith(db.Constants(), projection, q, true)
 }
 
 // AdviseParallel predicts per-strategy costs for q executed morsel-parallel
@@ -40,7 +41,7 @@ func (db *DB) AdviseParallel(projection string, q Query, workers int) (Advice, e
 		return Advice{}, err
 	}
 	w := exec.Resolve(workers)
-	consts := PaperConstants()
+	consts := db.Constants()
 	adv := Advice{Costs: make(map[Strategy]Cost, len(Strategies)), Inputs: in}
 	adv.Best, _ = consts.AdviseParallel(in, w)
 	for _, s := range Strategies {
@@ -77,6 +78,55 @@ func (db *DB) AdviseWith(consts Constants, projection string, q Query, hot bool)
 		adv.Costs[s] = consts.SelectionCost(s, in)
 	}
 	return adv, nil
+}
+
+// EstimateSelectCost predicts the serial cost (µs, warm pool) of running q
+// under strategy s using the DB's current constants — the grant sizer of the
+// serving layer's admission governor calls this on every request, so it
+// derives everything from catalog statistics and reads no data. Unlike
+// Advise it accepts filterless queries (full scans: every selectivity 1).
+func (db *DB) EstimateSelectCost(projection string, q Query, s Strategy) (Cost, error) {
+	p, err := db.inner.Projection(projection)
+	if err != nil {
+		return Cost{}, err
+	}
+	if len(q.Filters) == 0 {
+		// Full scan: model both columns as the widest referenced column at
+		// selectivity 1 (positions stay fully dense).
+		name := q.GroupBy
+		for _, cand := range [][]string{q.Output, {q.AggCol}} {
+			for _, c := range cand {
+				if name == "" && c != "" {
+					name = c
+				}
+			}
+		}
+		if name == "" && len(p.Meta.Columns) > 0 {
+			name = p.Meta.Columns[0].Name
+		}
+		c, err := p.Column(name)
+		if err != nil {
+			return Cost{}, err
+		}
+		cs := columnStats(c, true)
+		in := model.SelectionInputs{
+			A: cs, B: cs, SFA: 1, SFB: 1,
+			PosRunsA: cs.Tuples, PosRunsB: cs.Tuples,
+		}
+		if q.Aggregating() {
+			in.Aggregating = true
+			in.Groups = 1
+			if g, err := p.Column(q.GroupBy); err == nil && g.Distinct() > 0 {
+				in.Groups = float64(g.Distinct())
+			}
+		}
+		return db.Constants().SelectionCost(s, in), nil
+	}
+	in, err := deriveInputs(p, q, true)
+	if err != nil {
+		return Cost{}, err
+	}
+	return db.Constants().SelectionCost(s, in), nil
 }
 
 // deriveInputs maps catalog statistics onto the model's SelectionInputs:

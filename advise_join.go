@@ -29,21 +29,50 @@ var JoinStrategies = model.JoinStrategies
 // outer key's min/max, and the matches-per-key fan-out from the inner key's
 // distinct count (exact for the paper's foreign-key join).
 func (db *DB) AdviseJoin(left, right string, q JoinQuery) (JoinAdvice, error) {
-	lp, err := db.inner.Projection(left)
+	in, err := db.deriveJoinInputs(left, right, q)
 	if err != nil {
 		return JoinAdvice{}, err
+	}
+	consts := db.Constants()
+	adv := JoinAdvice{Costs: make(map[RightStrategy]Cost, len(JoinStrategies)), Inputs: in}
+	adv.Best, _ = consts.AdviseJoin(in)
+	for _, rs := range JoinStrategies {
+		adv.Costs[rs] = consts.JoinCost(in, rs)
+	}
+	return adv, nil
+}
+
+// EstimateJoinCost predicts the end-to-end cost (µs, warm pool) of the join
+// under one inner-table strategy using the DB's current constants — the
+// catalog-statistics-only estimate the admission governor's grant sizer
+// uses.
+func (db *DB) EstimateJoinCost(left, right string, q JoinQuery, rs RightStrategy) (Cost, error) {
+	in, err := db.deriveJoinInputs(left, right, q)
+	if err != nil {
+		return Cost{}, err
+	}
+	return db.Constants().JoinCost(in, rs), nil
+}
+
+// deriveJoinInputs maps catalog statistics onto the model's JoinInputs: the
+// outer predicate's selectivity from the outer key's min/max, and the
+// matches-per-key fan-out from the inner key's distinct count.
+func (db *DB) deriveJoinInputs(left, right string, q JoinQuery) (model.JoinInputs, error) {
+	lp, err := db.inner.Projection(left)
+	if err != nil {
+		return model.JoinInputs{}, err
 	}
 	rp, err := db.inner.Projection(right)
 	if err != nil {
-		return JoinAdvice{}, err
+		return model.JoinInputs{}, err
 	}
 	leftKey, err := lp.Column(q.LeftKey)
 	if err != nil {
-		return JoinAdvice{}, err
+		return model.JoinInputs{}, err
 	}
 	rightKey, err := rp.Column(q.RightKey)
 	if err != nil {
-		return JoinAdvice{}, err
+		return model.JoinInputs{}, err
 	}
 	in := model.JoinInputs{
 		Outer:       columnStats(leftKey, true),
@@ -55,7 +84,7 @@ func (db *DB) AdviseJoin(left, right string, q JoinQuery) (JoinAdvice, error) {
 	for _, name := range q.RightOutput {
 		c, err := rp.Column(name)
 		if err != nil {
-			return JoinAdvice{}, err
+			return model.JoinInputs{}, err
 		}
 		in.Payload = append(in.Payload, columnStats(c, true))
 	}
@@ -66,12 +95,5 @@ func (db *DB) AdviseJoin(left, right string, q JoinQuery) (JoinAdvice, error) {
 	if d := rightKey.Distinct(); d > 0 {
 		in.MatchPerKey = in.Key.Tuples / float64(d)
 	}
-
-	consts := PaperConstants()
-	adv := JoinAdvice{Costs: make(map[RightStrategy]Cost, len(JoinStrategies)), Inputs: in}
-	adv.Best, _ = consts.AdviseJoin(in)
-	for _, rs := range JoinStrategies {
-		adv.Costs[rs] = consts.JoinCost(in, rs)
-	}
-	return adv, nil
+	return in, nil
 }

@@ -39,9 +39,10 @@ go run ./cmd/csquery -dir "$ci_explain_dir" -proj orders -join customer \
 	-where 'custkey<200' -advise | grep -q 'advisor chose right-'
 
 # Smoke-run the query service end to end: start csserve on the generated
-# data, issue a query, the same join twice and an explain over HTTP (using
-# the binary's built-in client so CI needs no curl), and require the
-# repeated join to hit the shared build cache.
+# data, issue queries and joins over HTTP (using the binary's built-in
+# client so CI needs no curl), and require the repeated identical query to
+# hit the result cache, a reshaped join to hit the shared build cache, and
+# a repeated identical join to be served from cached result bytes.
 go build -o "$ci_explain_dir/csserve" ./cmd/csserve
 "$ci_explain_dir/csserve" -dir "$ci_explain_dir" -addr 127.0.0.1:18977 \
 	-worker-budget 2 -max-concurrent 4 &
@@ -53,15 +54,26 @@ for i in $(seq 1 50); do
 	fi
 	sleep 0.1
 done
-"$ci_explain_dir/csserve" -post http://127.0.0.1:18977/query \
-	-data '{"projection":"lineitem","output":["shipdate","linenum"],"where":["shipdate<400","linenum<7"],"strategy":"lm-parallel"}' \
+ci_query_body='{"projection":"lineitem","output":["shipdate","linenum"],"where":["shipdate<400","linenum<7"],"strategy":"lm-parallel"}'
+"$ci_explain_dir/csserve" -post http://127.0.0.1:18977/query -data "$ci_query_body" \
 	| grep -q '"row_count"'
+"$ci_explain_dir/csserve" -post http://127.0.0.1:18977/query -data "$ci_query_body" \
+	| grep -q '"result_cache_hit":true'
 ci_join_body='{"left":"orders","right":"customer","leftkey":"custkey","rightkey":"custkey","leftout":["shipdate"],"rightout":["nationcode"],"where":["custkey<200"]}'
 "$ci_explain_dir/csserve" -post http://127.0.0.1:18977/join -data "$ci_join_body" \
 	| grep -q '"build_cache_hit":false'
-"$ci_explain_dir/csserve" -post http://127.0.0.1:18977/join -data "$ci_join_body" \
+# A different left predicate is a new result shape but the same hash side:
+# it must miss the result cache yet reuse the shared build.
+ci_join_body2='{"left":"orders","right":"customer","leftkey":"custkey","rightkey":"custkey","leftout":["shipdate"],"rightout":["nationcode"],"where":["custkey<150"]}'
+"$ci_explain_dir/csserve" -post http://127.0.0.1:18977/join -data "$ci_join_body2" \
 	| grep -q '"build_cache_hit":true'
+"$ci_explain_dir/csserve" -post http://127.0.0.1:18977/join -data "$ci_join_body" \
+	| grep -q '"result_cache_hit":true'
 "$ci_explain_dir/csserve" -post http://127.0.0.1:18977/explain -data "$ci_join_body" \
 	| grep -q 'JOINBUILD'
 "$ci_explain_dir/csserve" -get http://127.0.0.1:18977/stats \
 	| grep -q '"peak_workers_in_use":'
+
+# Smoke-run calibration: refit the Table 2 CPU constants from the mixed
+# workload's observed per-node times; the report must show the refit.
+go run ./cmd/csmodel -dir "$ci_explain_dir" -calibrate | grep -q 'calibrated over'

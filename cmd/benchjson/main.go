@@ -1,6 +1,6 @@
 // Command benchjson converts `go test -bench` text output (read from stdin)
 // into a JSON perf record: benchmark name → {ns_op, allocs_op, b_op,
-// samples}. With -count > 1 runs, the minimum ns/op across samples is kept
+// samples, p50/p95/p99 µs tail latency when the benchmark reports them}. With -count > 1 runs, the minimum ns/op across samples is kept
 // (the least-noise estimate on a shared CI box) along with every sample, so
 // BENCH_<PR>.json files checked in per PR form a perf trajectory that can be
 // diffed mechanically.
@@ -24,13 +24,20 @@ import (
 //
 //	BenchmarkFilterPlain-4   	     300	     47420 ns/op	    8768 B/op	       4 allocs/op
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) model_ms/op)?(?:\s+([0-9]+) B/op)?(?:\s+([0-9]+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) model_ms/op)?(?:\s+[0-9.]+ p\d+_us)*(?:\s+([0-9]+) B/op)?(?:\s+([0-9]+) allocs/op)?`)
+
+// metricRe pulls testing.B.ReportMetric outputs such as `123 p95_us` off the
+// same line (order-independent; ReportMetric units sort alphabetically).
+var metricRe = regexp.MustCompile(`\s([0-9.]+) (p50_us|p95_us|p99_us)`)
 
 // Entry is the recorded result for one benchmark.
 type Entry struct {
 	NsOp     float64   `json:"ns_op"`               // minimum across samples
 	AllocsOp *int64    `json:"allocs_op,omitempty"` // from the min-ns sample
 	BOp      *int64    `json:"b_op,omitempty"`
+	P50US    *float64  `json:"p50_us,omitempty"` // tail latency, min-ns sample
+	P95US    *float64  `json:"p95_us,omitempty"`
+	P99US    *float64  `json:"p99_us,omitempty"`
 	Samples  []float64 `json:"samples_ns_op"`
 }
 
@@ -68,6 +75,20 @@ func main() {
 			if m[5] != "" {
 				a, _ := strconv.ParseInt(m[5], 10, 64)
 				e.AllocsOp = &a
+			}
+			for _, mm := range metricRe.FindAllStringSubmatch(line, -1) {
+				v, err := strconv.ParseFloat(mm[1], 64)
+				if err != nil {
+					continue
+				}
+				switch mm[2] {
+				case "p50_us":
+					e.P50US = &v
+				case "p95_us":
+					e.P95US = &v
+				case "p99_us":
+					e.P99US = &v
+				}
 			}
 		}
 	}

@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	csmodel                      # paper constants, paper-sized columns
-//	csmodel -calibrate           # constants measured on this host
-//	csmodel -dir ./data -enc rle # derive column stats from a real dataset
+//	csmodel                        # paper constants, paper-sized columns
+//	csmodel -measure               # constants micro-measured on this host
+//	csmodel -dir ./data -calibrate # constants refit by least squares over
+//	                               # the mixed workload's observed node times
+//	csmodel -dir ./data -enc rle   # derive column stats from a real dataset
 package main
 
 import (
@@ -29,14 +31,15 @@ func main() {
 	dir := flag.String("dir", "", "derive column statistics from a dataset directory (optional)")
 	scale := flag.Float64("scale", 0.04, "scale for -dir generation if missing")
 	encFlag := flag.String("enc", "rle", "LINENUM encoding for -dir stats: plain|rle|bv")
-	calibrate := flag.Bool("calibrate", false, "measure constants on this host instead of Table 2 values")
+	calibrate := flag.Bool("calibrate", false, "refit constants by least squares over the mixed workload's observed per-node times (needs -dir, generated at -scale if missing)")
+	measure := flag.Bool("measure", false, "micro-measure constants on this host instead of Table 2 values")
 	agg := flag.Bool("agg", false, "model the aggregation query instead of the selection")
 	flag.Parse()
 
 	consts := matstore.PaperConstants()
-	if *calibrate {
+	if *measure {
 		consts = matstore.Calibrate()
-		fmt.Printf("calibrated constants: BIC=%.4f TICTUP=%.4f TICCOL=%.4f FC=%.4f µs\n\n",
+		fmt.Printf("measured constants: BIC=%.4f TICTUP=%.4f TICCOL=%.4f FC=%.4f µs\n\n",
 			consts.BIC, consts.TICTUP, consts.TICCOL, consts.FC)
 	}
 
@@ -58,6 +61,35 @@ func main() {
 			}
 			return in
 		}
+	}
+
+	if *calibrate {
+		if *dir == "" {
+			log.Fatal("-calibrate refits from executed queries and needs -dir")
+		}
+		db, err := matstore.Open(*dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer db.Close()
+		db.SetConstants(consts)
+		nCust := int64(0)
+		if p, err := db.Storage().Projection(tpch.CustomerProj); err == nil {
+			if c, err := p.Column(tpch.ColCustkey); err == nil {
+				nCust = c.TupleCount()
+			}
+		}
+		rep, err := bench.CalibrateDB(db, bench.MixedWorkload(nCust))
+		if err != nil {
+			log.Fatal(err)
+		}
+		consts = db.Constants()
+		fmt.Printf("calibrated over %d node observations: rms modeled-vs-observed error %.1fµs -> %.1fµs\n",
+			rep.Observations, rep.PriorErrUS, rep.FittedErrUS)
+		fmt.Printf("  prior:  BIC=%.4f TICTUP=%.4f TICCOL=%.4f FC=%.4f µs\n",
+			rep.Prior.BIC, rep.Prior.TICTUP, rep.Prior.TICCOL, rep.Prior.FC)
+		fmt.Printf("  fitted: BIC=%.4f TICTUP=%.4f TICCOL=%.4f FC=%.4f µs\n\n",
+			rep.Fitted.BIC, rep.Fitted.TICTUP, rep.Fitted.TICCOL, rep.Fitted.FC)
 	}
 
 	kind := "selection"

@@ -1,11 +1,12 @@
 // Command csserve serves a generated database over HTTP: the concurrent
-// query service of internal/service (admission-controlled sessions, shared
-// join-build and plan caches, fair-share worker derating) behind JSON
-// endpoints.
+// query service of internal/service (admission-controlled sessions with
+// cost-sized worker grants, a result cache in front of the shared join-build
+// and plan caches) behind JSON endpoints. SIGINT/SIGTERM shut down
+// gracefully, draining in-flight sessions.
 //
 // Usage:
 //
-//	csserve -dir ./data -addr :8088 -worker-budget 4 -max-concurrent 8
+//	csserve -dir ./data -addr :8088 -worker-budget 4 -max-concurrent 8 -calibrate
 //
 //	curl -s localhost:8088/query -d '{"projection":"lineitem",
 //	     "output":["shipdate","linenum"], "where":["shipdate<400"],
@@ -22,15 +23,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"matstore"
+	"matstore/internal/bench"
 	"matstore/internal/service"
 )
 
@@ -43,6 +49,9 @@ func main() {
 	maxConc := flag.Int("max-concurrent", 0, "admission limit; requests past it queue (0 = 2x budget)")
 	buildMB := flag.Int64("build-cache-mb", 0, "join-build cache budget in MiB (0 = 64, negative = disabled)")
 	planEntries := flag.Int("plan-cache", 0, "plan cache entries (0 = 256, negative = disabled)")
+	resultMB := flag.Int64("result-cache-mb", 0, "result cache budget in MiB (0 = 32, negative = disabled)")
+	sliceUS := flag.Float64("grant-slice-us", 0, "modeled µs one worker absorbs when sizing grants (0 = 100, negative = fair-share only)")
+	calibrate := flag.Bool("calibrate", false, "refit the cost-model constants to this machine from the mixed workload before serving")
 	get := flag.String("get", "", "client mode: GET this URL, print the body, exit")
 	post := flag.String("post", "", "client mode: POST -data to this URL, print the body, exit")
 	data := flag.String("data", "", "client mode: POST body for -post")
@@ -61,20 +70,72 @@ func main() {
 	}
 	defer db.Close()
 
+	if *calibrate {
+		rep, err := bench.CalibrateDB(db, bench.MixedWorkload(customerRows(db)))
+		if err != nil {
+			log.Fatalf("calibrate: %v", err)
+		}
+		log.Printf("calibrated over %d observations: rms error %.1fµs -> %.1fµs (BIC=%.4f TICTUP=%.4f TICCOL=%.4f FC=%.4f)",
+			rep.Observations, rep.PriorErrUS, rep.FittedErrUS,
+			rep.Fitted.BIC, rep.Fitted.TICTUP, rep.Fitted.TICCOL, rep.Fitted.FC)
+	}
+
 	buildBytes := *buildMB
 	if buildBytes > 0 {
 		buildBytes <<= 20
+	}
+	resultBytes := *resultMB
+	if resultBytes > 0 {
+		resultBytes <<= 20
 	}
 	srv := service.New(db, service.Config{
 		MaxConcurrent:    *maxConc,
 		WorkerBudget:     *budget,
 		BuildCacheBytes:  buildBytes,
 		PlanCacheEntries: *planEntries,
+		ResultCacheBytes: resultBytes,
+		GrantSliceMicros: *sliceUS,
 	})
 	cfg := srv.Config()
 	log.Printf("serving %s on %s (worker budget %d, admission limit %d, projections %v)",
 		*dir, *addr, cfg.WorkerBudget, cfg.MaxConcurrent, db.Projections())
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case sig := <-sigCh:
+		log.Printf("received %v, draining in-flight sessions", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		st := srv.Stats()
+		log.Printf("drained: %d queries served (admitted %d, result-cache hits %d)",
+			st.Queries, st.Admission.Admitted, st.ResultCache.Hits)
+	}
+}
+
+// customerRows reads the customer cardinality for the workload's join
+// predicate scaling (falls back to the service-test default when the
+// projection is missing).
+func customerRows(db *matstore.DB) int64 {
+	if p, err := db.Storage().Projection("customer"); err == nil && len(p.Meta.Columns) > 0 {
+		if c, err := p.Column(p.Meta.Columns[0].Name); err == nil {
+			return c.TupleCount()
+		}
+	}
+	return 300
 }
 
 // client is the curl-free HTTP helper for scripts: one GET or POST, body to

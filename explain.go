@@ -3,6 +3,7 @@ package matstore
 import (
 	"fmt"
 
+	"matstore/internal/model"
 	"matstore/internal/plan"
 )
 
@@ -29,6 +30,17 @@ type Explanation struct {
 	JoinStats *JoinStats
 	// Result is the query result produced by the explain run.
 	Result *Result
+	// Constants are the model constants the annotation used (the DB's
+	// current constants at explain time).
+	Constants Constants
+}
+
+// Observations extracts the calibration observations of the explained run:
+// one (model feature vector, observed self-time) pair per executed plan
+// node. Feed batches of these to FitConstants to refit the model's CPU
+// constants to this machine.
+func (ex *Explanation) Observations() []Observation {
+	return model.CollectObservations(ex.Plan, ex.Constants)
 }
 
 // String renders the explanation: the node tree followed by the modeled
@@ -63,19 +75,21 @@ func (db *DB) Explain(projection string, q Query, s Strategy) (*Explanation, err
 	if err != nil {
 		return nil, err
 	}
-	PaperConstants().AnnotatePlan(pl, true)
+	consts := db.Constants()
+	consts.AnnotatePlan(pl, true)
 	res, stats, err := db.exec.RunPlan(pl, s, q.Parallelism, true)
 	if err != nil {
 		return nil, err
 	}
 	total := pl.ModeledTotal()
 	return &Explanation{
-		Strategy: s,
-		Plan:     pl,
-		Tree:     pl.Render(),
-		Modeled:  Cost{CPU: total.CPU, IO: total.IO},
-		Stats:    stats,
-		Result:   res,
+		Strategy:  s,
+		Plan:      pl,
+		Tree:      pl.Render(),
+		Modeled:   Cost{CPU: total.CPU, IO: total.IO},
+		Stats:     stats,
+		Result:    res,
+		Constants: consts,
 	}, nil
 }
 
@@ -98,7 +112,8 @@ func (db *DB) ExplainJoin(left, right string, q JoinQuery, rs RightStrategy) (*E
 	if err != nil {
 		return nil, err
 	}
-	PaperConstants().AnnotatePlan(pl, true)
+	consts := db.Constants()
+	consts.AnnotatePlan(pl, true)
 	res, stats, err := db.exec.RunJoinPlan(pl, q.Parallelism, true)
 	if err != nil {
 		return nil, err
@@ -112,5 +127,6 @@ func (db *DB) ExplainJoin(left, right string, q JoinQuery, rs RightStrategy) (*E
 		Stats:     &stats.Stats,
 		JoinStats: stats,
 		Result:    res,
+		Constants: consts,
 	}, nil
 }

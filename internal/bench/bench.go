@@ -417,7 +417,7 @@ func seriesName(rs operators.RightStrategy) string {
 // Table2 re-measures the analytical-model constants on this host and
 // returns them alongside the paper's values for comparison.
 func Table2() (host, paper model.Constants) {
-	return model.Calibrate(), model.Paper
+	return model.MeasureConstants(), model.Paper
 }
 
 // RenderTable2 prints the Table 2 comparison.

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"matstore"
+	"matstore/internal/service"
+)
+
+// TestCalibrationReducesError is the closed-loop acceptance test: refitting
+// the cost-model constants from the mixed workload's observed per-node times
+// must reduce the total modeled-vs-observed error relative to the paper's
+// Table 2 constants, install the fit on the DB, and leave the serving path
+// fully functional (the closed loop still passes its differential-checked
+// execution under the new constants and cost-sized grants).
+func TestCalibrationReducesError(t *testing.T) {
+	e := testEnv(t)
+	e.Close()
+	db, err := matstore.Open(envDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if db.Constants() != matstore.PaperConstants() {
+		t.Fatalf("fresh DB not on paper constants: %+v", db.Constants())
+	}
+	reqs := MixedWorkload(300)
+	rep, err := CalibrateDB(db, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Observations < 10 {
+		t.Fatalf("workload yielded only %d observations", rep.Observations)
+	}
+	if rep.Prior != matstore.PaperConstants() {
+		t.Errorf("calibration prior is not the paper constants: %+v", rep.Prior)
+	}
+	if rep.FittedErrUS >= rep.PriorErrUS {
+		t.Errorf("calibration did not reduce modeled-vs-observed error: %.1fµs -> %.1fµs",
+			rep.PriorErrUS, rep.FittedErrUS)
+	}
+	if db.Constants() != rep.Fitted {
+		t.Error("CalibrateDB did not install the fitted constants")
+	}
+	for _, v := range []float64{
+		rep.Fitted.BIC, rep.Fitted.TICTUP, rep.Fitted.TICCOL, rep.Fitted.FC,
+	} {
+		if v <= 0 {
+			t.Errorf("fitted constant not positive: %+v", rep.Fitted)
+		}
+	}
+
+	// The serving path runs on the fit: advisors, estimates and grants all
+	// consume db.Constants() — one closed-loop pass must still succeed.
+	srv := service.New(db, service.Config{WorkerBudget: 2, MaxConcurrent: 4})
+	stats, err := RunClosedLoop(context.Background(), srv, 2, 1, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(2 * len(reqs)); stats.Requests != want {
+		t.Errorf("closed loop under calibrated constants ran %d requests, want %d", stats.Requests, want)
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -10,12 +11,14 @@ import (
 )
 
 // Server-path benchmarks for the perf snapshot (make bench-json →
-// BENCH_PR5.json): the cold vs cached join build isolates what the shared
-// build cache saves per query, and the admission benchmark measures
-// closed-loop mixed-workload throughput under 8 concurrent sessions on one
-// worker budget.
+// BENCH_PR6.json): the cold vs cached join build isolates what the shared
+// build cache saves per query, the result-cache pair isolates what serving a
+// repeated query from cached bytes saves over re-executing it, and the
+// closed-loop benchmarks measure mixed-workload throughput and tail latency
+// under 8 concurrent sessions on one worker budget, with and without the
+// result cache absorbing repeats.
 
-func benchServer(b *testing.B, caches bool) *service.Server {
+func benchServerCfg(b *testing.B, cfg service.Config) *service.Server {
 	b.Helper()
 	envOnce.Do(func() {
 		envDir, envErr = os.MkdirTemp("", "matstore-bench-test")
@@ -34,12 +37,21 @@ func benchServer(b *testing.B, caches bool) *service.Server {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { db.Close() })
+	return service.New(db, cfg)
+}
+
+func benchServer(b *testing.B, caches bool) *service.Server {
 	cfg := service.Config{WorkerBudget: 2, MaxConcurrent: 8}
 	if !caches {
 		cfg.BuildCacheBytes = -1
 		cfg.PlanCacheEntries = -1
+		cfg.ResultCacheBytes = -1
+	} else {
+		// The execution-cache benchmarks measure plan/build reuse; the result
+		// cache would short-circuit the very execution being measured.
+		cfg.ResultCacheBytes = -1
 	}
-	return service.New(db, cfg)
+	return benchServerCfg(b, cfg)
 }
 
 func benchJoin() matstore.JoinQuery {
@@ -57,10 +69,11 @@ func benchJoin() matstore.JoinQuery {
 func BenchmarkServerJoinBuildCold(b *testing.B) {
 	srv := benchServer(b, false)
 	sess := srv.NewSession()
+	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sess.Join(tpch.OrdersProj, tpch.CustomerProj, benchJoin(), matstore.RightMaterialized); err != nil {
+		if _, err := sess.Join(ctx, tpch.OrdersProj, tpch.CustomerProj, benchJoin(), matstore.RightMaterialized); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -72,13 +85,14 @@ func BenchmarkServerJoinBuildCold(b *testing.B) {
 func BenchmarkServerJoinBuildCached(b *testing.B) {
 	srv := benchServer(b, true)
 	sess := srv.NewSession()
-	if _, err := sess.Join(tpch.OrdersProj, tpch.CustomerProj, benchJoin(), matstore.RightMaterialized); err != nil {
+	ctx := context.Background()
+	if _, err := sess.Join(ctx, tpch.OrdersProj, tpch.CustomerProj, benchJoin(), matstore.RightMaterialized); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := sess.Join(tpch.OrdersProj, tpch.CustomerProj, benchJoin(), matstore.RightMaterialized)
+		out, err := sess.Join(ctx, tpch.OrdersProj, tpch.CustomerProj, benchJoin(), matstore.RightMaterialized)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -88,17 +102,57 @@ func BenchmarkServerJoinBuildCached(b *testing.B) {
 	}
 }
 
-// BenchmarkServerAdmission8Sessions: one closed-loop pass of the mixed
-// workload by 8 concurrent sessions through admission control on a 2-worker
-// budget (queries queue and derate).
-func BenchmarkServerAdmission8Sessions(b *testing.B) {
-	srv := benchServer(b, true)
-	reqs := MixedWorkload(300)
+// BenchmarkServerResultCacheHit: the same join answered from the result
+// cache — no admission, no workers, no probe.
+func BenchmarkServerResultCacheHit(b *testing.B) {
+	srv := benchServerCfg(b, service.Config{WorkerBudget: 2, MaxConcurrent: 8})
+	sess := srv.NewSession()
+	ctx := context.Background()
+	if _, err := sess.Join(ctx, tpch.OrdersProj, tpch.CustomerProj, benchJoin(), matstore.RightMaterialized); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunClosedLoop(srv, 8, 1, reqs); err != nil {
+		out, err := sess.Join(ctx, tpch.OrdersProj, tpch.CustomerProj, benchJoin(), matstore.RightMaterialized)
+		if err != nil {
 			b.Fatal(err)
 		}
+		if !out.Info.ResultCacheHit {
+			b.Fatal("repeated join missed the result cache")
+		}
 	}
+}
+
+// runClosedLoopBench drives 8 sessions × 2 rounds of the mix and reports
+// tail latency alongside ns/op.
+func runClosedLoopBench(b *testing.B, srv *service.Server) {
+	reqs := MixedWorkload(300)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last WorkloadStats
+	for i := 0; i < b.N; i++ {
+		stats, err := RunClosedLoop(ctx, srv, 8, 2, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = stats
+	}
+	b.ReportMetric(float64(last.P50.Microseconds()), "p50_us")
+	b.ReportMetric(float64(last.P95.Microseconds()), "p95_us")
+	b.ReportMetric(float64(last.P99.Microseconds()), "p99_us")
+}
+
+// BenchmarkServerClosedLoopMiss: closed-loop mixed workload with the result
+// cache disabled — every repeat re-executes (the admission-bound baseline).
+func BenchmarkServerClosedLoopMiss(b *testing.B) {
+	runClosedLoopBench(b, benchServer(b, true))
+}
+
+// BenchmarkServerClosedLoopHit: the same closed loop with the result cache
+// on — after the first pass over the mix, repeats are served from cached
+// bytes without admission.
+func BenchmarkServerClosedLoopHit(b *testing.B) {
+	runClosedLoopBench(b, benchServerCfg(b, service.Config{WorkerBudget: 2, MaxConcurrent: 8}))
 }

@@ -4,13 +4,16 @@
 // selectivities — through a service.Server with N concurrent closed-loop
 // sessions. The service differential suite replays the same mix
 // request-by-request against serial single-query execution; the server-path
-// benchmarks drive it for throughput numbers.
+// benchmarks drive it for throughput and tail-latency numbers; the same mix
+// executed serially under EXPLAIN yields the observations CalibrateDB refits
+// the cost-model constants from.
 package bench
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"matstore"
@@ -36,15 +39,15 @@ type Request struct {
 
 // Run executes the request through a server session (parallelism as granted
 // by the admission governor) and returns the result with the service info.
-func (r Request) Run(sess *service.Session) (*matstore.Result, service.Info, error) {
+func (r Request) Run(ctx context.Context, sess *service.Session) (*matstore.Result, service.Info, error) {
 	if r.IsJoin {
-		out, err := sess.Join(r.Left, r.Right, r.JoinQuery, r.RightStrategy)
+		out, err := sess.Join(ctx, r.Left, r.Right, r.JoinQuery, r.RightStrategy)
 		if err != nil {
 			return nil, service.Info{}, err
 		}
 		return out.Res, out.Info, nil
 	}
-	out, err := sess.Select(r.Projection, r.Query, r.Strategy)
+	out, err := sess.Select(ctx, r.Projection, r.Query, r.Strategy)
 	if err != nil {
 		return nil, service.Info{}, err
 	}
@@ -65,6 +68,40 @@ func (r Request) RunSerial(db *matstore.DB) (*matstore.Result, error) {
 	q.Parallelism = 1
 	res, _, err := db.Select(r.Projection, q, r.Strategy)
 	return res, err
+}
+
+// Explain executes the request serially under EXPLAIN (per-node observation
+// on) — the calibration path: serial execution keeps each node's observed
+// self-time comparable to the model's one-worker prediction.
+func (r Request) Explain(db *matstore.DB) (*matstore.Explanation, error) {
+	if r.IsJoin {
+		q := r.JoinQuery
+		q.Parallelism = 1
+		return db.ExplainJoin(r.Left, r.Right, q, r.RightStrategy)
+	}
+	q := r.Query
+	q.Parallelism = 1
+	return db.Explain(r.Projection, q, r.Strategy)
+}
+
+// CalibrateDB refits the DB's cost-model CPU constants from the workload:
+// every request is explained serially, the per-node (feature vector,
+// observed time) observations are pooled, FitConstants solves for the
+// constants that minimize modeled-vs-observed error (never worse than the
+// current constants on this pool), and the fit is installed on the DB for
+// every subsequent advisor call, EXPLAIN annotation and admission grant.
+func CalibrateDB(db *matstore.DB, reqs []Request) (matstore.CalibrationReport, error) {
+	var obs []matstore.Observation
+	for _, r := range reqs {
+		ex, err := r.Explain(db)
+		if err != nil {
+			return matstore.CalibrationReport{}, fmt.Errorf("%s: %w", r.Name, err)
+		}
+		obs = append(obs, ex.Observations()...)
+	}
+	fitted, rep := matstore.FitConstants(obs, db.Constants())
+	db.SetConstants(fitted)
+	return rep, nil
 }
 
 // MixedWorkload builds the standard mix over the generated TPC-H-shaped
@@ -132,20 +169,24 @@ func MixedWorkload(nCust int64) []Request {
 
 // WorkloadStats aggregates one closed-loop run.
 type WorkloadStats struct {
-	Requests       int64
-	PlanCacheHits  int64
-	BuildCacheHits int64
-	Wall           time.Duration
+	Requests        int64
+	ResultCacheHits int64
+	PlanCacheHits   int64
+	BuildCacheHits  int64
+	Wall            time.Duration
+	// Per-request latency distribution tail.
+	P50, P95, P99 time.Duration
 }
 
 // RunClosedLoop replays the mix through the server: sessions concurrent
 // closed-loop clients each perform rounds full passes over reqs, starting at
 // staggered offsets so different request shapes overlap in flight. The first
-// error aborts the run.
-func RunClosedLoop(srv *service.Server, sessions, rounds int, reqs []Request) (WorkloadStats, error) {
+// error aborts the run; cancelling ctx aborts queued requests.
+func RunClosedLoop(ctx context.Context, srv *service.Server, sessions, rounds int, reqs []Request) (WorkloadStats, error) {
 	var stats WorkloadStats
-	var planHits, buildHits, count atomic.Int64
 	errs := make([]error, sessions)
+	lats := make([][]time.Duration, sessions)
+	infos := make([]WorkloadStats, sessions)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < sessions; c++ {
@@ -157,17 +198,22 @@ func RunClosedLoop(srv *service.Server, sessions, rounds int, reqs []Request) (W
 			for round := 0; round < rounds; round++ {
 				for i := range reqs {
 					req := reqs[(off+i)%len(reqs)]
-					_, info, err := req.Run(sess)
+					t := time.Now()
+					_, info, err := req.Run(ctx, sess)
 					if err != nil {
 						errs[c] = fmt.Errorf("%s: %w", req.Name, err)
 						return
 					}
-					count.Add(1)
+					lats[c] = append(lats[c], time.Since(t))
+					infos[c].Requests++
+					if info.ResultCacheHit {
+						infos[c].ResultCacheHits++
+					}
 					if info.PlanCacheHit {
-						planHits.Add(1)
+						infos[c].PlanCacheHits++
 					}
 					if info.BuildCacheHit {
-						buildHits.Add(1)
+						infos[c].BuildCacheHits++
 					}
 				}
 			}
@@ -175,13 +221,39 @@ func RunClosedLoop(srv *service.Server, sessions, rounds int, reqs []Request) (W
 	}
 	wg.Wait()
 	stats.Wall = time.Since(start)
-	stats.Requests = count.Load()
-	stats.PlanCacheHits = planHits.Load()
-	stats.BuildCacheHits = buildHits.Load()
+	var all []time.Duration
+	for c := range infos {
+		stats.Requests += infos[c].Requests
+		stats.ResultCacheHits += infos[c].ResultCacheHits
+		stats.PlanCacheHits += infos[c].PlanCacheHits
+		stats.BuildCacheHits += infos[c].BuildCacheHits
+		all = append(all, lats[c]...)
+	}
+	stats.P50, stats.P95, stats.P99 = percentiles(all)
 	for _, err := range errs {
 		if err != nil {
 			return stats, err
 		}
 	}
 	return stats, nil
+}
+
+// percentiles returns the p50/p95/p99 of the latency sample (zeros when
+// empty) using the nearest-rank method.
+func percentiles(lats []time.Duration) (p50, p95, p99 time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rank := func(p float64) time.Duration {
+		i := int(p*float64(len(lats))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return lats[i]
+	}
+	return rank(0.50), rank(0.95), rank(0.99)
 }

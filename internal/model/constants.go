@@ -63,12 +63,14 @@ func Micros(us float64) time.Duration { return time.Duration(us * float64(time.M
 //go:noinline
 func sink(x int64) int64 { return x + 1 }
 
-// Calibrate measures BIC, TICTUP, TICCOL and FC on the host machine by
-// running the small code segments each constant stands for (as the paper
+// MeasureConstants measures BIC, TICTUP, TICCOL and FC on the host machine
+// by running the small code segments each constant stands for (as the paper
 // did: "obtained by running the small segments of code that only performed
 // the variable in question"). SEEK/READ/PF keep their Table 2 defaults
-// since experiments run through the OS page cache.
-func Calibrate() Constants {
+// since experiments run through the OS page cache. Calibrate (calibrate.go)
+// is the complementary top-down refit: it fits the same constants to whole
+// observed executions instead of isolated micro-segments.
+func MeasureConstants() Constants {
 	c := Default()
 	c.FC = measureFC()
 	c.TICCOL = measureTICCOL()

@@ -192,8 +192,8 @@ func TestEstimatePosRuns(t *testing.T) {
 	}
 }
 
-func TestCalibrateProducesSaneConstants(t *testing.T) {
-	c := Calibrate()
+func TestMeasureConstantsProducesSaneConstants(t *testing.T) {
+	c := MeasureConstants()
 	for name, v := range map[string]float64{
 		"BIC": c.BIC, "TICTUP": c.TICTUP, "TICCOL": c.TICCOL, "FC": c.FC,
 	} {

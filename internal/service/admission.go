@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+	"math"
 	"sync"
 	"time"
 
@@ -11,11 +13,19 @@ import (
 // arbiter. Admission bounds how many requests are in flight at once
 // (requests past the limit queue FIFO-ish on the monitor); the worker
 // budget is the global exec pool allowance divided across the in-flight
-// queries. Each admitted query is granted a derated parallelism — its fair
-// share of the budget at admission time, clamped so the sum of grants NEVER
-// exceeds the budget — which it passes to plan.Plan.Run as the morsel worker
-// count. A query that cannot get even one worker waits for a release, so P
-// concurrent queries never oversubscribe the pool.
+// queries. Each admitted query is granted a derated parallelism which it
+// passes to plan.Plan.Run as the morsel worker count; the grant is clamped
+// so the sum of grants NEVER exceeds the budget. A query that cannot get
+// even one worker waits for a release, so P concurrent queries never
+// oversubscribe the pool.
+//
+// Grant sizing is workload-aware: when the caller supplies the analytical
+// model's cost estimate, the desired width is ceil(cost / GrantSliceMicros)
+// — a predicted-big scan asks for many workers, a point lookup for one —
+// clamped to [1, budget]. Without an estimate the desired width falls back
+// to the uniform fair share of the budget. Either way the final grant is
+// min(requested, desired, workers free), which is what keeps the sum of
+// grants provably within the budget.
 type governor struct {
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -24,37 +34,79 @@ type governor struct {
 	budget int // global worker budget
 	inUse  int // workers currently granted
 	// inflight counts admitted queries (holding or awaiting workers) — the
-	// denominator of the fair share.
+	// denominator of the fair-share fallback.
 	inflight int
+	// sliceUS is the modeled-µs-per-worker slice of cost-aware grant sizing
+	// (<= 0 disables it; the fair share is used for every request).
+	sliceUS float64
 
 	// Counters (guarded by mu; snapshot via snapshot()).
-	admitted, completed       int64
-	queuedAdmission           int64
-	queuedWorkers             int64
-	grantsSum                 int64
-	maxInflight, peakInUse    int
-	queuedNanos, runningNanos int64
+	admitted, completed, aborted int64
+	queuedAdmission              int64
+	queuedWorkers                int64
+	grantsSum                    int64
+	maxInflight, peakInUse       int
+	// Wait time is accumulated per cond.Wait episode — a request that never
+	// blocks contributes exactly zero, however long the mutex handoff took.
+	admissionWaitNanos int64
+	workerWaitNanos    int64
+	runningNanos       int64
 }
 
-func newGovernor(maxConcurrent, budget int) *governor {
-	g := &governor{slots: maxConcurrent, budget: budget}
+func newGovernor(maxConcurrent, budget int, sliceUS float64) *governor {
+	g := &governor{slots: maxConcurrent, budget: budget, sliceUS: sliceUS}
 	g.cond = sync.NewCond(&g.mu)
 	return g
 }
 
+// admitInfo describes one successful admission.
+type admitInfo struct {
+	// Grant is the granted (derated) morsel parallelism.
+	Grant int
+	// AdmissionWait and WorkerWait are the time actually spent blocked in
+	// cond.Wait at each stage (zero when the request never queued).
+	AdmissionWait time.Duration
+	WorkerWait    time.Duration
+}
+
 // admit blocks until an admission slot and at least one worker are free,
-// then grants the query its derated parallelism: min(requested, fair share
-// of the budget, workers still unclaimed). want <= 0 requests the full fair
-// share (the "auto" parallelism of Query.Parallelism). It returns the grant
-// and the release closure the query must defer.
-func (g *governor) admit(want int) (grant int, release func(), queued time.Duration) {
-	start := time.Now()
+// then grants the query its derated parallelism. want <= 0 requests the full
+// desired width (the "auto" parallelism of Query.Parallelism); costUS is the
+// analytical model's total cost estimate for the request (<= 0 when
+// unavailable). Cancelling ctx aborts the wait at either stage with ctx's
+// error and undoes all accounting; on success the caller must defer release.
+func (g *governor) admit(ctx context.Context, want int, costUS float64) (info admitInfo, release func(), err error) {
+	if err = ctx.Err(); err != nil {
+		return info, nil, err
+	}
+	// A cancel must kick every waiter off the monitor so the cancelled one
+	// can observe ctx.Err; Broadcast is cheap and wrong-wakeups re-check
+	// their predicates.
+	stop := context.AfterFunc(ctx, func() {
+		g.mu.Lock()
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	})
+	defer stop()
+
 	g.mu.Lock()
 	if g.slots == 0 {
 		g.queuedAdmission++
 		for g.slots == 0 {
+			if err = ctx.Err(); err != nil {
+				g.mu.Unlock()
+				return info, nil, err
+			}
+			t := time.Now()
 			g.cond.Wait()
+			w := time.Since(t)
+			info.AdmissionWait += w
+			g.admissionWaitNanos += w.Nanoseconds()
 		}
+	}
+	if err = ctx.Err(); err != nil {
+		g.mu.Unlock()
+		return info, nil, err
 	}
 	g.slots--
 	g.admitted++
@@ -66,13 +118,38 @@ func (g *governor) admit(want int) (grant int, release func(), queued time.Durat
 	if g.inUse >= g.budget {
 		g.queuedWorkers++
 		for g.inUse >= g.budget {
+			if err = ctx.Err(); err != nil {
+				// Undo admission: the slot goes back and the request counts
+				// as aborted, not completed.
+				g.slots++
+				g.inflight--
+				g.admitted--
+				g.aborted++
+				g.cond.Broadcast()
+				g.mu.Unlock()
+				return info, nil, err
+			}
+			t := time.Now()
 			g.cond.Wait()
+			w := time.Since(t)
+			info.WorkerWait += w
+			g.workerWaitNanos += w.Nanoseconds()
 		}
 	}
 	if want <= 0 || want > g.budget {
 		want = g.budget
 	}
-	grant = exec.Share(g.budget, g.inflight)
+	desired := exec.Share(g.budget, g.inflight)
+	if costUS > 0 && g.sliceUS > 0 {
+		desired = int(math.Ceil(costUS / g.sliceUS))
+		if desired < 1 {
+			desired = 1
+		}
+		if desired > g.budget {
+			desired = g.budget
+		}
+	}
+	grant := desired
 	if grant > want {
 		grant = want
 	}
@@ -84,8 +161,8 @@ func (g *governor) admit(want int) (grant int, release func(), queued time.Durat
 		g.peakInUse = g.inUse
 	}
 	g.grantsSum += int64(grant)
-	queued = time.Since(start)
-	g.queuedNanos += queued.Nanoseconds()
+	info.Grant = grant
+	granted := time.Now()
 	g.mu.Unlock()
 
 	var once sync.Once
@@ -96,19 +173,21 @@ func (g *governor) admit(want int) (grant int, release func(), queued time.Durat
 			g.inflight--
 			g.slots++
 			g.completed++
-			g.runningNanos += time.Since(start).Nanoseconds() - queued.Nanoseconds()
+			g.runningNanos += time.Since(granted).Nanoseconds()
 			g.cond.Broadcast()
 			g.mu.Unlock()
 		})
 	}
-	return grant, release, queued
+	return info, release, nil
 }
 
 // AdmissionStats is a snapshot of the governor's counters.
 type AdmissionStats struct {
-	// Admitted and Completed count requests through the gate.
+	// Admitted and Completed count requests through the gate; Aborted counts
+	// requests whose context was cancelled while they queued.
 	Admitted  int64 `json:"admitted"`
 	Completed int64 `json:"completed"`
+	Aborted   int64 `json:"aborted"`
 	// InFlight and MaxInFlight describe concurrent load.
 	InFlight    int `json:"in_flight"`
 	MaxInFlight int `json:"max_in_flight"`
@@ -124,8 +203,13 @@ type AdmissionStats struct {
 	// WorkersGranted sums every query's granted parallelism;
 	// WorkersGranted/Completed is the mean per-query derated width.
 	WorkersGranted int64 `json:"workers_granted"`
-	// QueuedNanos and RunningNanos split request wall time at the gate.
-	QueuedNanos  int64 `json:"queued_nanos"`
+	// AdmissionWaitNanos and WorkerWaitNanos are time spent actually blocked
+	// at each stage of the gate (cond.Wait episodes only — a request that
+	// never queues contributes zero); QueuedNanos is their sum.
+	AdmissionWaitNanos int64 `json:"admission_wait_nanos"`
+	WorkerWaitNanos    int64 `json:"worker_wait_nanos"`
+	QueuedNanos        int64 `json:"queued_nanos"`
+	// RunningNanos is request wall time from grant to release.
 	RunningNanos int64 `json:"running_nanos"`
 }
 
@@ -133,17 +217,20 @@ func (g *governor) snapshot() AdmissionStats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return AdmissionStats{
-		Admitted:         g.admitted,
-		Completed:        g.completed,
-		InFlight:         g.inflight,
-		MaxInFlight:      g.maxInflight,
-		QueuedAdmission:  g.queuedAdmission,
-		QueuedWorkers:    g.queuedWorkers,
-		WorkerBudget:     g.budget,
-		WorkersInUse:     g.inUse,
-		PeakWorkersInUse: g.peakInUse,
-		WorkersGranted:   g.grantsSum,
-		QueuedNanos:      g.queuedNanos,
-		RunningNanos:     g.runningNanos,
+		Admitted:           g.admitted,
+		Completed:          g.completed,
+		Aborted:            g.aborted,
+		InFlight:           g.inflight,
+		MaxInFlight:        g.maxInflight,
+		QueuedAdmission:    g.queuedAdmission,
+		QueuedWorkers:      g.queuedWorkers,
+		WorkerBudget:       g.budget,
+		WorkersInUse:       g.inUse,
+		PeakWorkersInUse:   g.peakInUse,
+		WorkersGranted:     g.grantsSum,
+		AdmissionWaitNanos: g.admissionWaitNanos,
+		WorkerWaitNanos:    g.workerWaitNanos,
+		QueuedNanos:        g.admissionWaitNanos + g.workerWaitNanos,
+		RunningNanos:       g.runningNanos,
 	}
 }

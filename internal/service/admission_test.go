@@ -1,0 +1,259 @@
+// White-box governor suite: admission fairness under Broadcast wakeups,
+// context-cancelled waits at both stages with accounting undo, cost-aware
+// grant sizing, and the wait-episode-only queue-time accounting. Runs under
+// -race via `go test -race ./internal/...`.
+package service
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// poll spins until cond() holds or the deadline passes.
+func poll(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestGovernorFairnessAllAdmitted: many more requests than slots, all queued
+// on the monitor's Broadcast, must all eventually admit and complete with
+// the slot/worker books balanced.
+func TestGovernorFairnessAllAdmitted(t *testing.T) {
+	g := newGovernor(2, 4, 0)
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			info, release, err := g.admit(context.Background(), 0, 0)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if info.Grant < 1 || info.Grant > 4 {
+				t.Errorf("grant %d outside [1, 4]", info.Grant)
+			}
+			time.Sleep(50 * time.Microsecond) // hold the grant briefly
+			release()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := g.snapshot()
+	if st.Admitted != n || st.Completed != n || st.Aborted != 0 {
+		t.Errorf("admitted/completed/aborted = %d/%d/%d, want %d/%d/0",
+			st.Admitted, st.Completed, st.Aborted, n, n)
+	}
+	if st.InFlight != 0 || st.WorkersInUse != 0 {
+		t.Errorf("governor leaked: in_flight=%d workers_in_use=%d", st.InFlight, st.WorkersInUse)
+	}
+	if st.PeakWorkersInUse > 4 {
+		t.Errorf("peak workers %d exceeds budget 4", st.PeakWorkersInUse)
+	}
+}
+
+// TestGovernorCancelWhileQueuedForSlot: a request cancelled while waiting
+// for an admission slot aborts with ctx's error, restores nothing it never
+// took, and leaves the gate usable.
+func TestGovernorCancelWhileQueuedForSlot(t *testing.T) {
+	g := newGovernor(1, 1, 0)
+	_, release, err := g.admit(context.Background(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := g.admit(ctx, 1, 0)
+		done <- err
+	}()
+	poll(t, "queued waiter", func() bool {
+		return g.snapshot().QueuedAdmission == 1
+	})
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("cancelled admit returned %v, want context.Canceled", err)
+	}
+	release()
+
+	// The gate still works and the books balance.
+	_, release2, err := g.admit(context.Background(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release2()
+	st := g.snapshot()
+	if st.Admitted != 2 || st.Completed != 2 {
+		t.Errorf("admitted/completed = %d/%d, want 2/2", st.Admitted, st.Completed)
+	}
+	if st.InFlight != 0 || st.WorkersInUse != 0 || g.slotsForTest() != 1 {
+		t.Errorf("gate left unbalanced: %+v slots=%d", st, g.slotsForTest())
+	}
+}
+
+// TestGovernorCancelWhileQueuedForWorkers: a request that holds an admission
+// slot but is cancelled waiting for a worker gives the slot back and counts
+// as aborted, not admitted.
+func TestGovernorCancelWhileQueuedForWorkers(t *testing.T) {
+	g := newGovernor(4, 1, 0)
+	_, release, err := g.admit(context.Background(), 1, 0) // takes the only worker
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := g.admit(ctx, 1, 0)
+		done <- err
+	}()
+	poll(t, "worker waiter", func() bool {
+		return g.snapshot().QueuedWorkers == 1
+	})
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("cancelled admit returned %v, want context.Canceled", err)
+	}
+	release()
+
+	st := g.snapshot()
+	if st.Aborted != 1 || st.Admitted != 1 || st.Completed != 1 {
+		t.Errorf("aborted/admitted/completed = %d/%d/%d, want 1/1/1",
+			st.Aborted, st.Admitted, st.Completed)
+	}
+	if st.InFlight != 0 || st.WorkersInUse != 0 || g.slotsForTest() != 4 {
+		t.Errorf("abort did not restore the books: %+v slots=%d", st, g.slotsForTest())
+	}
+	if st.WorkerWaitNanos == 0 {
+		t.Error("worker wait was not accounted")
+	}
+}
+
+// TestGovernorPreCancelled: an already-cancelled context never enters the
+// gate.
+func TestGovernorPreCancelled(t *testing.T) {
+	g := newGovernor(1, 1, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := g.admit(ctx, 1, 0); err != context.Canceled {
+		t.Fatalf("pre-cancelled admit returned %v", err)
+	}
+	if st := g.snapshot(); st.Admitted != 0 {
+		t.Errorf("pre-cancelled request was admitted: %+v", st)
+	}
+}
+
+// TestGovernorNoWaitNoQueueTime pins the accounting fix: a request that
+// sails through an idle gate must charge exactly zero queue time — wait time
+// accumulates only across actual cond.Wait episodes, never mutex handoffs.
+func TestGovernorNoWaitNoQueueTime(t *testing.T) {
+	g := newGovernor(4, 4, 0)
+	for i := 0; i < 10; i++ {
+		info, release, err := g.admit(context.Background(), 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.AdmissionWait != 0 || info.WorkerWait != 0 {
+			t.Errorf("idle-gate admit reported waits %v/%v, want 0/0",
+				info.AdmissionWait, info.WorkerWait)
+		}
+		release()
+	}
+	st := g.snapshot()
+	if st.AdmissionWaitNanos != 0 || st.WorkerWaitNanos != 0 || st.QueuedNanos != 0 {
+		t.Errorf("idle gate accumulated queue time: admission=%d worker=%d total=%d",
+			st.AdmissionWaitNanos, st.WorkerWaitNanos, st.QueuedNanos)
+	}
+	if st.QueuedAdmission != 0 || st.QueuedWorkers != 0 {
+		t.Errorf("idle gate counted queued requests: %+v", st)
+	}
+}
+
+// TestGovernorCostAwareGrants: with a 100µs slice, a request modeled at
+// 1000µs asks for 10 workers (clamped to the budget) while a 50µs point
+// lookup gets exactly one — and without an estimate the fair share applies.
+func TestGovernorCostAwareGrants(t *testing.T) {
+	g := newGovernor(8, 8, 100)
+	cases := []struct {
+		costUS float64
+		want   int
+	}{
+		{50, 1},   // under one slice: a single worker
+		{250, 3},  // ceil(250/100)
+		{1000, 8}, // clamped to the budget
+		{1e9, 8},  // absurd estimates still clamp
+		{0, 8},    // no estimate: fair share (sole in-flight request)
+		{-1, 8},   // negative estimate treated as absent
+	}
+	for _, c := range cases {
+		info, release, err := g.admit(context.Background(), 0, c.costUS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Grant != c.want {
+			t.Errorf("cost %vµs granted %d workers, want %d", c.costUS, info.Grant, c.want)
+		}
+		release()
+	}
+	// Disabled sizing (slice <= 0) always falls back to the fair share.
+	g = newGovernor(8, 8, -1)
+	info, release, err := g.admit(context.Background(), 0, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Grant != 8 {
+		t.Errorf("disabled sizing granted %d, want fair share 8", info.Grant)
+	}
+	release()
+}
+
+// TestGovernorGrantSumNeverExceedsBudget: concurrent cost-sized admissions
+// keep the sum of grants within the budget even when every request wants the
+// whole budget.
+func TestGovernorGrantSumNeverExceedsBudget(t *testing.T) {
+	g := newGovernor(16, 4, 100)
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, release, err := g.admit(context.Background(), 0, 5000)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(20 * time.Microsecond)
+			release()
+		}()
+	}
+	wg.Wait()
+	st := g.snapshot()
+	if st.PeakWorkersInUse > 4 {
+		t.Errorf("peak workers %d exceeds budget 4", st.PeakWorkersInUse)
+	}
+	if st.WorkersInUse != 0 || st.InFlight != 0 {
+		t.Errorf("governor leaked: %+v", st)
+	}
+}
+
+// slotsForTest reads the free-slot count (white-box).
+func (g *governor) slotsForTest() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.slots
+}

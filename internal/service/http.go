@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -63,10 +64,13 @@ type QueryResponse struct {
 	Morsels  int       `json:"morsels"`
 	Queued   int64     `json:"queued_nanos"`
 	Session  int64     `json:"session"`
-	// Cache reuse flags: the ci smoke greps build_cache_hit on a repeated
-	// join.
-	PlanCacheHit  bool `json:"plan_cache_hit"`
-	BuildCacheHit bool `json:"build_cache_hit"`
+	// EstCostUS is the model estimate the admission grant sizer used.
+	EstCostUS float64 `json:"est_cost_us"`
+	// Cache reuse flags: the ci smoke greps result_cache_hit on a repeated
+	// query and build_cache_hit on a repeated join.
+	ResultCacheHit bool `json:"result_cache_hit"`
+	PlanCacheHit   bool `json:"plan_cache_hit"`
+	BuildCacheHit  bool `json:"build_cache_hit"`
 	// Join-only counters.
 	Partitions      int   `json:"partitions,omitempty"`
 	Probes          int64 `json:"probes,omitempty"`
@@ -152,7 +156,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	out, err := s.NewSession().Select(req.Projection, q, strat)
+	out, err := s.NewSession().Select(r.Context(), req.Projection, q, strat)
 	if err != nil {
 		writeServiceError(w, err)
 		return
@@ -203,7 +207,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	out, err := s.NewSession().Join(req.Left, req.Right, q, rs)
+	out, err := s.NewSession().Join(r.Context(), req.Left, req.Right, q, rs)
 	if err != nil {
 		writeServiceError(w, err)
 		return
@@ -267,7 +271,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		if ex, info, err = s.NewSession().ExplainJoin(req.Left, req.Right, q, rs); err != nil {
+		if ex, info, err = s.NewSession().ExplainJoin(r.Context(), req.Left, req.Right, q, rs); err != nil {
 			writeServiceError(w, err)
 			return
 		}
@@ -287,7 +291,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		if ex, info, err = s.NewSession().Explain(req.Projection, q, strat); err != nil {
+		if ex, info, err = s.NewSession().Explain(r.Context(), req.Projection, q, strat); err != nil {
 			writeServiceError(w, err)
 			return
 		}
@@ -316,17 +320,19 @@ func baseResponse(res *matstore.Result, stats *matstore.Stats, info Info, limit 
 		rows[i] = res.Row(i)
 	}
 	return &QueryResponse{
-		Columns:       res.Columns,
-		Rows:          rows,
-		RowCount:      n,
-		Checksum:      stats.OutputChecksum,
-		Wall:          stats.Wall.Nanoseconds(),
-		Workers:       info.Workers,
-		Morsels:       stats.Morsels,
-		Queued:        info.Queued.Nanoseconds(),
-		Session:       info.Session,
-		PlanCacheHit:  info.PlanCacheHit,
-		BuildCacheHit: info.BuildCacheHit,
+		Columns:        res.Columns,
+		Rows:           rows,
+		RowCount:       n,
+		Checksum:       stats.OutputChecksum,
+		Wall:           stats.Wall.Nanoseconds(),
+		Workers:        info.Workers,
+		Morsels:        stats.Morsels,
+		Queued:         info.Queued.Nanoseconds(),
+		Session:        info.Session,
+		EstCostUS:      info.EstCostUS,
+		ResultCacheHit: info.ResultCacheHit,
+		PlanCacheHit:   info.PlanCacheHit,
+		BuildCacheHit:  info.BuildCacheHit,
 	}
 }
 
@@ -369,13 +375,17 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 // writeServiceError maps a session error onto an HTTP status: request
 // faults (RequestError: unknown projection/column, malformed shape) are 400,
-// execution failures are 500 so monitoring and retry logic see a server
-// fault.
+// a cancelled or timed-out request context is 499 (the de-facto
+// "client closed request" status), and execution failures are 500 so
+// monitoring and retry logic see a server fault.
 func writeServiceError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var re *RequestError
-	if errors.As(err, &re) {
+	switch {
+	case errors.As(err, &re):
 		status = http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = 499
 	}
 	writeError(w, status, err)
 }

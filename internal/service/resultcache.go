@@ -1,0 +1,181 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"matstore"
+)
+
+// DefaultResultCacheBytes bounds the result cache when Config leaves it 0.
+const DefaultResultCacheBytes = 32 << 20
+
+// The result cache sits in front of the plan cache and the admission gate:
+// a repeated identical request (same canonical shape, same projection
+// generations) is answered from the cached Result without admitting to the
+// worker pool at all — zero workers granted, zero morsels run. Because
+// results are byte-identical at every parallelism level (the engine's core
+// invariant), a cached response is indistinguishable from a fresh execution.
+//
+// Entries record the generation of every projection they read at the time
+// the source run STARTED; InvalidateProjection bumps the generation, which
+// both eagerly drops matching entries and lazily fails the generation check
+// on lookup, so a bump between lookup and insert can never resurrect stale
+// data.
+
+// ResultCacheStats are the result cache's cumulative counters.
+type ResultCacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	Capacity      int64 `json:"capacity"`
+}
+
+// resultEntry is one cached response: the result plus the stats of the run
+// that produced it (servable verbatim — wall time and worker count describe
+// the original execution).
+type resultEntry struct {
+	key   string
+	projs []string // projections the query read
+	gens  []uint64 // generation of each at source-run start
+	bytes int64
+
+	res       *matstore.Result
+	selStats  *matstore.Stats
+	joinStats *matstore.JoinStats
+}
+
+// resultCache is a mutex-guarded, byte-accounted LRU of served responses
+// with per-projection generation invalidation.
+type resultCache struct {
+	mu       sync.Mutex
+	capBytes int64
+	bytes    int64
+	entries  map[string]*list.Element // of *resultEntry
+	lru      *list.List
+	gens     map[string]uint64
+	stats    ResultCacheStats
+}
+
+func newResultCache(capBytes int64) *resultCache {
+	return &resultCache{
+		capBytes: capBytes,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		gens:     make(map[string]uint64),
+	}
+}
+
+// generations snapshots the current generation of each projection. Callers
+// capture this BEFORE executing and pass it to put, so a bump during
+// execution invalidates the insert rather than caching stale data.
+func (c *resultCache) generations(projs []string) []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gens := make([]uint64, len(projs))
+	for i, p := range projs {
+		gens[i] = c.gens[p]
+	}
+	return gens
+}
+
+// get returns the cached entry for key if present and current.
+func (c *resultCache) get(key string) (*resultEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	e := el.Value.(*resultEntry)
+	for i, p := range e.projs {
+		if c.gens[p] != e.gens[i] {
+			// Stale under a generation bump that raced the eager sweep.
+			c.removeLocked(el)
+			c.stats.Invalidations++
+			c.stats.Misses++
+			return nil, false
+		}
+	}
+	c.lru.MoveToFront(el)
+	c.stats.Hits++
+	return e, true
+}
+
+// put inserts a response produced by a run that started at the given
+// generations. Oversized entries and entries whose generations have moved on
+// are dropped; an existing entry for the key is replaced.
+func (c *resultCache) put(e *resultEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.bytes > c.capBytes {
+		return
+	}
+	for i, p := range e.projs {
+		if c.gens[p] != e.gens[i] {
+			return // invalidated while the source run executed
+		}
+	}
+	if el, ok := c.entries[e.key]; ok {
+		c.removeLocked(el)
+	}
+	c.entries[e.key] = c.lru.PushFront(e)
+	c.bytes += e.bytes
+	for c.bytes > c.capBytes {
+		back := c.lru.Back()
+		c.removeLocked(back)
+		c.stats.Evictions++
+	}
+}
+
+// invalidate bumps proj's generation and eagerly drops every entry that read
+// it (the generation check in get makes the sweep a byte-accounting courtesy,
+// not a correctness requirement).
+func (c *resultCache) invalidate(proj string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gens[proj]++
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*resultEntry)
+		for _, p := range e.projs {
+			if p == proj {
+				c.removeLocked(el)
+				c.stats.Invalidations++
+				break
+			}
+		}
+		el = next
+	}
+}
+
+func (c *resultCache) removeLocked(el *list.Element) {
+	e := el.Value.(*resultEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.bytes
+}
+
+func (c *resultCache) snapshot() ResultCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = c.lru.Len()
+	st.Bytes = c.bytes
+	st.Capacity = c.capBytes
+	return st
+}
+
+// resultBytes estimates a response's retained size: 8 bytes per cell plus a
+// fixed per-entry overhead for headers, names and stats.
+func resultBytes(key string, r *matstore.Result) int64 {
+	cells := int64(0)
+	for _, col := range r.Cols {
+		cells += int64(len(col))
+	}
+	return 8*cells + int64(len(key)) + 256
+}

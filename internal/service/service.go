@@ -3,17 +3,24 @@
 // paper reproduction into a server that runs many queries against one DB,
 // one buffer pool and one global worker budget at once.
 //
-// Three cooperating parts:
+// Four cooperating parts:
 //
 //   - Admission control & worker sharing (admission.go): requests enter
 //     through sessions and an admission gate (at most MaxConcurrent in
 //     flight; the rest queue), and each admitted query's morsel parallelism
-//     is derated to its fair share of the global WorkerBudget, clamped so
-//     the sum of grants never exceeds the budget.
-//   - Shared caches: a keyed join-build cache (operators.BuildCache) shares
-//     partitioned hash sides across queries under a byte budget with LRU
-//     eviction and generation invalidation, and a plan cache (plancache.go)
-//     skips BuildPlan for repeated query shapes.
+//     is sized from the analytical model's cost estimate (big scans wide,
+//     point lookups narrow), clamped so the sum of grants never exceeds the
+//     global WorkerBudget. Admission waits are context-aware: a cancelled
+//     request leaves the queue immediately.
+//   - A result cache (resultcache.go): repeated identical requests are
+//     answered from a byte-accounted LRU of served responses without
+//     admitting to the worker pool at all, invalidated per projection by
+//     generation bumps.
+//   - Shared execution caches: a keyed join-build cache
+//     (operators.BuildCache) shares partitioned hash sides across queries
+//     under a byte budget with LRU eviction and generation invalidation,
+//     and a plan cache (plancache.go) skips BuildPlan for repeated query
+//     shapes.
 //   - A serving front-end (http.go, cmd/csserve): HTTP JSON endpoints
 //     /query, /join, /explain and /stats over a Server.
 //
@@ -23,6 +30,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -42,6 +50,11 @@ const DefaultBuildCacheBytes = 64 << 20
 // DefaultPlanCacheEntries bounds the plan cache when Config leaves it 0.
 const DefaultPlanCacheEntries = 256
 
+// DefaultGrantSliceMicros is the modeled-µs-per-worker slice of cost-aware
+// grant sizing when Config leaves it 0: a request modeled at N×slice µs asks
+// for N workers (clamped to [1, budget]).
+const DefaultGrantSliceMicros = 100
+
 // Config tunes a Server.
 type Config struct {
 	// MaxConcurrent is the admission limit: at most this many requests
@@ -57,6 +70,13 @@ type Config struct {
 	// PlanCacheEntries bounds the plan cache (0 = the 256-entry default,
 	// negative = cache disabled).
 	PlanCacheEntries int
+	// ResultCacheBytes bounds the served-response cache (0 = the 32 MiB
+	// default, negative = cache disabled).
+	ResultCacheBytes int64
+	// GrantSliceMicros is the modeled cost (µs) one worker is expected to
+	// absorb when sizing admission grants (0 = the 100 µs default, negative
+	// = cost-aware sizing disabled; every grant uses the uniform fair share).
+	GrantSliceMicros float64
 }
 
 // Server serves concurrent queries against one matstore.DB.
@@ -66,9 +86,10 @@ type Server struct {
 	store *storage.DB
 	cfg   Config
 
-	gov    *governor
-	builds *operators.BuildCache // nil when disabled
-	plans  *planCache            // nil when disabled
+	gov     *governor
+	builds  *operators.BuildCache // nil when disabled
+	plans   *planCache            // nil when disabled
+	results *resultCache          // nil when disabled
 
 	sessions   atomic.Int64
 	queries    atomic.Int64
@@ -91,18 +112,27 @@ func New(db *matstore.DB, cfg Config) *Server {
 	if cfg.PlanCacheEntries == 0 {
 		cfg.PlanCacheEntries = DefaultPlanCacheEntries
 	}
+	if cfg.ResultCacheBytes == 0 {
+		cfg.ResultCacheBytes = DefaultResultCacheBytes
+	}
+	if cfg.GrantSliceMicros == 0 {
+		cfg.GrantSliceMicros = DefaultGrantSliceMicros
+	}
 	s := &Server{
 		db:    db,
 		exec:  db.Exec(),
 		store: db.Storage(),
 		cfg:   cfg,
-		gov:   newGovernor(cfg.MaxConcurrent, cfg.WorkerBudget),
+		gov:   newGovernor(cfg.MaxConcurrent, cfg.WorkerBudget, cfg.GrantSliceMicros),
 	}
 	if cfg.BuildCacheBytes > 0 {
 		s.builds = operators.NewBuildCache(cfg.BuildCacheBytes)
 	}
 	if cfg.PlanCacheEntries > 0 {
 		s.plans = newPlanCache(cfg.PlanCacheEntries)
+	}
+	if cfg.ResultCacheBytes > 0 {
+		s.results = newResultCache(cfg.ResultCacheBytes)
 	}
 	return s
 }
@@ -113,11 +143,14 @@ func (s *Server) DB() *matstore.DB { return s.db }
 // Config returns the resolved configuration.
 func (s *Server) Config() Config { return s.cfg }
 
-// InvalidateProjection marks a projection's data as changed: cached join
-// builds over it are dropped by a generation bump, and the plan cache is
-// cleared (plans pin resolved column handles, so invalidation is
-// conservative).
+// InvalidateProjection marks a projection's data as changed: cached results
+// over it and cached join builds of it are dropped by generation bumps, and
+// the plan cache is cleared (plans pin resolved column handles, so
+// invalidation is conservative).
 func (s *Server) InvalidateProjection(name string) {
+	if s.results != nil {
+		s.results.invalidate(name)
+	}
 	if s.builds != nil {
 		s.builds.Invalidate(name)
 	}
@@ -133,10 +166,11 @@ type Stats struct {
 	Admission AdmissionStats `json:"admission"`
 	// PlanBuilds counts BuildPlan/BuildJoinPlan invocations; with the plan
 	// cache on it lags Queries by exactly the hit count.
-	PlanBuilds int64                     `json:"plan_builds"`
-	PlanCache  PlanCacheStats            `json:"plan_cache"`
-	BuildCache operators.BuildCacheStats `json:"build_cache"`
-	Pool       buffer.Stats              `json:"buffer_pool"`
+	PlanBuilds  int64                     `json:"plan_builds"`
+	ResultCache ResultCacheStats          `json:"result_cache"`
+	PlanCache   PlanCacheStats            `json:"plan_cache"`
+	BuildCache  operators.BuildCacheStats `json:"build_cache"`
+	Pool        buffer.Stats              `json:"buffer_pool"`
 }
 
 // Stats returns a snapshot of the server counters.
@@ -147,6 +181,9 @@ func (s *Server) Stats() Stats {
 		Admission:  s.gov.snapshot(),
 		PlanBuilds: s.planBuilds.Load(),
 		Pool:       s.db.PoolStats(),
+	}
+	if s.results != nil {
+		st.ResultCache = s.results.snapshot()
 	}
 	if s.plans != nil {
 		st.PlanCache = s.plans.snapshot()
@@ -190,13 +227,21 @@ func (s *Server) NewSession() *Session {
 // Info describes how the service executed one request.
 type Info struct {
 	Session int64 `json:"session"`
-	// Workers is the granted (derated) morsel parallelism.
+	// Workers is the granted (derated) morsel parallelism (0 when the
+	// request was served from the result cache without admission).
 	Workers int `json:"workers"`
-	// Queued is the time spent waiting at the admission gate.
+	// Queued is the time spent blocked at the admission gate (admission
+	// slot wait plus worker wait).
 	Queued time.Duration `json:"queued_nanos"`
-	// PlanCacheHit and BuildCacheHit report shared-cache reuse.
-	PlanCacheHit  bool `json:"plan_cache_hit"`
-	BuildCacheHit bool `json:"build_cache_hit"`
+	// EstCostUS is the analytical model's total cost estimate the grant
+	// sizer used (0 when unavailable).
+	EstCostUS float64 `json:"est_cost_us"`
+	// ResultCacheHit reports the request was answered entirely from the
+	// result cache; PlanCacheHit and BuildCacheHit report shared-cache
+	// reuse during execution.
+	ResultCacheHit bool `json:"result_cache_hit"`
+	PlanCacheHit   bool `json:"plan_cache_hit"`
+	BuildCacheHit  bool `json:"build_cache_hit"`
 }
 
 // SelectResult is a served selection/aggregation response.
@@ -213,23 +258,44 @@ type JoinResult struct {
 	Info  Info
 }
 
-// Select runs a selection/aggregation through admission control and the
-// plan cache. The query's Parallelism is a ceiling on the granted worker
-// share (0 = take the full fair share).
-func (c *Session) Select(projection string, q matstore.Query, strat matstore.Strategy) (*SelectResult, error) {
+// Select runs a selection/aggregation through the result cache, admission
+// control and the plan cache. The query's Parallelism is a ceiling on the
+// granted worker share (0 = take the full cost-sized share). Cancelling ctx
+// abandons the request at the admission gate or between plan phases.
+func (c *Session) Select(ctx context.Context, projection string, q matstore.Query, strat matstore.Strategy) (*SelectResult, error) {
 	s := c.srv
-	grant, release, queued := s.gov.admit(q.Parallelism)
-	defer release()
 	s.queries.Add(1)
+	info := Info{Session: c.ID}
+
+	var key string
+	if s.results != nil || s.plans != nil {
+		key = selectKey(projection, q, strat)
+	}
+	var gens []uint64
+	if s.results != nil {
+		if e, ok := s.results.get(key); ok {
+			info.ResultCacheHit = true
+			return &SelectResult{Res: e.res, Stats: e.selStats, Info: info}, nil
+		}
+		gens = s.results.generations([]string{projection})
+	}
+	if est, err := s.db.EstimateSelectCost(projection, q, strat); err == nil {
+		info.EstCostUS = est.Total()
+	}
+
+	ai, release, err := s.gov.admit(ctx, q.Parallelism, info.EstCostUS)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	info.Workers, info.Queued = ai.Grant, ai.AdmissionWait+ai.WorkerWait
 
 	p, err := s.store.Projection(projection)
 	if err != nil {
 		return nil, badRequest(err)
 	}
-	info := Info{Session: c.ID, Workers: grant, Queued: queued}
 	var pl *plan.Plan
 	if s.plans != nil {
-		key := selectKey(projection, q, strat)
 		if cached, ok := s.plans.get(key); ok {
 			pl, info.PlanCacheHit = cached, true
 		} else {
@@ -241,9 +307,18 @@ func (c *Session) Select(projection string, q matstore.Query, strat matstore.Str
 	} else if pl, err = s.buildSelect(p, q, strat); err != nil {
 		return nil, badRequest(err)
 	}
-	res, stats, err := s.exec.RunPlan(pl, strat, grant, false)
+	if err := ctx.Err(); err != nil {
+		return nil, err // cancelled between build and run: the slot releases unused
+	}
+	res, stats, err := s.exec.RunPlan(pl, strat, ai.Grant, false)
 	if err != nil {
 		return nil, err
+	}
+	if s.results != nil {
+		s.results.put(&resultEntry{
+			key: key, projs: []string{projection}, gens: gens,
+			bytes: resultBytes(key, res), res: res, selStats: stats,
+		})
 	}
 	return &SelectResult{Res: res, Stats: stats, Info: info}, nil
 }
@@ -253,21 +328,41 @@ func (s *Server) buildSelect(p *storage.Projection, q matstore.Query, strat mats
 	return s.exec.BuildPlan(p, q, strat)
 }
 
-// Join runs an equi-join through admission control and both shared caches:
-// the plan cache skips BuildJoinPlan for a repeated shape, and the build
-// cache shares the partitioned hash side across queries over the same inner
-// table.
-func (c *Session) Join(left, right string, q matstore.JoinQuery, rs matstore.RightStrategy) (*JoinResult, error) {
+// Join runs an equi-join through the result cache, admission control and
+// both shared execution caches: the plan cache skips BuildJoinPlan for a
+// repeated shape, and the build cache shares the partitioned hash side
+// across queries over the same inner table.
+func (c *Session) Join(ctx context.Context, left, right string, q matstore.JoinQuery, rs matstore.RightStrategy) (*JoinResult, error) {
 	s := c.srv
-	grant, release, queued := s.gov.admit(q.Parallelism)
-	defer release()
 	s.queries.Add(1)
+	info := Info{Session: c.ID}
 
-	info := Info{Session: c.ID, Workers: grant, Queued: queued}
+	var key string
+	if s.results != nil || s.plans != nil {
+		key = joinKey(left, right, q, rs)
+	}
+	var gens []uint64
+	projs := []string{left, right}
+	if s.results != nil {
+		if e, ok := s.results.get(key); ok {
+			info.ResultCacheHit = true
+			return &JoinResult{Res: e.res, Stats: e.joinStats, Info: info}, nil
+		}
+		gens = s.results.generations(projs)
+	}
+	if est, err := s.db.EstimateJoinCost(left, right, q, rs); err == nil {
+		info.EstCostUS = est.Total()
+	}
+
+	ai, release, err := s.gov.admit(ctx, q.Parallelism, info.EstCostUS)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	info.Workers, info.Queued = ai.Grant, ai.AdmissionWait+ai.WorkerWait
+
 	var pl *plan.Plan
-	var err error
 	if s.plans != nil {
-		key := joinKey(left, right, q, rs)
 		if cached, ok := s.plans.get(key); ok {
 			pl, info.PlanCacheHit = cached, true
 		} else {
@@ -279,11 +374,20 @@ func (c *Session) Join(left, right string, q matstore.JoinQuery, rs matstore.Rig
 	} else if pl, err = s.buildJoin(left, right, q, rs); err != nil {
 		return nil, badRequest(err)
 	}
-	res, stats, err := s.exec.RunJoinPlan(pl, grant, false)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, stats, err := s.exec.RunJoinPlan(pl, ai.Grant, false)
 	if err != nil {
 		return nil, err
 	}
 	info.BuildCacheHit = stats.Join.BuildCacheHit
+	if s.results != nil {
+		s.results.put(&resultEntry{
+			key: key, projs: projs, gens: gens,
+			bytes: resultBytes(key, res), res: res, joinStats: stats,
+		})
+	}
 	return &JoinResult{Res: res, Stats: stats, Info: info}, nil
 }
 
@@ -308,43 +412,60 @@ func (s *Server) buildJoin(left, right string, q matstore.JoinQuery, rs matstore
 }
 
 // Explain runs DB.Explain (selection) through admission control; the
-// observed run executes at the granted parallelism. Explains bypass the plan
-// cache — their per-node observed counters want a fresh tree.
-func (c *Session) Explain(projection string, q matstore.Query, strat matstore.Strategy) (*matstore.Explanation, Info, error) {
-	grant, release, queued := c.srv.gov.admit(q.Parallelism)
+// observed run executes at the granted parallelism. Explains bypass the
+// result and plan caches — their per-node observed counters want a fresh
+// tree.
+func (c *Session) Explain(ctx context.Context, projection string, q matstore.Query, strat matstore.Strategy) (*matstore.Explanation, Info, error) {
+	s := c.srv
+	info := Info{Session: c.ID}
+	if est, err := s.db.EstimateSelectCost(projection, q, strat); err == nil {
+		info.EstCostUS = est.Total()
+	}
+	ai, release, err := s.gov.admit(ctx, q.Parallelism, info.EstCostUS)
+	if err != nil {
+		return nil, info, err
+	}
 	defer release()
-	c.srv.queries.Add(1)
-	info := Info{Session: c.ID, Workers: grant, Queued: queued}
-	p, err := c.srv.store.Projection(projection)
+	s.queries.Add(1)
+	info.Workers, info.Queued = ai.Grant, ai.AdmissionWait+ai.WorkerWait
+	p, err := s.store.Projection(projection)
 	if err != nil {
 		return nil, info, badRequest(err)
 	}
 	if err := q.Validate(p); err != nil {
 		return nil, info, badRequest(err)
 	}
-	q.Parallelism = grant
-	ex, err := c.srv.db.Explain(projection, q, strat)
+	q.Parallelism = ai.Grant
+	ex, err := s.db.Explain(projection, q, strat)
 	return ex, info, err
 }
 
 // ExplainJoin runs DB.ExplainJoin through admission control.
-func (c *Session) ExplainJoin(left, right string, q matstore.JoinQuery, rs matstore.RightStrategy) (*matstore.Explanation, Info, error) {
-	grant, release, queued := c.srv.gov.admit(q.Parallelism)
+func (c *Session) ExplainJoin(ctx context.Context, left, right string, q matstore.JoinQuery, rs matstore.RightStrategy) (*matstore.Explanation, Info, error) {
+	s := c.srv
+	info := Info{Session: c.ID}
+	if est, err := s.db.EstimateJoinCost(left, right, q, rs); err == nil {
+		info.EstCostUS = est.Total()
+	}
+	ai, release, err := s.gov.admit(ctx, q.Parallelism, info.EstCostUS)
+	if err != nil {
+		return nil, info, err
+	}
 	defer release()
-	c.srv.queries.Add(1)
-	info := Info{Session: c.ID, Workers: grant, Queued: queued}
+	s.queries.Add(1)
+	info.Workers, info.Queued = ai.Grant, ai.AdmissionWait+ai.WorkerWait
 	for _, proj := range []string{left, right} {
-		if _, err := c.srv.store.Projection(proj); err != nil {
+		if _, err := s.store.Projection(proj); err != nil {
 			return nil, info, badRequest(err)
 		}
 	}
-	q.Parallelism = grant
-	ex, err := c.srv.db.ExplainJoin(left, right, q, rs)
+	q.Parallelism = ai.Grant
+	ex, err := s.db.ExplainJoin(left, right, q, rs)
 	return ex, info, err
 }
 
 // String renders a one-line server description.
 func (s *Server) String() string {
-	return fmt.Sprintf("service.Server{budget=%d, max_concurrent=%d, build_cache=%v, plan_cache=%v}",
-		s.cfg.WorkerBudget, s.cfg.MaxConcurrent, s.builds != nil, s.plans != nil)
+	return fmt.Sprintf("service.Server{budget=%d, max_concurrent=%d, result_cache=%v, build_cache=%v, plan_cache=%v}",
+		s.cfg.WorkerBudget, s.cfg.MaxConcurrent, s.results != nil, s.builds != nil, s.plans != nil)
 }

@@ -11,6 +11,7 @@
 package service_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"reflect"
@@ -73,14 +74,20 @@ func newServer(t *testing.T, cfg service.Config) *service.Server {
 	return service.New(openDB(t), cfg)
 }
 
-// cacheConfig returns a server config with both shared caches on or off.
+// cacheConfig returns a server config with the execution caches (plan,
+// build) on or off; the result cache stays off so cache tests observe real
+// executions. fullConfig turns all three on.
 func cacheConfig(budget, maxConcurrent int, caches bool) service.Config {
-	cfg := service.Config{WorkerBudget: budget, MaxConcurrent: maxConcurrent}
+	cfg := service.Config{WorkerBudget: budget, MaxConcurrent: maxConcurrent, ResultCacheBytes: -1}
 	if !caches {
 		cfg.BuildCacheBytes = -1
 		cfg.PlanCacheEntries = -1
 	}
 	return cfg
+}
+
+func fullConfig(budget, maxConcurrent int) service.Config {
+	return service.Config{WorkerBudget: budget, MaxConcurrent: maxConcurrent}
 }
 
 // TestConcurrentMixedWorkloadDifferential is the acceptance suite: every
@@ -107,7 +114,11 @@ func TestConcurrentMixedWorkloadDifferential(t *testing.T) {
 			for _, caches := range []bool{true, false} {
 				name := fmt.Sprintf("sessions=%d/budget=%d/caches=%v", sessions, budget, caches)
 				t.Run(name, func(t *testing.T) {
-					srv := newServer(t, cacheConfig(budget, 0, caches))
+					cfg := cacheConfig(budget, 0, caches)
+					if caches {
+						cfg = fullConfig(budget, 0)
+					}
+					srv := newServer(t, cfg)
 					var wg sync.WaitGroup
 					errs := make([]error, sessions)
 					for c := 0; c < sessions; c++ {
@@ -118,12 +129,20 @@ func TestConcurrentMixedWorkloadDifferential(t *testing.T) {
 							off := c * len(reqs) / sessions
 							for i := range reqs {
 								idx := (off + i) % len(reqs)
-								res, info, err := reqs[idx].Run(sess)
+								res, info, err := reqs[idx].Run(context.Background(), sess)
 								if err != nil {
 									errs[c] = fmt.Errorf("%s: %w", reqs[idx].Name, err)
 									return
 								}
-								if info.Workers < 1 || info.Workers > budget {
+								if info.ResultCacheHit {
+									// A cached response consumed no admission
+									// grant at all.
+									if info.Workers != 0 {
+										errs[c] = fmt.Errorf("%s: result-cache hit granted %d workers, want 0",
+											reqs[idx].Name, info.Workers)
+										return
+									}
+								} else if info.Workers < 1 || info.Workers > budget {
 									errs[c] = fmt.Errorf("%s: granted %d workers outside [1, %d]",
 										reqs[idx].Name, info.Workers, budget)
 									return
@@ -150,16 +169,19 @@ func TestConcurrentMixedWorkloadDifferential(t *testing.T) {
 						t.Errorf("governor leaked: in_flight=%d workers_in_use=%d",
 							st.Admission.InFlight, st.Admission.WorkersInUse)
 					}
-					wantQueries := int64(sessions * len(reqs))
+					// Every request either admitted to the worker pool or was
+					// served from the result cache — never both, never neither.
+					wantQueries := int64(sessions*len(reqs)) - st.ResultCache.Hits
 					if st.Admission.Admitted != wantQueries || st.Admission.Completed != wantQueries {
-						t.Errorf("admitted/completed = %d/%d, want %d",
-							st.Admission.Admitted, st.Admission.Completed, wantQueries)
+						t.Errorf("admitted/completed = %d/%d, want %d (= requests - %d result-cache hits)",
+							st.Admission.Admitted, st.Admission.Completed, wantQueries, st.ResultCache.Hits)
 					}
 					if caches && sessions > 1 && st.BuildCache.Hits == 0 {
 						t.Errorf("repeated joins across %d sessions produced no build-cache hits", sessions)
 					}
-					if !caches && (st.BuildCache.Hits+st.BuildCache.Misses+st.PlanCache.Hits+st.PlanCache.Misses) != 0 {
-						t.Errorf("disabled caches recorded traffic: %+v %+v", st.BuildCache, st.PlanCache)
+					if !caches && (st.BuildCache.Hits+st.BuildCache.Misses+st.PlanCache.Hits+
+						st.PlanCache.Misses+st.ResultCache.Hits+st.ResultCache.Misses) != 0 {
+						t.Errorf("disabled caches recorded traffic: %+v %+v %+v", st.BuildCache, st.PlanCache, st.ResultCache)
 					}
 				})
 			}
@@ -172,7 +194,7 @@ func TestConcurrentMixedWorkloadDifferential(t *testing.T) {
 func TestClosedLoopDriver(t *testing.T) {
 	srv := newServer(t, cacheConfig(2, 4, true))
 	reqs := bench.MixedWorkload(dataCustomers)
-	stats, err := bench.RunClosedLoop(srv, 4, 2, reqs)
+	stats, err := bench.RunClosedLoop(context.Background(), srv, 4, 2, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +218,7 @@ func TestPlanCacheSkipsBuildPlan(t *testing.T) {
 			{Col: tpch.ColShipdate, Pred: matstore.LessThan(1200)},
 		},
 	}
-	first, err := sess.Select(tpch.LineitemProj, q, matstore.LMParallel)
+	first, err := sess.Select(context.Background(), tpch.LineitemProj, q, matstore.LMParallel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +226,7 @@ func TestPlanCacheSkipsBuildPlan(t *testing.T) {
 		t.Error("first execution reported a plan-cache hit")
 	}
 	builds := srv.Stats().PlanBuilds
-	second, err := sess.Select(tpch.LineitemProj, q, matstore.LMParallel)
+	second, err := sess.Select(context.Background(), tpch.LineitemProj, q, matstore.LMParallel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +241,7 @@ func TestPlanCacheSkipsBuildPlan(t *testing.T) {
 	}
 	// A different shape (same columns, different bound) must miss.
 	q.Filters[0].Pred = matstore.LessThan(1300)
-	third, err := sess.Select(tpch.LineitemProj, q, matstore.LMParallel)
+	third, err := sess.Select(context.Background(), tpch.LineitemProj, q, matstore.LMParallel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,12 +261,12 @@ func TestPlanCacheKeyNoDelimiterCollision(t *testing.T) {
 		Output:  []string{tpch.ColShipdate, tpch.ColLinenum},
 		Filters: []matstore.Filter{{Col: tpch.ColShipdate, Pred: matstore.LessThan(400)}},
 	}
-	if _, err := sess.Select(tpch.LineitemProj, good, matstore.LMParallel); err != nil {
+	if _, err := sess.Select(context.Background(), tpch.LineitemProj, good, matstore.LMParallel); err != nil {
 		t.Fatal(err)
 	}
 	bad := good
 	bad.Output = []string{tpch.ColShipdate + "," + tpch.ColLinenum}
-	if _, err := sess.Select(tpch.LineitemProj, bad, matstore.LMParallel); err == nil {
+	if _, err := sess.Select(context.Background(), tpch.LineitemProj, bad, matstore.LMParallel); err == nil {
 		t.Fatal("malformed column name collided with a cached plan and was served")
 	}
 }
@@ -266,14 +288,14 @@ func joinReq() matstore.JoinQuery {
 func TestBuildCacheHitOnRepeatedJoin(t *testing.T) {
 	srv := newServer(t, cacheConfig(2, 4, true))
 	sess := srv.NewSession()
-	first, err := sess.Join(tpch.OrdersProj, tpch.CustomerProj, joinReq(), matstore.RightMaterialized)
+	first, err := sess.Join(context.Background(), tpch.OrdersProj, tpch.CustomerProj, joinReq(), matstore.RightMaterialized)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first.Info.BuildCacheHit {
 		t.Error("cold join reported a build-cache hit")
 	}
-	second, err := sess.Join(tpch.OrdersProj, tpch.CustomerProj, joinReq(), matstore.RightMaterialized)
+	second, err := sess.Join(context.Background(), tpch.OrdersProj, tpch.CustomerProj, joinReq(), matstore.RightMaterialized)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +304,7 @@ func TestBuildCacheHitOnRepeatedJoin(t *testing.T) {
 	}
 	other := joinReq()
 	other.LeftPred = matstore.LessThan(250)
-	third, err := sess.Join(tpch.OrdersProj, tpch.CustomerProj, other, matstore.RightMaterialized)
+	third, err := sess.Join(context.Background(), tpch.OrdersProj, tpch.CustomerProj, other, matstore.RightMaterialized)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +312,7 @@ func TestBuildCacheHitOnRepeatedJoin(t *testing.T) {
 		t.Error("join with different outer predicate missed the build cache")
 	}
 	// A different inner strategy builds a different table.
-	fourth, err := sess.Join(tpch.OrdersProj, tpch.CustomerProj, joinReq(), matstore.RightSingleColumn)
+	fourth, err := sess.Join(context.Background(), tpch.OrdersProj, tpch.CustomerProj, joinReq(), matstore.RightSingleColumn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +333,7 @@ func TestBuildCacheHitOnRepeatedJoin(t *testing.T) {
 func TestBuildCacheInvalidationOnGenerationBump(t *testing.T) {
 	srv := newServer(t, cacheConfig(2, 4, true))
 	sess := srv.NewSession()
-	if _, err := sess.Join(tpch.OrdersProj, tpch.CustomerProj, joinReq(), matstore.RightMaterialized); err != nil {
+	if _, err := sess.Join(context.Background(), tpch.OrdersProj, tpch.CustomerProj, joinReq(), matstore.RightMaterialized); err != nil {
 		t.Fatal(err)
 	}
 	srv.InvalidateProjection(tpch.CustomerProj)
@@ -319,7 +341,7 @@ func TestBuildCacheInvalidationOnGenerationBump(t *testing.T) {
 	if st.Invalidations != 1 || st.Entries != 0 || st.Bytes != 0 {
 		t.Errorf("after invalidation: %+v, want 1 invalidation and an empty cache", st)
 	}
-	out, err := sess.Join(tpch.OrdersProj, tpch.CustomerProj, joinReq(), matstore.RightMaterialized)
+	out, err := sess.Join(context.Background(), tpch.OrdersProj, tpch.CustomerProj, joinReq(), matstore.RightMaterialized)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +350,7 @@ func TestBuildCacheInvalidationOnGenerationBump(t *testing.T) {
 	}
 	// Invalidating an unrelated projection leaves the rebuilt entry alone.
 	srv.InvalidateProjection(tpch.LineitemProj)
-	out, err = sess.Join(tpch.OrdersProj, tpch.CustomerProj, joinReq(), matstore.RightMaterialized)
+	out, err = sess.Join(context.Background(), tpch.OrdersProj, tpch.CustomerProj, joinReq(), matstore.RightMaterialized)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +364,7 @@ func TestBuildCacheInvalidationOnGenerationBump(t *testing.T) {
 func TestExplainThroughService(t *testing.T) {
 	srv := newServer(t, cacheConfig(2, 4, true))
 	sess := srv.NewSession()
-	ex, info, err := sess.Explain(tpch.LineitemProj, matstore.Query{
+	ex, info, err := sess.Explain(context.Background(), tpch.LineitemProj, matstore.Query{
 		Output:  []string{tpch.ColShipdate},
 		Filters: []matstore.Filter{{Col: tpch.ColShipdate, Pred: matstore.LessThan(400)}},
 	}, matstore.LMParallel)
@@ -355,7 +377,7 @@ func TestExplainThroughService(t *testing.T) {
 	if ex.Tree == "" {
 		t.Error("empty explain tree")
 	}
-	jex, _, err := sess.ExplainJoin(tpch.OrdersProj, tpch.CustomerProj, joinReq(), matstore.RightMultiColumn)
+	jex, _, err := sess.ExplainJoin(context.Background(), tpch.OrdersProj, tpch.CustomerProj, joinReq(), matstore.RightMultiColumn)
 	if err != nil {
 		t.Fatal(err)
 	}

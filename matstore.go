@@ -33,6 +33,8 @@
 package matstore
 
 import (
+	"sync/atomic"
+
 	"matstore/internal/buffer"
 	"matstore/internal/core"
 	"matstore/internal/model"
@@ -132,8 +134,29 @@ func ParseRightStrategy(s string) (RightStrategy, error) { return operators.Pars
 // PaperConstants returns the Table 2 constants from the paper's hardware.
 func PaperConstants() Constants { return model.Paper }
 
-// Calibrate measures the analytical-model constants on this machine.
-func Calibrate() Constants { return model.Calibrate() }
+// Calibrate measures the analytical-model constants on this machine
+// bottom-up, by timing the small code segments each constant stands for.
+// FitConstants is the complementary top-down refit from observed whole-query
+// executions.
+func Calibrate() Constants { return model.MeasureConstants() }
+
+// Observation is one (model feature vector, observed node time) pair
+// extracted from an explained execution; see Explanation.Observations.
+type Observation = model.Observation
+
+// CalibrationReport describes a FitConstants run: constants before/after and
+// the RMS modeled-vs-observed error under each.
+type CalibrationReport = model.CalibrationReport
+
+// FitConstants refits the model's CPU constants to observed per-node
+// execution times by least squares (ridge-regularized toward prior). The
+// returned constants never fit the observations worse than the prior; feed
+// them back with DB.SetConstants so the advisors, EXPLAIN annotations and
+// cost-based admission grants run on constants measured on this machine
+// rather than the paper's 2007 hardware.
+func FitConstants(obs []Observation, prior Constants) (Constants, CalibrationReport) {
+	return model.Calibrate(obs, prior)
+}
 
 // Generate writes TPC-H-shaped sample projections (lineitem, orders,
 // customer) under dir at the given scale factor (1.0 ≈ 6M lineitem rows;
@@ -156,6 +179,10 @@ type Options struct {
 type DB struct {
 	inner *storage.DB
 	exec  *core.Executor
+	// consts are the analytical-model constants every advisor, EXPLAIN
+	// annotation and cost estimate on this handle uses (atomic so a
+	// calibration pass can swap them while queries run).
+	consts atomic.Pointer[model.Constants]
 }
 
 // Open opens every projection under dir.
@@ -168,8 +195,21 @@ func Open(dir string, opts ...Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{inner: inner, exec: core.NewExecutor(inner.Pool(), o.Exec)}, nil
+	db := &DB{inner: inner, exec: core.NewExecutor(inner.Pool(), o.Exec)}
+	paper := model.Paper
+	db.consts.Store(&paper)
+	return db, nil
 }
+
+// Constants returns the model constants this handle currently runs on (the
+// paper's Table 2 values until SetConstants installs calibrated ones).
+func (db *DB) Constants() Constants { return *db.consts.Load() }
+
+// SetConstants installs new model constants, e.g. the FitConstants output:
+// Advise, AdviseParallel, AdviseJoin, Explain, ExplainJoin and the cost
+// estimators all use them from the next call on. Safe under concurrent
+// queries.
+func (db *DB) SetConstants(c Constants) { db.consts.Store(&c) }
 
 // Close releases all column files.
 func (db *DB) Close() error { return db.inner.Close() }
