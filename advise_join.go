@@ -54,6 +54,32 @@ func (db *DB) EstimateJoinCost(left, right string, q JoinQuery, rs RightStrategy
 	return db.Constants().JoinCost(in, rs), nil
 }
 
+// EstimateJoinMemory predicts the resident heap bytes the join's blocking
+// hash-build side will pin under the given inner-table strategy, from catalog
+// statistics alone (inner tuple count, distinct key count, payload block
+// counts). The admission governor reserves this many bytes before granting an
+// in-memory join, and sizes the spill budget from it when the grant doesn't
+// fit.
+func (db *DB) EstimateJoinMemory(right string, q JoinQuery, rs RightStrategy) (int64, error) {
+	rp, err := db.inner.Projection(right)
+	if err != nil {
+		return 0, err
+	}
+	rightKey, err := rp.Column(q.RightKey)
+	if err != nil {
+		return 0, err
+	}
+	blocks := make([]int64, 0, len(q.RightOutput))
+	for _, name := range q.RightOutput {
+		c, err := rp.Column(name)
+		if err != nil {
+			return 0, err
+		}
+		blocks = append(blocks, int64(c.NumBlocks()))
+	}
+	return model.EstimateJoinMemory(rightKey.TupleCount(), rightKey.Distinct(), blocks, rs), nil
+}
+
 // deriveJoinInputs maps catalog statistics onto the model's JoinInputs: the
 // outer predicate's selectivity from the outer key's min/max, and the
 // matches-per-key fan-out from the inner key's distinct count.

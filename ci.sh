@@ -8,6 +8,11 @@ go vet ./...
 go test ./...
 go test -race ./internal/...
 
+# The extended fault-injection suite (shed-under-saturation with slow-IO
+# faults, build-cache demotion faults) sits behind the faultinject build tag
+# so the hot path carries no test-only hooks by default; run it explicitly.
+go test -race -tags faultinject -run TestFaultinject -count=1 ./internal/service/
+
 # Smoke-check the perf-recording pipeline (not a perf gate: single run,
 # throwaway output). `make bench-json` writes the real BENCH_PR<N>.json.
 go test -run xxx -bench 'BenchmarkFilterPlain$' -benchtime 1x ./internal/encoding \
@@ -73,6 +78,31 @@ ci_join_body2='{"left":"orders","right":"customer","leftkey":"custkey","rightkey
 	| grep -q 'JOINBUILD'
 "$ci_explain_dir/csserve" -get http://127.0.0.1:18977/stats \
 	| grep -q '"peak_workers_in_use":'
+
+# Memory-governance smoke: restart csserve under a byte budget with the
+# allocation-pressure failpoint armed (the CI dataset is far smaller than
+# the flag's 1 MiB minimum, so the failpoint is what deterministically
+# denies the in-memory reservation). The governed join must run in Grace
+# spill mode and report it, /stats must expose the governor block, and the
+# health endpoints must serve.
+kill "$ci_serve_pid" 2>/dev/null
+"$ci_explain_dir/csserve" -dir "$ci_explain_dir" -addr 127.0.0.1:18978 \
+	-worker-budget 2 -memory-budget-mb 1 -spill-dir "$ci_explain_dir/spill-smoke" \
+	-faults mem.reserve=error &
+ci_serve_pid=$!
+for i in $(seq 1 50); do
+	if "$ci_explain_dir/csserve" -get http://127.0.0.1:18978/healthz >/dev/null 2>&1; then
+		break
+	fi
+	sleep 0.1
+done
+"$ci_explain_dir/csserve" -get http://127.0.0.1:18978/readyz | grep -q '"ready":true'
+"$ci_explain_dir/csserve" -post http://127.0.0.1:18978/join -data "$ci_join_body" \
+	| grep -q '"spilled":true'
+"$ci_explain_dir/csserve" -get http://127.0.0.1:18978/stats \
+	| grep -q '"spilled_joins":1'
+"$ci_explain_dir/csserve" -get http://127.0.0.1:18978/stats \
+	| grep -q '"peak_reserved":'
 
 # Smoke-run calibration: refit the Table 2 CPU constants from the mixed
 # workload's observed per-node times; the report must show the refit.

@@ -19,6 +19,10 @@
 //	csquery -dir ./data -proj orders -join customer -leftkey custkey \
 //	        -rightkey custkey -out shipdate -rightout nationcode \
 //	        -where 'custkey<200' -rightstrategy right-singlecolumn -explain
+//
+// -spill-budget-kb caps the resident build side: over-budget radix
+// partitions Grace-spill to temp files under the database's .spill
+// directory, with results byte-identical to the in-memory build.
 package main
 
 import (
@@ -52,6 +56,7 @@ func main() {
 	rightOut := flag.String("rightout", "", "comma-separated inner output columns (with -join)")
 	rightStrategy := flag.String("rightstrategy", "right-materialized", "inner-table materialization: right-materialized|right-multicolumn|right-singlecolumn")
 	advise := flag.Bool("advise", false, "join mode: let the Section 4.3 cost terms pick the inner-table strategy")
+	spillKB := flag.Int64("spill-budget-kb", 0, "join mode: cap the resident build side at this many KiB, Grace-spilling over-budget partitions to temp files (0 = in-memory build)")
 	flag.Parse()
 
 	db, err := matstore.Open(*dir)
@@ -79,8 +84,11 @@ func main() {
 			}
 		})
 		runJoin(db, *proj, *joinProj, *leftKey, *rightKey, *out, *rightOut,
-			*rightStrategy, filters, *parallelism, *limit, *explain, *advise)
+			*rightStrategy, filters, *parallelism, *limit, *explain, *advise, *spillKB<<10)
 		return
+	}
+	if *spillKB != 0 {
+		log.Fatal("-spill-budget-kb applies only in join mode (-join)")
 	}
 	if *advise {
 		log.Fatal("-advise applies only in join mode (-join); use -strategy advise for selections")
@@ -138,7 +146,7 @@ func main() {
 // runJoin executes (or explains) the join mode: outer ⋈ inner on the key
 // columns, inner side materialized per the right strategy (or, with advise,
 // per the cost model's Figure 13 pick).
-func runJoin(db *matstore.DB, outer, inner, leftKey, rightKey, out, rightOut, rightStrategy string, filters []matstore.Filter, parallelism, limit int, explain, advise bool) {
+func runJoin(db *matstore.DB, outer, inner, leftKey, rightKey, out, rightOut, rightStrategy string, filters []matstore.Filter, parallelism, limit int, explain, advise bool, spillBudget int64) {
 	if leftKey == "" || rightKey == "" {
 		log.Fatal("join mode needs -leftkey and -rightkey")
 	}
@@ -150,10 +158,11 @@ func runJoin(db *matstore.DB, outer, inner, leftKey, rightKey, out, rightOut, ri
 		}
 	}
 	q := matstore.JoinQuery{
-		LeftKey:     leftKey,
-		LeftPred:    matstore.MatchAll,
-		RightKey:    rightKey,
-		Parallelism: parallelism,
+		LeftKey:          leftKey,
+		LeftPred:         matstore.MatchAll,
+		RightKey:         rightKey,
+		Parallelism:      parallelism,
+		SpillBudgetBytes: spillBudget,
 	}
 	if out != "" {
 		q.LeftOutput = strings.Split(out, ",")
@@ -202,6 +211,10 @@ func runJoin(db *matstore.DB, outer, inner, leftKey, rightKey, out, rightOut, ri
 		stats.Join.Partitions, stats.Join.BuildWorkers)
 	fmt.Printf("probes=%d tuples_out=%d build_tuples=%d deferred_fetches=%d\n",
 		stats.Join.LeftProbes, stats.TuplesOut, stats.Join.RightBuildTuples, stats.Join.DeferredFetches)
+	if stats.Join.Spilled {
+		fmt.Printf("spill: partitions=%d/%d bytes=%d probes=%d\n",
+			stats.Join.SpilledParts, stats.Join.Partitions, stats.Join.SpillBytes, stats.Join.SpillProbes)
+	}
 }
 
 // printRows prints the result header plus up to limit rows.

@@ -37,6 +37,7 @@ import (
 
 	"matstore"
 	"matstore/internal/bench"
+	"matstore/internal/faults"
 	"matstore/internal/service"
 )
 
@@ -51,6 +52,9 @@ func main() {
 	planEntries := flag.Int("plan-cache", 0, "plan cache entries (0 = 256, negative = disabled)")
 	resultMB := flag.Int64("result-cache-mb", 0, "result cache budget in MiB (0 = 32, negative = disabled)")
 	sliceUS := flag.Float64("grant-slice-us", 0, "modeled µs one worker absorbs when sizing grants (0 = 100, negative = fair-share only)")
+	memoryMB := flag.Int64("memory-budget-mb", 0, "byte-budget memory governor in MiB: joins reserve predicted build bytes, spill to disk when over budget, shed with 503 under pile-up (0 = governance off)")
+	spillDir := flag.String("spill-dir", "", "directory for spill temp files (default: .spill under -dir)")
+	faultSpec := flag.String("faults", "", "debug: arm fault-injection sites, e.g. 'spill.write=error:3,spill.read=slow' (sites: spill.create spill.write spill.read cache.demote cache.rehydrate mem.reserve; modes: error short slow[:afterN])")
 	calibrate := flag.Bool("calibrate", false, "refit the cost-model constants to this machine from the mixed workload before serving")
 	get := flag.String("get", "", "client mode: GET this URL, print the body, exit")
 	post := flag.String("post", "", "client mode: POST -data to this URL, print the body, exit")
@@ -80,6 +84,13 @@ func main() {
 			rep.Fitted.BIC, rep.Fitted.TICTUP, rep.Fitted.TICCOL, rep.Fitted.FC)
 	}
 
+	if *faultSpec != "" {
+		if err := faults.Parse(*faultSpec); err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		log.Printf("fault injection armed: %s", *faultSpec)
+	}
+
 	buildBytes := *buildMB
 	if buildBytes > 0 {
 		buildBytes <<= 20
@@ -88,17 +99,23 @@ func main() {
 	if resultBytes > 0 {
 		resultBytes <<= 20
 	}
+	memoryBytes := *memoryMB
+	if memoryBytes > 0 {
+		memoryBytes <<= 20
+	}
 	srv := service.New(db, service.Config{
-		MaxConcurrent:    *maxConc,
-		WorkerBudget:     *budget,
-		BuildCacheBytes:  buildBytes,
-		PlanCacheEntries: *planEntries,
-		ResultCacheBytes: resultBytes,
-		GrantSliceMicros: *sliceUS,
+		MaxConcurrent:     *maxConc,
+		WorkerBudget:      *budget,
+		BuildCacheBytes:   buildBytes,
+		PlanCacheEntries:  *planEntries,
+		ResultCacheBytes:  resultBytes,
+		GrantSliceMicros:  *sliceUS,
+		MemoryBudgetBytes: memoryBytes,
+		SpillDir:          *spillDir,
 	})
 	cfg := srv.Config()
-	log.Printf("serving %s on %s (worker budget %d, admission limit %d, projections %v)",
-		*dir, *addr, cfg.WorkerBudget, cfg.MaxConcurrent, db.Projections())
+	log.Printf("serving %s on %s (worker budget %d, admission limit %d, memory budget %d MiB, projections %v)",
+		*dir, *addr, cfg.WorkerBudget, cfg.MaxConcurrent, *memoryMB, db.Projections())
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -115,6 +132,7 @@ func main() {
 		log.Fatal(err)
 	case sig := <-sigCh:
 		log.Printf("received %v, draining in-flight sessions", sig)
+		srv.MarkDraining() // /readyz flips to 503 before connections close
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {

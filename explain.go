@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"matstore/internal/model"
+	"matstore/internal/operators"
 	"matstore/internal/plan"
 )
 
@@ -57,6 +58,10 @@ func (ex *Explanation) String() string {
 			"join: right=%v probes=%d build_tuples=%d partitions=%d build_workers=%d deferred_fetches=%d\n",
 			js.RightStrategy, js.Join.LeftProbes, js.Join.RightBuildTuples,
 			js.Join.Partitions, js.Join.BuildWorkers, js.Join.DeferredFetches)
+		if js.Join.Spilled {
+			s += fmt.Sprintf("spill: partitions=%d/%d bytes=%d probes=%d\n",
+				js.Join.SpilledParts, js.Join.Partitions, js.Join.SpillBytes, js.Join.SpillProbes)
+		}
 	}
 	return s
 }
@@ -108,13 +113,19 @@ func (db *DB) ExplainJoin(left, right string, q JoinQuery, rs RightStrategy) (*E
 	if err != nil {
 		return nil, err
 	}
-	pl, err := db.exec.BuildJoinPlan(lp, rp, q, rs)
+	var pl *plan.Plan
+	var spill *operators.SpillConfig
+	if q.SpillBudgetBytes > 0 {
+		pl, spill, err = db.spillJoinPlan(lp, rp, right, q, rs)
+	} else {
+		pl, err = db.exec.BuildJoinPlan(lp, rp, q, rs)
+	}
 	if err != nil {
 		return nil, err
 	}
 	consts := db.Constants()
 	consts.AnnotatePlan(pl, true)
-	res, stats, err := db.exec.RunJoinPlan(pl, q.Parallelism, true)
+	res, stats, err := db.exec.RunJoinPlanWith(pl, q.Parallelism, plan.RunOptions{Observe: true, Spill: spill})
 	if err != nil {
 		return nil, err
 	}

@@ -31,6 +31,14 @@ type JoinQuery struct {
 	// table morsel-parallel into per-partition tables, and the outer-table
 	// probe streams morsel-parallel against them.
 	Parallelism int
+	// SpillBudgetBytes, when > 0, caps the resident bytes of the build side:
+	// the build runs in Grace spill mode, writing over-budget partitions to
+	// temp files under the database's spill directory and probing them
+	// partition-at-a-time. Results are byte-identical to the in-memory build
+	// at every budget. 0 (the default) builds fully in memory. (The query
+	// service sets the equivalent automatically from its memory governor;
+	// this field is the direct-API and CLI switch.)
+	SpillBudgetBytes int64
 }
 
 // JoinStats extends Stats with join-side counters.
@@ -118,6 +126,13 @@ func (e *Executor) Join(left, right *storage.Projection, q JoinQuery, rs operato
 // executor, wrapping the run in the query-level accounting. With observe
 // set, every plan node accumulates observed rows/time for EXPLAIN.
 func (e *Executor) RunJoinPlan(pl *plan.Plan, parallelism int, observe bool) (*rows.Result, *JoinStats, error) {
+	return e.RunJoinPlanWith(pl, parallelism, plan.RunOptions{Observe: observe})
+}
+
+// RunJoinPlanWith is RunJoinPlan with the full run options: a cancellation
+// context and, when the memory governor forces it, a Grace spill
+// configuration for the build side.
+func (e *Executor) RunJoinPlanWith(pl *plan.Plan, parallelism int, opt plan.RunOptions) (*rows.Result, *JoinStats, error) {
 	probe := pl.JoinProbe()
 	if probe == nil {
 		return nil, nil, errors.New("core: RunJoinPlan needs a join plan (PROJECT over JOINPROBE)")
@@ -127,7 +142,7 @@ func (e *Executor) RunJoinPlan(pl *plan.Plan, parallelism int, observe bool) (*r
 	before := e.Pool.Stats()
 	start := time.Now()
 
-	res, runStats, err := pl.Run(parallelism, observe)
+	res, runStats, err := pl.RunWith(parallelism, opt)
 	if err != nil {
 		return nil, nil, err
 	}

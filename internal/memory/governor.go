@@ -1,0 +1,184 @@
+// Package memory is the process-wide byte-budget governor. Queries reserve
+// their predicted working-set bytes before allocating; the reservation is
+// released when the query finishes or its context is cancelled. The invariant
+// the concurrent suite pins: the sum of outstanding reservations never
+// exceeds the budget, so a correctly-estimated workload cannot OOM — it
+// either runs in memory, runs in spill mode under a smaller reservation,
+// queues, or is shed.
+package memory
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"matstore/internal/faults"
+)
+
+// ErrShed is returned when the governor refuses to queue a request: either
+// the ask exceeds the whole budget's spill floor or too many requests are
+// already waiting. Servers map it to HTTP 503 + Retry-After.
+var ErrShed = errors.New("memory: overloaded, shedding load")
+
+// DefaultMaxWaiters bounds the Reserve queue before the governor sheds.
+const DefaultMaxWaiters = 32
+
+// Governor tracks reserved bytes against a fixed budget.
+type Governor struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	budget     int64
+	reserved   int64
+	peak       int64
+	waiters    int
+	maxWaiters int
+
+	grants int64
+	waited int64
+	shed   int64
+}
+
+// New returns a governor over budget bytes. maxWaiters <= 0 uses
+// DefaultMaxWaiters.
+func New(budget int64, maxWaiters int) *Governor {
+	if maxWaiters <= 0 {
+		maxWaiters = DefaultMaxWaiters
+	}
+	g := &Governor{budget: budget, maxWaiters: maxWaiters}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Budget reports the configured byte budget.
+func (g *Governor) Budget() int64 { return g.budget }
+
+// A Reservation holds bytes against the governor until Release.
+type Reservation struct {
+	g     *Governor
+	bytes int64
+	once  sync.Once
+}
+
+// Bytes reports the reserved size.
+func (r *Reservation) Bytes() int64 { return r.bytes }
+
+// Release returns the bytes to the budget. Safe to call more than once and
+// from deferred paths.
+func (r *Reservation) Release() {
+	if r == nil {
+		return
+	}
+	r.once.Do(func() {
+		g := r.g
+		g.mu.Lock()
+		g.reserved -= r.bytes
+		g.mu.Unlock()
+		g.cond.Broadcast()
+	})
+}
+
+// TryReserve grants bytes immediately if they fit, else returns nil without
+// queueing. The faults site "mem.reserve" simulates allocation pressure:
+// when armed, TryReserve fails as if the budget were exhausted.
+func (g *Governor) TryReserve(bytes int64) *Reservation {
+	if bytes <= 0 {
+		bytes = 1
+	}
+	if faults.Check("mem.reserve") != nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.reserved+bytes > g.budget {
+		return nil
+	}
+	return g.grantLocked(bytes)
+}
+
+func (g *Governor) grantLocked(bytes int64) *Reservation {
+	g.reserved += bytes
+	if g.reserved > g.peak {
+		g.peak = g.reserved
+	}
+	g.grants++
+	return &Reservation{g: g, bytes: bytes}
+}
+
+// Reserve blocks until bytes fit within the budget, the context is cancelled,
+// or the governor sheds. bytes larger than the whole budget are shed
+// immediately (they could never be granted); more than maxWaiters queued
+// requests also shed.
+func (g *Governor) Reserve(ctx context.Context, bytes int64) (*Reservation, error) {
+	if bytes <= 0 {
+		bytes = 1
+	}
+	g.mu.Lock()
+	if bytes > g.budget {
+		g.shed++
+		g.mu.Unlock()
+		return nil, ErrShed
+	}
+	if g.reserved+bytes <= g.budget {
+		r := g.grantLocked(bytes)
+		g.mu.Unlock()
+		return r, nil
+	}
+	if g.waiters >= g.maxWaiters {
+		g.shed++
+		g.mu.Unlock()
+		return nil, ErrShed
+	}
+	g.waiters++
+	g.waited++
+	// Wake the cond.Wait below when the context dies; cond.Wait cannot
+	// observe ctx on its own.
+	stop := context.AfterFunc(ctx, func() { g.cond.Broadcast() })
+	defer stop()
+	for g.reserved+bytes > g.budget {
+		if ctx.Err() != nil {
+			g.waiters--
+			g.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		g.cond.Wait()
+	}
+	g.waiters--
+	r := g.grantLocked(bytes)
+	g.mu.Unlock()
+	return r, nil
+}
+
+// Pressured reports whether requests are currently queued for memory — the
+// signal /readyz uses to fail fast before a load balancer sends more work.
+func (g *Governor) Pressured() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waiters > 0
+}
+
+// Stats is a point-in-time snapshot.
+type Stats struct {
+	Budget       int64 `json:"budget"`
+	Reserved     int64 `json:"reserved"`
+	PeakReserved int64 `json:"peak_reserved"`
+	Reservations int64 `json:"reservations"`
+	Waiters      int   `json:"waiters"`
+	Waited       int64 `json:"waited"`
+	Shed         int64 `json:"shed_count"`
+}
+
+// Stats snapshots the governor counters.
+func (g *Governor) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Stats{
+		Budget:       g.budget,
+		Reserved:     g.reserved,
+		PeakReserved: g.peak,
+		Reservations: g.grants,
+		Waiters:      g.waiters,
+		Waited:       g.waited,
+		Shed:         g.shed,
+	}
+}

@@ -1,0 +1,55 @@
+package model
+
+import "matstore/internal/operators"
+
+// This file is the memory half of the cost model: where cost.go predicts the
+// paper's time terms, EstimateJoinMemory predicts the resident bytes a join's
+// blocking hash-build side will pin, from the same catalog statistics. The
+// admission governor sizes byte reservations with it — an over-estimate
+// wastes budget headroom, an under-estimate risks the OOM the governor
+// exists to prevent, so the formula mirrors the build's actual accounting
+// (PartitionedTable.memBytes) term by term.
+
+// Sizing constants mirroring the build's resident-footprint accounting: a Go
+// map bucket entry for a distinct key (header + key + slice header), one
+// position per tuple in the bucket lists, one dense int64 per tuple per
+// materialized payload column, and retained compressed blocks for the
+// multi-column strategy.
+const (
+	bytesPerDistinctKey = 48
+	bytesPerPosition    = 8
+	bytesPerDenseValue  = 8
+	bytesPerBlock       = 64 * 1024
+)
+
+// EstimateJoinMemory predicts the resident heap bytes of a partitioned hash
+// build over an inner table with the given tuple count, distinct key count,
+// and per-payload-column block counts, under one materialization strategy:
+//
+//	right-materialized: hash entries + one dense array per payload column;
+//	right-multicolumn: hash entries + every payload block retained compressed;
+//	right-singlecolumn: hash entries only (payload stays on disk, fetched
+//	  by the deferred positional join).
+//
+// distinct <= 0 falls back to tuples (unique-key worst case for the bucket
+// map). The estimate is what admission reserves for an in-memory grant, and
+// what the spill planner divides by the partition count to pick the resident
+// share.
+func EstimateJoinMemory(tuples, distinct int64, payloadBlocks []int64, rs operators.RightStrategy) int64 {
+	if tuples <= 0 {
+		return 0
+	}
+	if distinct <= 0 || distinct > tuples {
+		distinct = tuples
+	}
+	bytes := distinct*bytesPerDistinctKey + tuples*bytesPerPosition
+	switch rs {
+	case operators.RightMaterialized:
+		bytes += tuples * bytesPerDenseValue * int64(len(payloadBlocks))
+	case operators.RightMultiColumn:
+		for _, b := range payloadBlocks {
+			bytes += b * bytesPerBlock
+		}
+	}
+	return bytes
+}

@@ -1,0 +1,42 @@
+package model
+
+import (
+	"testing"
+
+	"matstore/internal/operators"
+)
+
+// TestEstimateJoinMemory pins the memory model's shape: strategies order
+// single-column < materialized-with-payload, multi-column scales with block
+// counts, and degenerate inputs are safe.
+func TestEstimateJoinMemory(t *testing.T) {
+	single := EstimateJoinMemory(10_000, 300, []int64{4, 4}, operators.RightSingleColumn)
+	mat := EstimateJoinMemory(10_000, 300, []int64{4, 4}, operators.RightMaterialized)
+	multi := EstimateJoinMemory(10_000, 300, []int64{4, 4}, operators.RightMultiColumn)
+
+	if single <= 0 {
+		t.Fatalf("single-column estimate = %d, want > 0 (hash entries)", single)
+	}
+	if want := int64(300*bytesPerDistinctKey + 10_000*bytesPerPosition); single != want {
+		t.Errorf("single-column = %d, want %d", single, want)
+	}
+	if mat != single+2*10_000*bytesPerDenseValue {
+		t.Errorf("materialized = %d, want single %d + dense arrays", mat, single)
+	}
+	if multi != single+8*bytesPerBlock {
+		t.Errorf("multi-column = %d, want single %d + 8 retained blocks", multi, single)
+	}
+
+	// Unknown distinct count falls back to the unique-key worst case.
+	worst := EstimateJoinMemory(1000, 0, nil, operators.RightSingleColumn)
+	if want := int64(1000*bytesPerDistinctKey + 1000*bytesPerPosition); worst != want {
+		t.Errorf("distinct=0 fallback = %d, want %d", worst, want)
+	}
+	// A distinct count above tuples (stale stats) clamps too.
+	if got := EstimateJoinMemory(1000, 5000, nil, operators.RightSingleColumn); got != worst {
+		t.Errorf("distinct>tuples = %d, want clamped %d", got, worst)
+	}
+	if got := EstimateJoinMemory(0, 0, nil, operators.RightMaterialized); got != 0 {
+		t.Errorf("empty table estimate = %d, want 0", got)
+	}
+}

@@ -2,7 +2,10 @@ package operators
 
 import (
 	"container/list"
+	"os"
 	"sync"
+
+	"matstore/internal/storage"
 )
 
 // This file is the shared join-build cache: the operators-level
@@ -55,6 +58,14 @@ type BuildCacheStats struct {
 	Entries      int   `json:"entries"`
 	Bytes        int64 `json:"bytes"`
 	Capacity     int64 `json:"capacity_bytes"`
+	// Demotion counters: evictions written to disk instead of dropped,
+	// lookups served by rehydrating a demoted entry, and demote/rehydrate
+	// failures (which degrade to a plain eviction or a fresh build).
+	Demotions      int64 `json:"demotions"`
+	DemotedHits    int64 `json:"demoted_hits"`
+	DemoteFailures int64 `json:"demote_failures"`
+	DemotedEntries int   `json:"demoted_entries"`
+	DemotedBytes   int64 `json:"demoted_bytes"`
 }
 
 // BuildCache is a keyed LRU cache of retained join builds under a byte
@@ -68,6 +79,26 @@ type BuildCache struct {
 	inflight map[BuildKey]*buildFlight
 	gens     map[string]uint64
 	stats    BuildCacheStats
+
+	// Demotion tier (EnableDemotion): evicted builds persist their hash
+	// entries to disk instead of vanishing, under their own byte budget.
+	demoteDir    string
+	demotedCap   int64
+	demotedBytes int64
+	demoted      map[BuildKey]*list.Element // of *demotedBuild
+	demotedLRU   *list.List
+}
+
+// demotedBuild is one evicted build living on disk. The stored-column
+// handles are retained so rehydration can re-window payload without a
+// catalog lookup.
+type demotedBuild struct {
+	key     BuildKey
+	path    string
+	bytes   int64
+	gen     uint64
+	cols    []*storage.Column
+	payload []string
 }
 
 // buildFlight is one in-progress build other requests can wait on.
@@ -81,12 +112,28 @@ type buildFlight struct {
 // unbounded).
 func NewBuildCache(capacity int64) *BuildCache {
 	return &BuildCache{
-		capacity: capacity,
-		entries:  make(map[BuildKey]*list.Element),
-		lru:      list.New(),
-		inflight: make(map[BuildKey]*buildFlight),
-		gens:     make(map[string]uint64),
+		capacity:   capacity,
+		entries:    make(map[BuildKey]*list.Element),
+		lru:        list.New(),
+		inflight:   make(map[BuildKey]*buildFlight),
+		gens:       make(map[string]uint64),
+		demoted:    make(map[BuildKey]*list.Element),
+		demotedLRU: list.New(),
 	}
+}
+
+// EnableDemotion turns eviction into demotion: evicted builds write their
+// hash entries to spill-format files under dir, bounded by capBytes of disk
+// (<= 0 means 8x the in-memory budget). Demoted entries rehydrate on the
+// next lookup of their key, so warm keys stay probeable past the byte budget.
+func (c *BuildCache) EnableDemotion(dir string, capBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if capBytes <= 0 {
+		capBytes = 8 * c.capacity
+	}
+	c.demoteDir = dir
+	c.demotedCap = capBytes
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -97,6 +144,8 @@ func (c *BuildCache) Stats() BuildCacheStats {
 	st.Entries = len(c.entries)
 	st.Bytes = c.bytes
 	st.Capacity = c.capacity
+	st.DemotedEntries = len(c.demoted)
+	st.DemotedBytes = c.demotedBytes
 	return st
 }
 
@@ -117,6 +166,12 @@ func (c *BuildCache) Invalidate(proj string) {
 	for key, el := range c.entries {
 		if key.Proj == proj {
 			c.removeLocked(el)
+			c.stats.Invalidations++
+		}
+	}
+	for key, el := range c.demoted {
+		if key.Proj == proj {
+			c.removeDemotedLocked(el)
 			c.stats.Invalidations++
 		}
 	}
@@ -156,6 +211,19 @@ func (c *BuildCache) GetOrBuild(key BuildKey, build func() (*PartitionedTable, e
 			}
 			continue
 		}
+		if el, ok := c.demoted[key]; ok {
+			db := el.Value.(*demotedBuild)
+			if db.gen != gen {
+				c.removeDemotedLocked(el)
+			} else if rt, ok := c.rehydrate(key, gen, db); ok {
+				// rehydrate reacquired and released c.mu; a success means the
+				// table is cached under the checked generation.
+				return rt, true, nil
+			}
+			// Rehydration failed or went stale: the demoted record is gone;
+			// retry from the top and fall through to a fresh build.
+			continue
+		}
 		fl := &buildFlight{done: make(chan struct{})}
 		c.inflight[key] = fl
 		c.stats.Misses++
@@ -184,6 +252,43 @@ func (c *BuildCache) GetOrBuild(key BuildKey, build func() (*PartitionedTable, e
 	}
 }
 
+// rehydrate loads a demoted build back into the resident tier under the
+// single-flight protocol (concurrent lookups of the key wait on the flight
+// rather than re-reading the file). Called with c.mu held; returns with c.mu
+// released. ok=false means the demoted record has been dropped (failed read
+// or stale generation) and the caller should retry, falling through to a
+// fresh build.
+func (c *BuildCache) rehydrate(key BuildKey, gen uint64, db *demotedBuild) (*PartitionedTable, bool) {
+	fl := &buildFlight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+
+	rt, err := LoadDemoted(db.path, db.cols, db.payload)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	// An Invalidate may have removed the record (and file) while we read it.
+	present := false
+	if el, ok := c.demoted[key]; ok && el.Value.(*demotedBuild) == db {
+		c.removeDemotedLocked(el)
+		present = true
+	}
+	ok := err == nil && present && c.gens[key.Proj] == gen
+	if ok {
+		c.insertLocked(key, gen, rt)
+		c.stats.Hits++
+		c.stats.DemotedHits++
+	} else if err != nil {
+		c.stats.DemoteFailures++
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	if !ok {
+		return nil, false
+	}
+	return rt, true
+}
+
 // insertLocked adds a built table, evicting least-recently-used entries
 // until the budget holds. A table larger than the whole budget is served but
 // not retained.
@@ -202,9 +307,49 @@ func (c *BuildCache) insertLocked(key BuildKey, gen uint64, rt *PartitionedTable
 		if back == nil {
 			break
 		}
-		c.removeLocked(back)
-		c.stats.Evictions++
+		c.evictLocked(back)
 	}
+}
+
+// evictLocked removes the entry and, when demotion is enabled, persists its
+// hash entries to disk first. A failed demote degrades to a plain eviction.
+// The write happens under c.mu: demote files are hash entries only (no
+// payload), so the IO is proportional to key cardinality, not table bytes.
+func (c *BuildCache) evictLocked(el *list.Element) {
+	rb := el.Value.(*RetainedBuild)
+	c.removeLocked(el)
+	c.stats.Evictions++
+	if c.demoteDir == "" || rb.Table.DeferredPayload() {
+		return
+	}
+	path, bytes, err := WriteDemoted(rb.Table, c.demoteDir)
+	if err != nil {
+		c.stats.DemoteFailures++
+		return
+	}
+	db := &demotedBuild{key: rb.Key, path: path, bytes: bytes, gen: rb.gen,
+		cols: rb.Table.cols, payload: rb.Table.payload}
+	if old, ok := c.demoted[rb.Key]; ok {
+		c.removeDemotedLocked(old)
+	}
+	c.demoted[rb.Key] = c.demotedLRU.PushFront(db)
+	c.demotedBytes += bytes
+	c.stats.Demotions++
+	for c.demotedCap > 0 && c.demotedBytes > c.demotedCap {
+		back := c.demotedLRU.Back()
+		if back == nil {
+			break
+		}
+		c.removeDemotedLocked(back)
+	}
+}
+
+func (c *BuildCache) removeDemotedLocked(el *list.Element) {
+	db := el.Value.(*demotedBuild)
+	c.demotedLRU.Remove(el)
+	delete(c.demoted, db.key)
+	c.demotedBytes -= db.bytes
+	os.Remove(db.path)
 }
 
 func (c *BuildCache) removeLocked(el *list.Element) {

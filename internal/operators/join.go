@@ -172,6 +172,14 @@ type JoinStats struct {
 	// retained build (the service-level build cache or Plan.ReuseBuild)
 	// instead of scanning the inner table.
 	BuildCacheHit bool
+	// Spilled reports a Grace spill-mode run: the build ran under a byte
+	// budget with SpilledParts partitions on disk (SpillBytes total) and all
+	// right payload deferred to the stored columns. SpillProbes counts the
+	// probes resolved partition-at-a-time from spilled partitions.
+	Spilled      bool
+	SpilledParts int
+	SpillBytes   int64
+	SpillProbes  int64
 }
 
 // JoinSpec describes one hash join: the outer (left) table's key column

@@ -82,10 +82,24 @@ type PartitionedTable struct {
 	// plus the per-strategy payload storage) — the accounting unit of the
 	// shared build cache's memory budget.
 	SizeBytes int64
+	// SpilledParts and SpillBytes describe the Grace spill share of a
+	// budget-bounded build (zero for fully in-memory builds).
+	SpilledParts int
+	SpillBytes   int64
+
+	// spill is non-nil for budget-bounded builds (see spill.go): partitions
+	// past spill.resident live in temp files and all payload access defers
+	// to the stored columns.
+	spill *spillState
 }
 
 // Strategy returns the inner-table materialization strategy built.
 func (rt *PartitionedTable) Strategy() RightStrategy { return rt.strategy }
+
+// Spilled reports whether this is a budget-bounded Grace build whose
+// partitions (and temp files) live only as long as the run that built it —
+// such a table must never be reused or cached across runs.
+func (rt *PartitionedTable) Spilled() bool { return rt.spill != nil }
 
 // Payload returns the payload column names.
 func (rt *PartitionedTable) Payload() []string { return rt.payload }
@@ -134,6 +148,10 @@ func BuildPartitioned(key *storage.Column, payloadCols []*storage.Column, payloa
 		mask:       uint64(p - 1),
 		tables:     make([]map[int64][]int64, p),
 		chunkSize:  chunkSize,
+		// Retain the stored-column handles for every strategy: the deferred
+		// single-column fetch needs them at probe time, and build-cache
+		// demotion needs them to rehydrate payload without a rescan.
+		cols:       payloadCols,
 		Tuples:     extent.Len(),
 		Partitions: p,
 	}

@@ -1,0 +1,575 @@
+package operators
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"matstore/internal/datasource"
+	"matstore/internal/encoding"
+	"matstore/internal/exec"
+	"matstore/internal/faults"
+	"matstore/internal/storage"
+)
+
+// This file is the Grace spill path of the radix join build. When the memory
+// governor denies an in-memory reservation, the build runs under a byte
+// budget: partitions that fit stay resident (normal hash tables), partitions
+// over the share stream their (key, position) pairs to per-partition temp
+// files as checksummed plain blocks — the same internal/encoding format the
+// stored columns use, with no decompression or expansion of payload data.
+// The probe handles resident partitions inline and spilled partitions
+// partition-at-a-time afterwards (see internal/plan), reproducing the exact
+// output order of the in-memory path, so spilled results are byte-identical
+// at every budget and worker count.
+//
+// In spill mode ALL right-payload access is deferred to the stored column
+// files (forced late materialization): the spill files carry only hash
+// entries, never payload, because the payload already lives on disk in
+// compressed block form. The same insight drives build-cache demotion: a
+// demoted entry persists only the hash entries and rehydrates its payload by
+// re-windowing the stored columns.
+
+// SpillFilePrefix names every spill artifact (partition files and demoted
+// builds) so a startup sweep can remove orphans from a crashed process.
+const SpillFilePrefix = "spill-"
+
+// SpillDirName is the conventional spill directory under a database dir.
+const SpillDirName = ".spill"
+
+// SpillDir returns the conventional spill directory for a database dir.
+func SpillDir(dbDir string) string { return filepath.Join(dbDir, SpillDirName) }
+
+// SweepSpillDir removes orphaned spill files left by a previous crash.
+// A missing directory is not an error. Returns the number of files removed.
+func SweepSpillDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	removed := 0
+	for _, e := range entries {
+		if e.IsDir() || len(e.Name()) < len(SpillFilePrefix) || e.Name()[:len(SpillFilePrefix)] != SpillFilePrefix {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
+}
+
+// SpillConfig parameterizes one spill-mode build.
+type SpillConfig struct {
+	// BudgetBytes bounds the resident (in-memory) share of the build.
+	BudgetBytes int64
+	// EstBytes is the predicted full in-memory size (model.EstimateJoinMemory);
+	// the resident partition count is BudgetBytes / (EstBytes / partitions).
+	EstBytes int64
+	// Dir holds the per-partition temp files (created if missing).
+	Dir string
+}
+
+// spillPartition is one cold partition's temp file. Writers from different
+// morsels interleave frames under mu; the probe-side load sorts entries by
+// position, so the on-disk frame order never affects results.
+type spillPartition struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	entries int64
+	bytes   int64
+}
+
+// spillState marks a table as spill-built: partitions >= resident live on
+// disk, and all payload access is deferred to the stored columns.
+type spillState struct {
+	dir      string
+	resident int
+	parts    []*spillPartition // nil below resident
+	release  sync.Once
+}
+
+// DeferredPayload reports whether this table was built in spill mode, where
+// every right-payload value is fetched post-merge from the stored columns.
+func (rt *PartitionedTable) DeferredPayload() bool { return rt.spill != nil }
+
+// SpilledPartition reports whether partition pt lives on disk.
+func (rt *PartitionedTable) SpilledPartition(pt int) bool {
+	return rt.spill != nil && pt >= rt.spill.resident
+}
+
+// ResidentPartitions returns the number of in-memory partitions (equals
+// Partitions for non-spill builds).
+func (rt *PartitionedTable) ResidentPartitions() int {
+	if rt.spill == nil {
+		return rt.Partitions
+	}
+	return rt.spill.resident
+}
+
+// KeyPartition returns the radix partition a key routes to.
+func (rt *PartitionedTable) KeyPartition(key int64) int { return int(HashKey(key) & rt.mask) }
+
+// ReleaseSpill closes and removes the table's spill files. Idempotent; a
+// no-op for in-memory builds. The plan executor calls it when the run
+// finishes (success, error, or cancellation).
+func (rt *PartitionedTable) ReleaseSpill() {
+	if rt == nil || rt.spill == nil {
+		return
+	}
+	rt.spill.release.Do(func() {
+		for _, sp := range rt.spill.parts {
+			if sp == nil {
+				continue
+			}
+			if sp.f != nil {
+				sp.f.Close()
+			}
+			os.Remove(sp.path)
+		}
+	})
+}
+
+// spillAwareWrite writes buf honoring the site's armed failpoint: a short
+// write flushes a truncated prefix (so the file really is torn on disk)
+// before returning the injected error.
+func spillAwareWrite(f *os.File, site string, buf []byte) error {
+	if n, err := faults.WriteOutcome(site, len(buf)); err != nil {
+		if n > 0 {
+			f.Write(buf[:n])
+		}
+		return fmt.Errorf("%s: %w", site, err)
+	}
+	_, err := f.Write(buf)
+	return err
+}
+
+// writeFrame appends one (keys, positions) frame — two plain blocks — to the
+// partition file. len(keys) == len(poss) <= encoding.PlainBlockCap.
+func (sp *spillPartition) writeFrame(site string, keys, poss []int64, blockBuf []byte) error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	encoding.EncodePlainBlock(blockBuf, sp.entries, keys)
+	if err := spillAwareWrite(sp.f, site, blockBuf); err != nil {
+		return err
+	}
+	encoding.EncodePlainBlock(blockBuf, sp.entries, poss)
+	if err := spillAwareWrite(sp.f, site, blockBuf); err != nil {
+		return err
+	}
+	sp.entries += int64(len(keys))
+	sp.bytes += 2 * encoding.BlockSize
+	return nil
+}
+
+// readEntryFrames reads every (key, position) frame from r, verifying block
+// checksums. site names the fault-injection point for read errors.
+func readEntryFrames(r io.Reader, site string) ([]buildEntry, error) {
+	buf := make([]byte, encoding.BlockSize)
+	var out []buildEntry
+	for {
+		if err := faults.Check(site); err != nil {
+			return nil, fmt.Errorf("%s: %w", site, err)
+		}
+		if _, err := io.ReadFull(r, buf); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("spill frame: %w", err)
+		}
+		kb, err := encoding.DecodePlainBlock(buf)
+		if err != nil {
+			return nil, fmt.Errorf("spill key block: %w", err)
+		}
+		keys := append([]int64(nil), kb.Vals...)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("spill frame truncated: %w", err)
+		}
+		pb, err := encoding.DecodePlainBlock(buf)
+		if err != nil {
+			return nil, fmt.Errorf("spill position block: %w", err)
+		}
+		if len(pb.Vals) != len(keys) {
+			return nil, fmt.Errorf("spill frame: %d keys vs %d positions", len(keys), len(pb.Vals))
+		}
+		for i, k := range keys {
+			out = append(out, buildEntry{key: k, pos: pb.Vals[i]})
+		}
+	}
+}
+
+// LoadSpilledPartition reads one spilled partition back and builds its hash
+// table. Entries are sorted by position first, so bucket position lists come
+// out ascending regardless of how morsel flushes interleaved in the file —
+// the same order the in-memory build produces. The caller probes the table
+// and drops it before loading the next partition (partition-at-a-time).
+func (rt *PartitionedTable) LoadSpilledPartition(pt int) (map[int64][]int64, error) {
+	sp := rt.spill.parts[pt]
+	if sp == nil {
+		return nil, fmt.Errorf("partition %d is resident", pt)
+	}
+	f, err := os.Open(sp.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	entries, err := readEntryFrames(f, "spill.read")
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(entries)) != sp.entries {
+		return nil, fmt.Errorf("spill partition %d: %d entries on disk, wrote %d", pt, len(entries), sp.entries)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].pos < entries[j].pos })
+	tbl := make(map[int64][]int64, len(entries))
+	for _, e := range entries {
+		tbl[e.key] = append(tbl[e.key], e.pos)
+	}
+	return tbl, nil
+}
+
+// residentShare derives how many partitions fit the budget, assuming the
+// estimate spreads evenly (radix hashing does).
+func residentShare(partitions int, cfg SpillConfig) int {
+	if cfg.BudgetBytes <= 0 {
+		return 0
+	}
+	perPart := cfg.EstBytes / int64(partitions)
+	if perPart < 1 {
+		perPart = 1
+	}
+	resident := int(cfg.BudgetBytes / perPart)
+	if resident > partitions {
+		resident = partitions
+	}
+	if resident < 0 {
+		resident = 0
+	}
+	return resident
+}
+
+// BuildPartitionedSpill is the budget-bounded variant of BuildPartitioned:
+// it scans only the key column (payload is deferred to the stored columns),
+// keeps the first residentShare partitions as in-memory hash tables, and
+// streams the rest to per-partition temp files. Cancellation is observed
+// between chunks; every error path removes the temp files before returning.
+func BuildPartitionedSpill(ctx context.Context, key *storage.Column, payloadCols []*storage.Column, payload []string, strat RightStrategy, chunkSize int64, workers, partitions int, cfg SpillConfig) (*PartitionedTable, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	extent := key.Extent()
+	if workers < 1 {
+		workers = 1
+	}
+	p := ResolvePartitions(workers, partitions)
+	resident := residentShare(p, cfg)
+	rt := &PartitionedTable{
+		strategy:   strat,
+		payload:    payload,
+		mask:       uint64(p - 1),
+		tables:     make([]map[int64][]int64, p),
+		chunkSize:  chunkSize,
+		cols:       payloadCols,
+		Tuples:     extent.Len(),
+		Partitions: p,
+		spill:      &spillState{dir: cfg.Dir, resident: resident, parts: make([]*spillPartition, p)},
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	for i := resident; i < p; i++ {
+		if err := faults.Check("spill.create"); err != nil {
+			rt.ReleaseSpill()
+			return nil, fmt.Errorf("spill.create: %w", err)
+		}
+		f, err := os.CreateTemp(cfg.Dir, SpillFilePrefix+"part-*.tmp")
+		if err != nil {
+			rt.ReleaseSpill()
+			return nil, err
+		}
+		rt.spill.parts[i] = &spillPartition{f: f, path: f.Name()}
+	}
+
+	morsels := exec.Morsels(extent, chunkSize, workers)
+	if workers > len(morsels) {
+		workers = len(morsels)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rt.BuildWorkers = workers
+	rt.BuildMorsels = len(morsels)
+
+	// Phase 1: morsel-parallel partitioning scan of the key column. Resident
+	// partitions buffer per (morsel, partition) exactly like the in-memory
+	// build; cold partitions accumulate up to a plain block's worth and flush
+	// frames under the partition lock.
+	perMorsel := make([][][]buildEntry, len(morsels))
+	err := exec.Run(workers, len(morsels), func(i int) error {
+		bufs := make([][]buildEntry, resident)
+		spillKeys := make([][]int64, p)
+		spillPoss := make([][]int64, p)
+		blockBuf := make([]byte, encoding.BlockSize)
+		flush := func(pt int) error {
+			if len(spillKeys[pt]) == 0 {
+				return nil
+			}
+			if err := rt.spill.parts[pt].writeFrame("spill.write", spillKeys[pt], spillPoss[pt], blockBuf); err != nil {
+				return err
+			}
+			spillKeys[pt] = spillKeys[pt][:0]
+			spillPoss[pt] = spillPoss[pt][:0]
+			return nil
+		}
+		ch := datasource.NewChunker(morsels[i], chunkSize)
+		var keyBuf []int64
+		for ci := 0; ci < ch.NumChunks(); ci++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			r := ch.Chunk(ci)
+			mc, err := key.Window(r)
+			if err != nil {
+				return err
+			}
+			keyBuf = mc.Decompress(keyBuf[:0])
+			for j, k := range keyBuf {
+				pt := int(HashKey(k) & rt.mask)
+				if pt < resident {
+					bufs[pt] = append(bufs[pt], buildEntry{key: k, pos: r.Start + int64(j)})
+					continue
+				}
+				spillKeys[pt] = append(spillKeys[pt], k)
+				spillPoss[pt] = append(spillPoss[pt], r.Start+int64(j))
+				if len(spillKeys[pt]) == encoding.PlainBlockCap {
+					if err := flush(pt); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		for pt := resident; pt < p; pt++ {
+			if err := flush(pt); err != nil {
+				return err
+			}
+		}
+		perMorsel[i] = bufs
+		return nil
+	})
+	if err != nil {
+		rt.ReleaseSpill()
+		return nil, err
+	}
+
+	// Phase 2: hash tables for resident partitions only, morsel order
+	// concatenation keeping bucket position lists ascending.
+	if resident > 0 {
+		if err := exec.Run(workers, resident, func(pt int) error {
+			n := 0
+			for m := range perMorsel {
+				n += len(perMorsel[m][pt])
+			}
+			tbl := make(map[int64][]int64, n)
+			for m := range perMorsel {
+				for _, e := range perMorsel[m][pt] {
+					tbl[e.key] = append(tbl[e.key], e.pos)
+				}
+			}
+			rt.tables[pt] = tbl
+			return nil
+		}); err != nil {
+			rt.ReleaseSpill()
+			return nil, err
+		}
+	}
+	rt.SizeBytes = rt.memBytes()
+	for i := resident; i < p; i++ {
+		rt.SpillBytes += rt.spill.parts[i].bytes
+	}
+	rt.SpilledParts = p - resident
+	return rt, nil
+}
+
+// demotedMagic guards demoted-build files against stray spill partitions.
+const demotedMagic = 0x53504c31 // "SPL1"
+
+// WriteDemoted persists an in-memory build's hash entries to a spill-format
+// file so the build cache can keep warm keys probeable past its byte budget.
+// Payload is NOT written: it rehydrates from the stored columns, which
+// already hold it on disk in compressed block form. Returns the file path
+// and its size.
+func WriteDemoted(rt *PartitionedTable, dir string) (string, int64, error) {
+	if rt.spill != nil {
+		return "", 0, fmt.Errorf("refusing to demote a spill-built table")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", 0, err
+	}
+	f, err := os.CreateTemp(dir, SpillFilePrefix+"demote-*.tmp")
+	if err != nil {
+		return "", 0, err
+	}
+	path := f.Name()
+	fail := func(err error) (string, int64, error) {
+		f.Close()
+		os.Remove(path)
+		return "", 0, err
+	}
+	var entryCount int64
+	for _, tbl := range rt.tables {
+		for _, poss := range tbl {
+			entryCount += int64(len(poss))
+		}
+	}
+	blockBuf := make([]byte, encoding.BlockSize)
+	meta := []int64{demotedMagic, int64(rt.strategy), rt.Tuples, int64(rt.Partitions),
+		rt.chunkSize, int64(len(rt.payload)), entryCount,
+		rt.BuildTuples, int64(rt.BuildWorkers), int64(rt.BuildMorsels)}
+	encoding.EncodePlainBlock(blockBuf, 0, meta)
+	if err := spillAwareWrite(f, "cache.demote", blockBuf); err != nil {
+		return fail(err)
+	}
+	var keys, poss []int64
+	var written int64 = encoding.BlockSize
+	flush := func() error {
+		if len(keys) == 0 {
+			return nil
+		}
+		encoding.EncodePlainBlock(blockBuf, 0, keys)
+		if err := spillAwareWrite(f, "cache.demote", blockBuf); err != nil {
+			return err
+		}
+		encoding.EncodePlainBlock(blockBuf, 0, poss)
+		if err := spillAwareWrite(f, "cache.demote", blockBuf); err != nil {
+			return err
+		}
+		written += 2 * encoding.BlockSize
+		keys, poss = keys[:0], poss[:0]
+		return nil
+	}
+	// Bucket-by-bucket streaming keeps each bucket's ascending position order
+	// contiguous in the file; the load rebuilds buckets in file order, so the
+	// rehydrated table probes identically.
+	for _, tbl := range rt.tables {
+		for k, ps := range tbl {
+			for _, pos := range ps {
+				keys = append(keys, k)
+				poss = append(poss, pos)
+				if len(keys) == encoding.PlainBlockCap {
+					if err := flush(); err != nil {
+						return fail(err)
+					}
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return "", 0, err
+	}
+	return path, written, nil
+}
+
+// LoadDemoted rehydrates a demoted build into a normal in-memory
+// PartitionedTable: hash entries from the file, payload re-windowed (or
+// re-decompressed) from the stored columns per the original strategy.
+func LoadDemoted(path string, payloadCols []*storage.Column, payload []string) (*PartitionedTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, encoding.BlockSize)
+	if err := faults.Check("cache.rehydrate"); err != nil {
+		return nil, fmt.Errorf("cache.rehydrate: %w", err)
+	}
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, fmt.Errorf("demoted meta: %w", err)
+	}
+	mb, err := encoding.DecodePlainBlock(buf)
+	if err != nil {
+		return nil, fmt.Errorf("demoted meta: %w", err)
+	}
+	if len(mb.Vals) != 10 || mb.Vals[0] != demotedMagic {
+		return nil, fmt.Errorf("demoted meta: bad header")
+	}
+	strat := RightStrategy(mb.Vals[1])
+	tuples, p := mb.Vals[2], int(mb.Vals[3])
+	chunkSize, npayload, entryCount := mb.Vals[4], int(mb.Vals[5]), mb.Vals[6]
+	if npayload != len(payloadCols) {
+		return nil, fmt.Errorf("demoted build: %d payload cols on disk, %d supplied", npayload, len(payloadCols))
+	}
+	entries, err := readEntryFrames(f, "cache.rehydrate")
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(entries)) != entryCount {
+		return nil, fmt.Errorf("demoted build: %d entries, want %d", len(entries), entryCount)
+	}
+	rt := &PartitionedTable{
+		strategy:     strat,
+		payload:      payload,
+		mask:         uint64(p - 1),
+		tables:       make([]map[int64][]int64, p),
+		chunkSize:    chunkSize,
+		cols:         payloadCols,
+		Tuples:       tuples,
+		Partitions:   p,
+		BuildTuples:  mb.Vals[7],
+		BuildWorkers: int(mb.Vals[8]),
+		BuildMorsels: int(mb.Vals[9]),
+	}
+	for i := range rt.tables {
+		rt.tables[i] = map[int64][]int64{}
+	}
+	// File order is bucket-contiguous with ascending positions inside each
+	// bucket, so appending in file order rebuilds identical bucket lists.
+	for _, e := range entries {
+		pt := HashKey(e.key) & rt.mask
+		rt.tables[pt][e.key] = append(rt.tables[pt][e.key], e.pos)
+	}
+	numChunks := (tuples + chunkSize - 1) / chunkSize
+	switch strat {
+	case RightMaterialized:
+		rt.dense = make([][]int64, len(payloadCols))
+		for c := range payloadCols {
+			rt.dense[c] = make([]int64, tuples)
+			ch := datasource.NewChunker(payloadCols[c].Extent(), chunkSize)
+			for ci := 0; ci < ch.NumChunks(); ci++ {
+				r := ch.Chunk(ci)
+				pm, err := payloadCols[c].Window(r)
+				if err != nil {
+					return nil, err
+				}
+				pm.Decompress(rt.dense[c][r.Start:r.Start:r.End])
+			}
+		}
+	case RightMultiColumn:
+		rt.chunks = make([][]encoding.MiniColumn, numChunks)
+		ch := datasource.NewChunker(payloadCols[0].Extent(), chunkSize)
+		for ci := 0; ci < ch.NumChunks(); ci++ {
+			r := ch.Chunk(ci)
+			minis := make([]encoding.MiniColumn, len(payloadCols))
+			for c := range payloadCols {
+				if minis[c], err = payloadCols[c].Window(r); err != nil {
+					return nil, err
+				}
+			}
+			rt.chunks[r.Start/chunkSize] = minis
+		}
+	}
+	rt.SizeBytes = rt.memBytes()
+	return rt, nil
+}

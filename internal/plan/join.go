@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"strings"
 	"time"
 
@@ -29,10 +30,39 @@ import (
 // through the run explicitly (node state is only a ReuseBuild cache behind
 // the plan's build mutex), so concurrent Run calls on a shared plan each
 // probe the table their own build phase produced.
-func (p *Plan) runJoinBuild(build *Node, workers int, stats *RunStats, observe bool) (*operators.PartitionedTable, error) {
+func (p *Plan) runJoinBuild(ctx context.Context, build *Node, workers int, stats *RunStats, observe bool, spill *operators.SpillConfig) (*operators.PartitionedTable, error) {
+	if spill != nil {
+		// Grace spill mode: a budget-bounded, run-private build. It bypasses
+		// both the node's ReuseBuild slot and the shared build cache — the
+		// table owns temp files whose lifetime is exactly this run, and
+		// sharing them would race concurrent probes against file removal.
+		start := obsStart(observe)
+		rt, err := operators.BuildPartitionedSpill(ctx,
+			build.Column, build.RightCols, build.RightPayload,
+			build.RightStrategy, p.Spec.ChunkSize, workers, build.Partitions, *spill)
+		if err != nil {
+			return nil, err
+		}
+		if observe {
+			build.Obs.add(rt.Tuples, time.Since(start).Nanoseconds())
+			// Retain for the EXPLAIN renderer only: the reuse fast path below
+			// skips Spilled() tables, whose temp files die with this run.
+			p.buildMu.Lock()
+			build.built = rt
+			p.buildMu.Unlock()
+		}
+		stats.Join.RightBuildTuples = rt.BuildTuples
+		stats.Join.Partitions = rt.Partitions
+		stats.Join.BuildWorkers = rt.BuildWorkers
+		stats.Join.BuildMorsels = rt.BuildMorsels
+		stats.Join.Spilled = true
+		stats.Join.SpilledParts = rt.SpilledParts
+		stats.Join.SpillBytes = rt.SpillBytes
+		return rt, nil
+	}
 	p.buildMu.Lock()
 	rt := build.built
-	cached := rt != nil && p.ReuseBuild
+	cached := rt != nil && p.ReuseBuild && !rt.Spilled()
 	if !cached {
 		start := obsStart(observe)
 		buildFn := func() (*operators.PartitionedTable, error) {
@@ -134,12 +164,37 @@ func (p *Plan) runJoinProbeMorsel(r positions.Range, pt *partial, rt *operators.
 		}
 
 		// Probe: route each key to its partition; collect (chunk-local key
-		// index, right position) match pairs.
+		// index, right position) match pairs. In spill mode, keys landing in
+		// a spilled partition are recorded as deferred probes with the rows
+		// emitted so far as their insertion anchor — pass B resolves them
+		// partition-at-a-time and re-interleaves, reproducing this loop's
+		// output order exactly.
 		matchIdx, matchPos = matchIdx[:0], matchPos[:0]
-		for i, k := range keyBuf {
-			for _, rpos := range rt.Probe(k) {
-				matchIdx = append(matchIdx, int32(i))
-				matchPos = append(matchPos, rpos)
+		if rt.DeferredPayload() {
+			if pt.spillLeft == nil {
+				pt.spillLeft = make([][]int64, base)
+			}
+			emitted := int64(pt.res.NumRows())
+			for i, k := range keyBuf {
+				if sp := rt.KeyPartition(k); rt.SpilledPartition(sp) {
+					pt.spillAnchors = append(pt.spillAnchors, emitted+int64(len(matchIdx)))
+					pt.spillKeys = append(pt.spillKeys, k)
+					for c := range probe.LeftCols {
+						pt.spillLeft[c] = append(pt.spillLeft[c], leftBufs[c][i])
+					}
+					continue
+				}
+				for _, rpos := range rt.Probe(k) {
+					matchIdx = append(matchIdx, int32(i))
+					matchPos = append(matchPos, rpos)
+				}
+			}
+		} else {
+			for i, k := range keyBuf {
+				for _, rpos := range rt.Probe(k) {
+					matchIdx = append(matchIdx, int32(i))
+					matchPos = append(matchPos, rpos)
+				}
 			}
 		}
 		pt.stats.Join.LeftProbes += int64(len(keyBuf))
@@ -160,8 +215,20 @@ func (p *Plan) runJoinProbeMorsel(r positions.Range, pt *partial, rt *operators.
 			}
 			pt.res.Cols[c] = col
 		}
-		switch rt.Strategy() {
-		case operators.RightMaterialized:
+		switch {
+		case rt.DeferredPayload():
+			// Spill mode defers ALL right payload to the stored columns (the
+			// on-disk spill carries only hash entries): zeros now, one batched
+			// fetch over the merged pending list after pass B.
+			for c := range payload {
+				col := pt.res.Cols[base+c]
+				for range matchPos {
+					col = append(col, 0)
+				}
+				pt.res.Cols[base+c] = col
+			}
+			pt.pending = append(pt.pending, matchPos...)
+		case rt.Strategy() == operators.RightMaterialized:
 			for c := range payload {
 				col := pt.res.Cols[base+c]
 				for _, rpos := range matchPos {
@@ -169,7 +236,7 @@ func (p *Plan) runJoinProbeMorsel(r positions.Range, pt *partial, rt *operators.
 				}
 				pt.res.Cols[base+c] = col
 			}
-		case operators.RightMultiColumn:
+		case rt.Strategy() == operators.RightMultiColumn:
 			for c := range payload {
 				col := pt.res.Cols[base+c]
 				for _, rpos := range matchPos {
@@ -211,7 +278,8 @@ func (p *Plan) gatherAt(mc *multicol.MultiColumn, name string, col *storage.Colu
 // block-pinned GatherUnordered per payload column over the merged pending
 // list, scattering values back into the already-emitted result rows.
 func (p *Plan) joinDeferredFetch(probe *Node, rt *operators.PartitionedTable, res *rows.Result, pending []int64, stats *RunStats, observe bool) error {
-	if rt.Strategy() != operators.RightSingleColumn || len(pending) == 0 {
+	deferred := rt.Strategy() == operators.RightSingleColumn || rt.DeferredPayload()
+	if !deferred || len(pending) == 0 {
 		return nil
 	}
 	base := len(probe.LeftCols)

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -45,10 +46,18 @@ type partial struct {
 	res     *rows.Result
 	matched []positions.Set
 	// pending is a join probe's deferred right positions (single-column
-	// strategy), aligned with res rows; partials concatenate in morsel order
-	// so pending[i] stays the right position of result row i.
+	// strategy, and every strategy in spill mode), aligned with res rows;
+	// partials concatenate in morsel order so pending[i] stays the right
+	// position of result row i.
 	pending []int64
-	stats   RunStats
+	// Spill-mode deferred probes: keys that routed to a spilled partition.
+	// spillAnchors[j] is the partial's emitted row count at the moment probe
+	// j was seen — the insertion point that reproduces the in-memory output
+	// order; spillLeft[c][j] is the probe's outer payload value for column c.
+	spillAnchors []int64
+	spillKeys    []int64
+	spillLeft    [][]int64
+	stats        RunStats
 }
 
 // init allocates the partial's accumulator for the spec's shape and returns
@@ -62,6 +71,21 @@ func (pt *partial) init(s Spec) (*operators.Aggregator, *rows.Result) {
 	return nil, pt.res
 }
 
+// RunOptions parameterizes RunWith beyond the worker request: an optional
+// context (checked between morsels, between spill chunks and between spilled
+// partitions, so cancellation releases workers and temp files promptly), the
+// EXPLAIN observation flag, and an optional Grace spill configuration for
+// the join build (set by the service when the memory governor denies an
+// in-memory reservation).
+type RunOptions struct {
+	Ctx     context.Context
+	Observe bool
+	// Spill forces the join build into budget-bounded spill mode. Spilled
+	// results are byte-identical to in-memory execution; the temp files are
+	// removed when the run returns, on every path.
+	Spill *operators.SpillConfig
+}
+
 // Run executes the plan morsel-parallel across the given worker request
 // (0 = one worker per CPU, 1 = serial chunk-at-a-time) and merges the
 // per-morsel partials deterministically. With observe set, every node
@@ -72,6 +96,15 @@ func (pt *partial) init(s Spec) (*operators.Aggregator, *rows.Result) {
 // probe morsels start, and the single-column strategy's deferred payload
 // fetch runs batched after the merge.
 func (p *Plan) Run(parallelism int, observe bool) (*rows.Result, RunStats, error) {
+	return p.RunWith(parallelism, RunOptions{Observe: observe})
+}
+
+// RunWith is Run with a context and an optional spill configuration.
+func (p *Plan) RunWith(parallelism int, opt RunOptions) (*rows.Result, RunStats, error) {
+	ctx, observe := opt.Ctx, opt.Observe
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if observe {
 		p.observed = true
 	}
@@ -81,9 +114,13 @@ func (p *Plan) Run(parallelism int, observe bool) (*rows.Result, RunStats, error
 	var built *operators.PartitionedTable
 	if probe != nil {
 		var err error
-		if built, err = p.runJoinBuild(probe.Children[1], workers, &stats, observe); err != nil {
+		if built, err = p.runJoinBuild(ctx, probe.Children[1], workers, &stats, observe, opt.Spill); err != nil {
 			return nil, RunStats{}, err
 		}
+		// A spill-built table owns temp files; they are removed when the run
+		// finishes, success or not (no-op for in-memory builds, which may be
+		// shared through the build cache).
+		defer built.ReleaseSpill()
 	}
 	extent := positions.Range{Start: 0, End: p.Spec.Tuples}
 	// Morsel sizing adapts to the previous run's observed per-morsel
@@ -92,6 +129,9 @@ func (p *Plan) Run(parallelism int, observe bool) (*rows.Result, RunStats, error
 	morsels := exec.MorselsN(extent, p.Spec.ChunkSize, workers, perWorker)
 	parts := make([]*partial, len(morsels))
 	err := exec.Run(workers, len(morsels), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		pt := &partial{}
 		if err := p.runMorsel(morsels[i], pt, built, observe); err != nil {
 			return err
@@ -118,6 +158,14 @@ func (p *Plan) Run(parallelism int, observe bool) (*rows.Result, RunStats, error
 		} else {
 			for _, pt := range parts {
 				pending = append(pending, pt.pending...)
+			}
+		}
+		if built.DeferredPayload() {
+			// Pass B of the Grace join: resolve the probes that routed to
+			// spilled partitions, partition-at-a-time, and re-interleave their
+			// matches at the recorded anchors.
+			if res, pending, err = p.assembleSpillMatches(ctx, probe, built, res, parts, pending, &stats); err != nil {
+				return nil, RunStats{}, err
 			}
 		}
 		if err := p.joinDeferredFetch(probe, built, res, pending, &stats, observe); err != nil {

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"matstore"
+	"matstore/internal/memory"
 )
 
 // HTTP front-end: JSON endpoints over a Server. Every request runs through
@@ -76,6 +77,13 @@ type QueryResponse struct {
 	Probes          int64 `json:"probes,omitempty"`
 	BuildTuples     int64 `json:"build_tuples,omitempty"`
 	DeferredFetches int64 `json:"deferred_fetches,omitempty"`
+	// Memory-governance fields: the byte reservation the request held, and
+	// whether the governor forced the join's build side into Grace spill mode
+	// (the ci smoke greps "spilled":true under a tiny budget).
+	ReservedBytes     int64 `json:"reserved_bytes,omitempty"`
+	Spilled           bool  `json:"spilled,omitempty"`
+	SpilledPartitions int   `json:"spilled_partitions,omitempty"`
+	SpillBytes        int64 `json:"spill_bytes,omitempty"`
 }
 
 // ExplainResponse is the /explain response.
@@ -98,6 +106,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) { s.handleExplain(w, r) })
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	// Liveness: the process is up and serving HTTP — always 200.
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	// Readiness: 503 while draining (SIGTERM received, connections finishing)
+	// or under memory pressure (requests queued for byte reservations), so a
+	// load balancer routes around this instance before requests pile up.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		draining, pressured := s.Draining(), s.MemoryPressured()
+		status := http.StatusOK
+		if draining || pressured {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]bool{
+			"ready":           status == http.StatusOK,
+			"draining":        draining,
+			"memory_pressure": pressured,
+		})
 	})
 	return mux
 }
@@ -218,6 +245,10 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	resp.Probes = out.Stats.Join.LeftProbes
 	resp.BuildTuples = out.Stats.Join.RightBuildTuples
 	resp.DeferredFetches = out.Stats.Join.DeferredFetches
+	resp.ReservedBytes = out.Info.ReservedBytes
+	resp.Spilled = out.Stats.Join.Spilled
+	resp.SpilledPartitions = out.Stats.Join.SpilledParts
+	resp.SpillBytes = out.Stats.Join.SpillBytes
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -376,14 +407,19 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // writeServiceError maps a session error onto an HTTP status: request
 // faults (RequestError: unknown projection/column, malformed shape) are 400,
 // a cancelled or timed-out request context is 499 (the de-facto
-// "client closed request" status), and execution failures are 500 so
-// monitoring and retry logic see a server fault.
+// "client closed request" status), a memory-governor shed is 503 with a
+// Retry-After hint (the correct backpressure signal for load balancers and
+// retrying clients), and execution failures are 500 so monitoring and retry
+// logic see a server fault.
 func writeServiceError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var re *RequestError
 	switch {
 	case errors.As(err, &re):
 		status = http.StatusBadRequest
+	case errors.Is(err, memory.ErrShed):
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		status = 499
 	}

@@ -1,0 +1,340 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"matstore"
+	"matstore/internal/faults"
+	"matstore/internal/operators"
+	"matstore/internal/service"
+	"matstore/internal/tpch"
+)
+
+// memoryJoinQueries is the join workload the memory-governance suite replays:
+// every inner-table strategy, predicated and full-scan outer sides.
+func memoryJoinQueries() []struct {
+	name string
+	q    matstore.JoinQuery
+	rs   matstore.RightStrategy
+} {
+	var out []struct {
+		name string
+		q    matstore.JoinQuery
+		rs   matstore.RightStrategy
+	}
+	for _, rs := range matstore.JoinStrategies {
+		for _, withPred := range []bool{true, false} {
+			q := matstore.JoinQuery{
+				LeftKey:     tpch.ColCustkey,
+				LeftPred:    matstore.MatchAll,
+				LeftOutput:  []string{tpch.ColOrderShipdate},
+				RightKey:    tpch.ColCustkey,
+				RightOutput: []string{tpch.ColNationcode},
+			}
+			if withPred {
+				q.LeftPred = matstore.LessThan(150)
+			}
+			out = append(out, struct {
+				name string
+				q    matstore.JoinQuery
+				rs   matstore.RightStrategy
+			}{fmt.Sprintf("%v/pred=%v", rs, withPred), q, rs})
+		}
+	}
+	return out
+}
+
+// assertNoSpillFiles fails if dir still holds spill temp files.
+func assertNoSpillFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), operators.SpillFilePrefix) {
+			t.Errorf("leaked spill file %s", filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// TestDifferentialSpillJoin is the memory-governance acceptance suite at the
+// serving layer: the same join workload served under byte budgets that force
+// full spilling, partial spilling and pure in-memory execution, at worker
+// budgets 1 and 4, must return results byte-identical to ungoverned direct
+// execution; reservations fully drain; no spill temp files survive.
+func TestDifferentialSpillJoin(t *testing.T) {
+	ref := openDB(t)
+	queries := memoryJoinQueries()
+	want := make([]*matstore.Result, len(queries))
+	for i, jq := range queries {
+		q := jq.q
+		q.Parallelism = 1
+		res, _, err := ref.Join(tpch.OrdersProj, tpch.CustomerProj, q, jq.rs)
+		if err != nil {
+			t.Fatalf("%s: %v", jq.name, err)
+		}
+		want[i] = res
+	}
+
+	// 1 KiB spills every partition; 8 KiB fits some partitions of the ~17 KiB
+	// customer build but not all; 1 GiB admits everything in memory.
+	for _, budget := range []int64{1 << 10, 8 << 10, 1 << 30} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("budget=%d/workers=%d", budget, workers), func(t *testing.T) {
+				spillDir := t.TempDir()
+				srv := newServer(t, service.Config{
+					WorkerBudget:      workers,
+					MemoryBudgetBytes: budget,
+					SpillDir:          spillDir,
+					ResultCacheBytes:  -1, // observe real executions
+				})
+				sess := srv.NewSession()
+				spilled := 0
+				for i, jq := range queries {
+					out, err := sess.Join(context.Background(), tpch.OrdersProj, tpch.CustomerProj, jq.q, jq.rs)
+					if err != nil {
+						t.Fatalf("%s: %v", jq.name, err)
+					}
+					if !reflect.DeepEqual(out.Res.Cols, want[i].Cols) ||
+						!reflect.DeepEqual(out.Res.Columns, want[i].Columns) {
+						t.Errorf("%s: served result differs from ungoverned reference (%d vs %d rows)",
+							jq.name, out.Res.NumRows(), want[i].NumRows())
+					}
+					if out.Stats.Join.Spilled {
+						spilled++
+					}
+					if out.Info.ReservedBytes <= 0 {
+						t.Errorf("%s: no memory reservation reported", jq.name)
+					}
+					if out.Info.ReservedBytes > budget {
+						t.Errorf("%s: reservation %d exceeds budget %d", jq.name, out.Info.ReservedBytes, budget)
+					}
+				}
+				st := srv.Stats()
+				if budget == 1<<10 && spilled != len(queries) {
+					t.Errorf("tiny budget: %d/%d joins spilled, want all", spilled, len(queries))
+				}
+				if budget == 1<<30 && spilled != 0 {
+					t.Errorf("large budget: %d joins spilled, want none", spilled)
+				}
+				if spilled > 0 && (st.Memory.SpilledJoins != int64(spilled) || st.Memory.SpillBytes == 0) {
+					t.Errorf("spill counters: %+v, want %d spilled joins with bytes", st.Memory, spilled)
+				}
+				if st.Memory.Reserved != 0 {
+					t.Errorf("reservations leaked: %d bytes still held", st.Memory.Reserved)
+				}
+				if st.Memory.PeakReserved > budget {
+					t.Errorf("peak reserved %d exceeded budget %d", st.Memory.PeakReserved, budget)
+				}
+				assertNoSpillFiles(t, spillDir)
+			})
+		}
+	}
+}
+
+// TestJoinFaultCleanupAndRecovery injects disk faults into the spill path of
+// a governed join and pins the robustness contract: the request fails with a
+// clean error, the byte reservation is released, no temp files or goroutines
+// leak — and the server keeps serving correct results once the fault clears.
+func TestJoinFaultCleanupAndRecovery(t *testing.T) {
+	defer faults.Reset()
+	baseGoroutines := runtime.NumGoroutine()
+	spillDir := t.TempDir()
+	srv := newServer(t, service.Config{
+		WorkerBudget:      2,
+		MemoryBudgetBytes: 1 << 10, // every join spills
+		SpillDir:          spillDir,
+		ResultCacheBytes:  -1,
+	})
+	sess := srv.NewSession()
+	q := matstore.JoinQuery{
+		LeftKey:     tpch.ColCustkey,
+		LeftPred:    matstore.MatchAll,
+		LeftOutput:  []string{tpch.ColOrderShipdate},
+		RightKey:    tpch.ColCustkey,
+		RightOutput: []string{tpch.ColNationcode},
+	}
+	ref, err := sess.Join(context.Background(), tpch.OrdersProj, tpch.CustomerProj, q, matstore.RightMaterialized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Stats.Join.Spilled {
+		t.Fatal("fixture join did not spill; fault sites would not be reached")
+	}
+
+	cases := []struct {
+		site string
+		fp   faults.Failpoint
+	}{
+		{"spill.create", faults.Failpoint{Mode: faults.Error}},
+		{"spill.write", faults.Failpoint{Mode: faults.Error}},
+		{"spill.write", faults.Failpoint{Mode: faults.ShortWrite}},
+		{"spill.write", faults.Failpoint{Mode: faults.Error, After: 2}},
+		{"spill.read", faults.Failpoint{Mode: faults.Error}},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s/mode=%d/after=%d", tc.site, tc.fp.Mode, tc.fp.After), func(t *testing.T) {
+			faults.Enable(tc.site, tc.fp)
+			_, err := sess.Join(context.Background(), tpch.OrdersProj, tpch.CustomerProj, q, matstore.RightMaterialized)
+			faults.Reset()
+			if err == nil {
+				t.Fatalf("join succeeded with %s armed", tc.site)
+			}
+			st := srv.Stats()
+			if st.Memory.Reserved != 0 {
+				t.Errorf("reservation leaked after %s fault: %d bytes", tc.site, st.Memory.Reserved)
+			}
+			assertNoSpillFiles(t, spillDir)
+
+			// The fault is cleared: the very next request must serve correctly.
+			out, err := sess.Join(context.Background(), tpch.OrdersProj, tpch.CustomerProj, q, matstore.RightMaterialized)
+			if err != nil {
+				t.Fatalf("server did not recover after %s fault: %v", tc.site, err)
+			}
+			if !reflect.DeepEqual(out.Res.Cols, ref.Res.Cols) {
+				t.Errorf("post-recovery result differs after %s fault", tc.site)
+			}
+		})
+	}
+
+	// Cancellation mid-request behaves like a fault: clean error, no leaks.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.Join(ctx, tpch.OrdersProj, tpch.CustomerProj, q, matstore.RightMaterialized); err == nil {
+		t.Error("cancelled join succeeded")
+	}
+	if st := srv.Stats(); st.Memory.Reserved != 0 {
+		t.Errorf("cancelled join leaked %d reserved bytes", st.Memory.Reserved)
+	}
+	assertNoSpillFiles(t, spillDir)
+
+	// Allocation pressure at the governor: TryReserve fails as if the budget
+	// were gone, the join falls back to spill mode and still serves.
+	faults.Enable("mem.reserve", faults.Failpoint{Mode: faults.Error})
+	out, err := sess.Join(context.Background(), tpch.OrdersProj, tpch.CustomerProj, q, matstore.RightMaterialized)
+	faults.Reset()
+	if err != nil {
+		t.Fatalf("join under allocation pressure: %v", err)
+	}
+	if !out.Stats.Join.Spilled {
+		t.Error("allocation pressure did not force spill mode")
+	}
+	if !reflect.DeepEqual(out.Res.Cols, ref.Res.Cols) {
+		t.Error("allocation-pressure result differs")
+	}
+
+	// No goroutines survive the faults (morsel workers are joined per run).
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > baseGoroutines+2 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseGoroutines+2 {
+		t.Errorf("goroutines did not settle: %d, started with %d", n, baseGoroutines)
+	}
+}
+
+// TestHealthEndpoints pins /healthz (liveness: always 200) and /readyz
+// (readiness: 503 once draining), including the drain flip MarkDraining
+// performs on SIGTERM.
+func TestHealthEndpoints(t *testing.T) {
+	srv := newServer(t, cacheConfig(2, 4, true))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, map[string]any) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		decodeInto(t, resp, &body)
+		return resp.StatusCode, body
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("/healthz = %d %v, want 200 ok", code, body)
+	}
+	if code, body := get("/readyz"); code != http.StatusOK || body["ready"] != true {
+		t.Errorf("/readyz = %d %v, want 200 ready", code, body)
+	}
+
+	srv.MarkDraining()
+	code, body := get("/readyz")
+	if code != http.StatusServiceUnavailable || body["ready"] != false || body["draining"] != true {
+		t.Errorf("/readyz while draining = %d %v, want 503 draining", code, body)
+	}
+	// Liveness is unaffected by draining: the process is still up.
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz while draining = %d, want 200", code)
+	}
+}
+
+func decodeInto(t *testing.T, resp *http.Response, dst any) {
+	t.Helper()
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNegativeResultCache pins the zero-row satellite: a query shape that
+// matches nothing is cached in the negative LRU (separately byte-accounted),
+// answered from cache on repeat, and invalidated like any other entry.
+func TestNegativeResultCache(t *testing.T) {
+	srv := newServer(t, fullConfig(2, 4))
+	sess := srv.NewSession()
+	q := matstore.Query{
+		Output:  []string{tpch.ColShipdate},
+		Filters: []matstore.Filter{{Col: tpch.ColShipdate, Pred: matstore.LessThan(0)}},
+	}
+	first, err := sess.Select(context.Background(), tpch.LineitemProj, q, matstore.LMParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Res.NumRows() != 0 {
+		t.Fatalf("fixture query returned %d rows, want 0", first.Res.NumRows())
+	}
+	if first.Info.ResultCacheHit {
+		t.Error("first execution reported a cache hit")
+	}
+	second, err := sess.Select(context.Background(), tpch.LineitemProj, q, matstore.LMParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Info.ResultCacheHit {
+		t.Error("repeated zero-row query missed the cache")
+	}
+	st := srv.Stats().ResultCache
+	if st.NegativeHits != 1 || st.NegativeEntries != 1 || st.NegativeBytes <= 0 {
+		t.Errorf("negative cache stats = hits %d entries %d bytes %d, want 1/1/>0",
+			st.NegativeHits, st.NegativeEntries, st.NegativeBytes)
+	}
+	if st.Entries != 0 {
+		t.Errorf("zero-row result filed in the main LRU (%d entries)", st.Entries)
+	}
+
+	// Invalidation drops negative entries too: the shape re-executes.
+	srv.InvalidateProjection(tpch.LineitemProj)
+	third, err := sess.Select(context.Background(), tpch.LineitemProj, q, matstore.LMParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Info.ResultCacheHit {
+		t.Error("invalidated negative entry still served from cache")
+	}
+}

@@ -32,6 +32,12 @@ type ResultCacheStats struct {
 	Entries       int   `json:"entries"`
 	Bytes         int64 `json:"bytes"`
 	Capacity      int64 `json:"capacity"`
+	// Negative-cache counters: zero-row responses kept in their own small
+	// byte-accounted LRU so heavy result traffic can't evict them (and their
+	// tiny entries can't be used to churn the main cache).
+	NegativeHits    int64 `json:"negative_hits"`
+	NegativeEntries int   `json:"negative_entries"`
+	NegativeBytes   int64 `json:"negative_bytes"`
 }
 
 // resultEntry is one cached response: the result plus the stats of the run
@@ -49,7 +55,10 @@ type resultEntry struct {
 }
 
 // resultCache is a mutex-guarded, byte-accounted LRU of served responses
-// with per-projection generation invalidation.
+// with per-projection generation invalidation. Zero-row responses live in a
+// separate negative LRU under its own (much smaller) byte budget: a query
+// shape that matches nothing is the cheapest possible answer to remember, and
+// isolating those entries means bulk result traffic can never evict them.
 type resultCache struct {
 	mu       sync.Mutex
 	capBytes int64
@@ -58,14 +67,26 @@ type resultCache struct {
 	lru      *list.List
 	gens     map[string]uint64
 	stats    ResultCacheStats
+
+	negCap     int64
+	negBytes   int64
+	negEntries map[string]*list.Element // of *resultEntry, zero-row only
+	negLRU     *list.List
 }
 
 func newResultCache(capBytes int64) *resultCache {
+	negCap := capBytes / 8
+	if negCap < 4096 {
+		negCap = 4096
+	}
 	return &resultCache{
-		capBytes: capBytes,
-		entries:  make(map[string]*list.Element),
-		lru:      list.New(),
-		gens:     make(map[string]uint64),
+		capBytes:   capBytes,
+		entries:    make(map[string]*list.Element),
+		lru:        list.New(),
+		gens:       make(map[string]uint64),
+		negCap:     negCap,
+		negEntries: make(map[string]*list.Element),
+		negLRU:     list.New(),
 	}
 }
 
@@ -82,28 +103,50 @@ func (c *resultCache) generations(projs []string) []uint64 {
 	return gens
 }
 
-// get returns the cached entry for key if present and current.
+// get returns the cached entry for key if present and current, consulting
+// the main LRU then the negative (zero-row) LRU.
 func (c *resultCache) get(key string) (*resultEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		c.stats.Misses++
-		return nil, false
-	}
-	e := el.Value.(*resultEntry)
-	for i, p := range e.projs {
-		if c.gens[p] != e.gens[i] {
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*resultEntry)
+		if !c.currentLocked(e) {
 			// Stale under a generation bump that raced the eager sweep.
 			c.removeLocked(el)
 			c.stats.Invalidations++
 			c.stats.Misses++
 			return nil, false
 		}
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		return e, true
 	}
-	c.lru.MoveToFront(el)
-	c.stats.Hits++
-	return e, true
+	if el, ok := c.negEntries[key]; ok {
+		e := el.Value.(*resultEntry)
+		if !c.currentLocked(e) {
+			c.removeNegLocked(el)
+			c.stats.Invalidations++
+			c.stats.Misses++
+			return nil, false
+		}
+		c.negLRU.MoveToFront(el)
+		c.stats.Hits++
+		c.stats.NegativeHits++
+		return e, true
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// currentLocked reports whether every projection the entry read is still at
+// the generation recorded when its source run started.
+func (c *resultCache) currentLocked(e *resultEntry) bool {
+	for i, p := range e.projs {
+		if c.gens[p] != e.gens[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // put inserts a response produced by a run that started at the given
@@ -112,13 +155,15 @@ func (c *resultCache) get(key string) (*resultEntry, bool) {
 func (c *resultCache) put(e *resultEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e.bytes > c.capBytes {
+	if !c.currentLocked(e) {
+		return // invalidated while the source run executed
+	}
+	if e.res != nil && e.res.NumRows() == 0 {
+		c.putNegativeLocked(e)
 		return
 	}
-	for i, p := range e.projs {
-		if c.gens[p] != e.gens[i] {
-			return // invalidated while the source run executed
-		}
+	if e.bytes > c.capBytes {
+		return
 	}
 	if el, ok := c.entries[e.key]; ok {
 		c.removeLocked(el)
@@ -132,6 +177,22 @@ func (c *resultCache) put(e *resultEntry) {
 	}
 }
 
+// putNegativeLocked files a zero-row response in the negative LRU.
+func (c *resultCache) putNegativeLocked(e *resultEntry) {
+	if e.bytes > c.negCap {
+		return
+	}
+	if el, ok := c.negEntries[e.key]; ok {
+		c.removeNegLocked(el)
+	}
+	c.negEntries[e.key] = c.negLRU.PushFront(e)
+	c.negBytes += e.bytes
+	for c.negBytes > c.negCap {
+		c.removeNegLocked(c.negLRU.Back())
+		c.stats.Evictions++
+	}
+}
+
 // invalidate bumps proj's generation and eagerly drops every entry that read
 // it (the generation check in get makes the sweep a byte-accounting courtesy,
 // not a correctness requirement).
@@ -141,16 +202,29 @@ func (c *resultCache) invalidate(proj string) {
 	c.gens[proj]++
 	for el := c.lru.Front(); el != nil; {
 		next := el.Next()
-		e := el.Value.(*resultEntry)
-		for _, p := range e.projs {
-			if p == proj {
-				c.removeLocked(el)
-				c.stats.Invalidations++
-				break
-			}
+		if readsProj(el.Value.(*resultEntry), proj) {
+			c.removeLocked(el)
+			c.stats.Invalidations++
 		}
 		el = next
 	}
+	for el := c.negLRU.Front(); el != nil; {
+		next := el.Next()
+		if readsProj(el.Value.(*resultEntry), proj) {
+			c.removeNegLocked(el)
+			c.stats.Invalidations++
+		}
+		el = next
+	}
+}
+
+func readsProj(e *resultEntry, proj string) bool {
+	for _, p := range e.projs {
+		if p == proj {
+			return true
+		}
+	}
+	return false
 }
 
 func (c *resultCache) removeLocked(el *list.Element) {
@@ -160,6 +234,13 @@ func (c *resultCache) removeLocked(el *list.Element) {
 	c.bytes -= e.bytes
 }
 
+func (c *resultCache) removeNegLocked(el *list.Element) {
+	e := el.Value.(*resultEntry)
+	c.negLRU.Remove(el)
+	delete(c.negEntries, e.key)
+	c.negBytes -= e.bytes
+}
+
 func (c *resultCache) snapshot() ResultCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -167,6 +248,8 @@ func (c *resultCache) snapshot() ResultCacheStats {
 	st.Entries = c.lru.Len()
 	st.Bytes = c.bytes
 	st.Capacity = c.capBytes
+	st.NegativeEntries = c.negLRU.Len()
+	st.NegativeBytes = c.negBytes
 	return st
 }
 

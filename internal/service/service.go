@@ -39,6 +39,7 @@ import (
 	"matstore"
 	"matstore/internal/buffer"
 	"matstore/internal/core"
+	"matstore/internal/memory"
 	"matstore/internal/operators"
 	"matstore/internal/plan"
 	"matstore/internal/storage"
@@ -77,6 +78,16 @@ type Config struct {
 	// absorb when sizing admission grants (0 = the 100 µs default, negative
 	// = cost-aware sizing disabled; every grant uses the uniform fair share).
 	GrantSliceMicros float64
+	// MemoryBudgetBytes turns on the byte-budget memory governor: every join
+	// reserves its predicted build bytes before admission, runs in Grace
+	// spill mode under a smaller reservation when the estimate doesn't fit,
+	// queues when the spill grant doesn't fit either, and is shed (HTTP 503)
+	// past the waiter cap. 0 disables memory governance entirely.
+	MemoryBudgetBytes int64
+	// SpillDir is where spill-mode joins and demoted cache builds write temp
+	// files ("" = the DB's .spill directory). Only used when
+	// MemoryBudgetBytes > 0.
+	SpillDir string
 }
 
 // Server serves concurrent queries against one matstore.DB.
@@ -86,14 +97,21 @@ type Server struct {
 	store *storage.DB
 	cfg   Config
 
-	gov     *governor
-	builds  *operators.BuildCache // nil when disabled
-	plans   *planCache            // nil when disabled
-	results *resultCache          // nil when disabled
+	gov      *governor
+	mem      *memory.Governor // nil when memory governance is off
+	spillDir string
+	builds   *operators.BuildCache // nil when disabled
+	plans    *planCache            // nil when disabled
+	results  *resultCache          // nil when disabled
 
 	sessions   atomic.Int64
 	queries    atomic.Int64
 	planBuilds atomic.Int64
+
+	draining     atomic.Bool
+	spilledJoins atomic.Int64
+	spilledParts atomic.Int64
+	spillBytes   atomic.Int64
 }
 
 // New wraps an open DB in a serving layer.
@@ -134,6 +152,18 @@ func New(db *matstore.DB, cfg Config) *Server {
 	if cfg.ResultCacheBytes > 0 {
 		s.results = newResultCache(cfg.ResultCacheBytes)
 	}
+	if cfg.MemoryBudgetBytes > 0 {
+		s.mem = memory.New(cfg.MemoryBudgetBytes, 0)
+		s.spillDir = cfg.SpillDir
+		if s.spillDir == "" {
+			s.spillDir = db.SpillDir()
+		}
+		if s.builds != nil {
+			// Under memory governance, evicted warm builds demote to on-disk
+			// hash entries instead of being discarded outright.
+			s.builds.EnableDemotion(s.spillDir, 0)
+		}
+	}
 	return s
 }
 
@@ -159,11 +189,32 @@ func (s *Server) InvalidateProjection(name string) {
 	}
 }
 
+// MarkDraining flips /readyz to not-ready so load balancers stop routing new
+// work here; in-flight and already-queued requests still complete. Called by
+// the serving binary on SIGTERM before http.Server.Shutdown.
+func (s *Server) MarkDraining() { s.draining.Store(true) }
+
+// Draining reports whether MarkDraining has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// MemoryPressured reports whether requests are queued for memory right now.
+func (s *Server) MemoryPressured() bool { return s.mem != nil && s.mem.Pressured() }
+
+// MemoryStats is the /stats memory block: the governor's reservation
+// counters plus the server's cumulative spill activity.
+type MemoryStats struct {
+	memory.Stats
+	SpilledJoins      int64 `json:"spilled_joins"`
+	SpilledPartitions int64 `json:"spilled_partitions"`
+	SpillBytes        int64 `json:"spill_bytes"`
+}
+
 // Stats is the /stats snapshot: admission, worker and cache counters.
 type Stats struct {
 	Sessions  int64          `json:"sessions"`
 	Queries   int64          `json:"queries"`
 	Admission AdmissionStats `json:"admission"`
+	Memory    MemoryStats    `json:"memory"`
 	// PlanBuilds counts BuildPlan/BuildJoinPlan invocations; with the plan
 	// cache on it lags Queries by exactly the hit count.
 	PlanBuilds  int64                     `json:"plan_builds"`
@@ -181,6 +232,14 @@ func (s *Server) Stats() Stats {
 		Admission:  s.gov.snapshot(),
 		PlanBuilds: s.planBuilds.Load(),
 		Pool:       s.db.PoolStats(),
+	}
+	if s.mem != nil {
+		st.Memory = MemoryStats{
+			Stats:             s.mem.Stats(),
+			SpilledJoins:      s.spilledJoins.Load(),
+			SpilledPartitions: s.spilledParts.Load(),
+			SpillBytes:        s.spillBytes.Load(),
+		}
 	}
 	if s.results != nil {
 		st.ResultCache = s.results.snapshot()
@@ -242,6 +301,11 @@ type Info struct {
 	ResultCacheHit bool `json:"result_cache_hit"`
 	PlanCacheHit   bool `json:"plan_cache_hit"`
 	BuildCacheHit  bool `json:"build_cache_hit"`
+	// ReservedBytes is the memory reservation the request held while running
+	// (0 with memory governance off); Spilled reports the governor forced the
+	// join's build side into Grace spill mode.
+	ReservedBytes int64 `json:"reserved_bytes,omitempty"`
+	Spilled       bool  `json:"spilled,omitempty"`
 }
 
 // SelectResult is a served selection/aggregation response.
@@ -354,6 +418,20 @@ func (c *Session) Join(ctx context.Context, left, right string, q matstore.JoinQ
 		info.EstCostUS = est.Total()
 	}
 
+	// Memory admission comes BEFORE the worker-slot gate (one consistent
+	// acquisition order: bytes, then slots — a memory waiter never sits on a
+	// worker slot). The reservation is held until this request finishes, on
+	// every path out.
+	memEst, _ := s.db.EstimateJoinMemory(right, q, rs)
+	resv, spillCfg, err := s.admitMemory(ctx, memEst)
+	if err != nil {
+		return nil, err
+	}
+	defer resv.Release()
+	if resv != nil {
+		info.ReservedBytes = resv.Bytes()
+	}
+
 	ai, release, err := s.gov.admit(ctx, q.Parallelism, info.EstCostUS)
 	if err != nil {
 		return nil, err
@@ -377,11 +455,17 @@ func (c *Session) Join(ctx context.Context, left, right string, q matstore.JoinQ
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, stats, err := s.exec.RunJoinPlan(pl, ai.Grant, false)
+	res, stats, err := s.exec.RunJoinPlanWith(pl, ai.Grant, plan.RunOptions{Ctx: ctx, Spill: spillCfg})
 	if err != nil {
 		return nil, err
 	}
 	info.BuildCacheHit = stats.Join.BuildCacheHit
+	if stats.Join.Spilled {
+		info.Spilled = true
+		s.spilledJoins.Add(1)
+		s.spilledParts.Add(int64(stats.Join.SpilledParts))
+		s.spillBytes.Add(stats.Join.SpillBytes)
+	}
 	if s.results != nil {
 		s.results.put(&resultEntry{
 			key: key, projs: projs, gens: gens,
@@ -389,6 +473,42 @@ func (c *Session) Join(ctx context.Context, left, right string, q matstore.JoinQ
 		})
 	}
 	return &JoinResult{Res: res, Stats: stats, Info: info}, nil
+}
+
+// spillGrantFloor is the smallest spill-mode reservation admitMemory asks
+// for: enough for one resident partition's working set plus frame buffers.
+const spillGrantFloor = 64 << 10
+
+// admitMemory resolves a join's byte reservation against the governor.
+// Outcomes, in order: memory governance off or no estimate → run ungoverned;
+// the full estimate fits right now → in-memory grant (nil SpillConfig); else
+// a spill-mode grant of min(estimate, budget/4) clamped to
+// [spillGrantFloor, budget] — preferring bounded spill over waiting for the
+// full footprint — which may queue briefly and is shed (memory.ErrShed) past
+// the waiter cap. The caller releases the reservation on every path.
+func (s *Server) admitMemory(ctx context.Context, est int64) (*memory.Reservation, *operators.SpillConfig, error) {
+	if s.mem == nil || est <= 0 {
+		return nil, nil, nil
+	}
+	if r := s.mem.TryReserve(est); r != nil {
+		return r, nil, nil
+	}
+	budget := s.mem.Budget()
+	grant := est
+	if quarter := budget / 4; grant > quarter {
+		grant = quarter
+	}
+	if grant < spillGrantFloor {
+		grant = spillGrantFloor
+	}
+	if grant > budget {
+		grant = budget
+	}
+	r, err := s.mem.Reserve(ctx, grant)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, &operators.SpillConfig{BudgetBytes: grant, EstBytes: est, Dir: s.spillDir}, nil
 }
 
 func (s *Server) buildJoin(left, right string, q matstore.JoinQuery, rs matstore.RightStrategy) (*plan.Plan, error) {

@@ -33,12 +33,14 @@
 package matstore
 
 import (
+	"errors"
 	"sync/atomic"
 
 	"matstore/internal/buffer"
 	"matstore/internal/core"
 	"matstore/internal/model"
 	"matstore/internal/operators"
+	"matstore/internal/plan"
 	"matstore/internal/pred"
 	"matstore/internal/rows"
 	"matstore/internal/storage"
@@ -183,6 +185,8 @@ type DB struct {
 	// annotation and cost estimate on this handle uses (atomic so a
 	// calibration pass can swap them while queries run).
 	consts atomic.Pointer[model.Constants]
+	// orphansSwept counts stale spill temp files removed at Open.
+	orphansSwept int
 }
 
 // Open opens every projection under dir.
@@ -198,8 +202,20 @@ func Open(dir string, opts ...Options) (*DB, error) {
 	db := &DB{inner: inner, exec: core.NewExecutor(inner.Pool(), o.Exec)}
 	paper := model.Paper
 	db.consts.Store(&paper)
+	// Sweep spill temp files orphaned by a previous crash — their lifetime is
+	// one query run, so anything present at open is garbage. Best effort: a
+	// sweep failure (e.g. read-only media) must not block opening.
+	db.orphansSwept, _ = operators.SweepSpillDir(operators.SpillDir(dir))
 	return db, nil
 }
+
+// SpillDir returns the directory spill-mode joins write their temp files
+// under (a dot-directory beside the projection directories).
+func (db *DB) SpillDir() string { return operators.SpillDir(db.inner.Dir()) }
+
+// OrphanedSpillFiles reports how many stale spill temp files Open removed —
+// leftovers of a crash mid-spill in a previous process.
+func (db *DB) OrphanedSpillFiles() int { return db.orphansSwept }
 
 // Constants returns the model constants this handle currently runs on (the
 // paper's Table 2 values until SetConstants installs calibrated ones).
@@ -250,5 +266,35 @@ func (db *DB) Join(left, right string, q JoinQuery, rs RightStrategy) (*Result, 
 	if err != nil {
 		return nil, nil, err
 	}
+	if q.SpillBudgetBytes > 0 {
+		pl, spill, err := db.spillJoinPlan(lp, rp, right, q, rs)
+		if err != nil {
+			return nil, nil, err
+		}
+		return db.exec.RunJoinPlanWith(pl, q.Parallelism, plan.RunOptions{Spill: spill})
+	}
 	return db.exec.Join(lp, rp, q, rs)
+}
+
+// spillJoinPlan builds the join plan plus the Grace spill configuration for
+// a JoinQuery with SpillBudgetBytes set: the build side keeps at most the
+// budget resident and writes the rest to per-partition temp files under the
+// database's spill directory.
+func (db *DB) spillJoinPlan(lp, rp *storage.Projection, right string, q JoinQuery, rs RightStrategy) (*plan.Plan, *operators.SpillConfig, error) {
+	if db.exec.Opt.SerialJoinBuild {
+		return nil, nil, errors.New("matstore: SpillBudgetBytes requires the radix build (Options.SerialJoinBuild is set)")
+	}
+	pl, err := db.exec.BuildJoinPlan(lp, rp, q, rs)
+	if err != nil {
+		return nil, nil, err
+	}
+	est, err := db.EstimateJoinMemory(right, q, rs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pl, &operators.SpillConfig{
+		BudgetBytes: q.SpillBudgetBytes,
+		EstBytes:    est,
+		Dir:         db.SpillDir(),
+	}, nil
 }

@@ -1,0 +1,103 @@
+package matstore_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"matstore"
+)
+
+// TestOpenSweepsOrphanedSpillFiles pins the crash-recovery satellite: spill
+// temp files have the lifetime of one query run, so a fresh Open removes any
+// leftovers from a crashed predecessor — and reports the count — while
+// leaving foreign files in the spill directory alone.
+func TestOpenSweepsOrphanedSpillFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := matstore.Generate(dir, 0.002, 7); err != nil {
+		t.Fatal(err)
+	}
+	spillDir := filepath.Join(dir, ".spill")
+	if err := os.MkdirAll(spillDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	orphans := []string{
+		filepath.Join(spillDir, "spill-part-123.tmp"),
+		filepath.Join(spillDir, "spill-demote-456.tmp"),
+	}
+	for _, p := range orphans {
+		if err := os.WriteFile(p, []byte("stale"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	foreign := filepath.Join(spillDir, "keep.txt")
+	if err := os.WriteFile(foreign, []byte("not ours"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := matstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if got := db.OrphanedSpillFiles(); got != len(orphans) {
+		t.Errorf("OrphanedSpillFiles = %d, want %d", got, len(orphans))
+	}
+	if db.SpillDir() != spillDir {
+		t.Errorf("SpillDir = %q, want %q", db.SpillDir(), spillDir)
+	}
+	for _, p := range orphans {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("orphan %s survived Open", p)
+		}
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Errorf("foreign file removed by sweep: %v", err)
+	}
+
+	// A second open over the now-clean directory sweeps nothing.
+	db2, err := matstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.OrphanedSpillFiles(); got != 0 {
+		t.Errorf("second Open swept %d files, want 0", got)
+	}
+}
+
+// TestEstimateJoinMemoryFromCatalog checks the public estimator wires catalog
+// statistics into the memory model: estimates are positive, ordered
+// single-column <= multi-column (hash entries only vs retained blocks), and
+// the materialized strategy pays for its dense payload arrays.
+func TestEstimateJoinMemoryFromCatalog(t *testing.T) {
+	db := open(t)
+	q := matstore.JoinQuery{
+		LeftKey:     "custkey",
+		LeftPred:    matstore.MatchAll,
+		LeftOutput:  []string{"shipdate"},
+		RightKey:    "custkey",
+		RightOutput: []string{"nationcode"},
+	}
+	est := make(map[matstore.RightStrategy]int64)
+	for _, rs := range matstore.JoinStrategies {
+		n, err := db.EstimateJoinMemory("customer", q, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n <= 0 {
+			t.Errorf("%v: estimate %d, want > 0", rs, n)
+		}
+		est[rs] = n
+	}
+	if est[matstore.RightSingleColumn] > est[matstore.RightMultiColumn] {
+		t.Errorf("single-column %d > multi-column %d", est[matstore.RightSingleColumn], est[matstore.RightMultiColumn])
+	}
+	if est[matstore.RightMaterialized] <= est[matstore.RightSingleColumn] {
+		t.Errorf("materialized %d should exceed single-column %d (dense arrays)",
+			est[matstore.RightMaterialized], est[matstore.RightSingleColumn])
+	}
+	if _, err := db.EstimateJoinMemory("nope", q, matstore.RightMaterialized); err == nil {
+		t.Error("unknown projection accepted")
+	}
+}
