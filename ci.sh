@@ -107,3 +107,44 @@ done
 # Smoke-run calibration: refit the Table 2 CPU constants from the mixed
 # workload's observed per-node times; the report must show the refit.
 go run ./cmd/csmodel -dir "$ci_explain_dir" -calibrate | grep -q 'calibrated over'
+
+# Sharded-serving smoke: generate a 2-shard layout, boot one engine per
+# shard plus the scatter-gather coordinator over them, and drive a
+# selection, an aggregation, a join and an explain through the coordinator.
+# The stats snapshot must show requests fanning out over both shards.
+ci_shard_root="$ci_explain_dir/sharded"
+go run ./cmd/csgen -dir "$ci_shard_root" -scale 0.001 -seed 7 -shards 2
+# The calibrate smoke above regenerates $ci_explain_dir from scratch
+# (bench.Setup removes the dir on marker mismatch), which deletes the
+# csserve binary built into it — rebuild it.
+go build -o "$ci_explain_dir/csserve" ./cmd/csserve
+"$ci_explain_dir/csserve" -dir "$ci_shard_root/shard-000" -addr 127.0.0.1:18981 \
+	-worker-budget 2 -max-concurrent 4 &
+ci_shard0_pid=$!
+"$ci_explain_dir/csserve" -dir "$ci_shard_root/shard-001" -addr 127.0.0.1:18982 \
+	-worker-budget 2 -max-concurrent 4 &
+ci_shard1_pid=$!
+"$ci_explain_dir/csserve" -coordinator -dir "$ci_shard_root" -addr 127.0.0.1:18980 \
+	-shard-endpoints http://127.0.0.1:18981,http://127.0.0.1:18982 &
+ci_coord_pid=$!
+trap 'kill "$ci_serve_pid" "$ci_shard0_pid" "$ci_shard1_pid" "$ci_coord_pid" 2>/dev/null; rm -rf "$ci_explain_dir"' EXIT
+for i in $(seq 1 50); do
+	if "$ci_explain_dir/csserve" -get http://127.0.0.1:18980/readyz >/dev/null 2>&1; then
+		break
+	fi
+	sleep 0.1
+done
+"$ci_explain_dir/csserve" -post http://127.0.0.1:18980/query -data "$ci_query_body" \
+	| grep -q '"row_count"'
+"$ci_explain_dir/csserve" -post http://127.0.0.1:18980/query \
+	-data '{"projection":"lineitem","groupby":"returnflag","aggcol":"quantity","agg":"avg","where":["shipdate<1500"],"limit":-1}' \
+	| grep -q '"row_count"'
+"$ci_explain_dir/csserve" -post http://127.0.0.1:18980/join -data "$ci_join_body" \
+	| grep -q '"row_count"'
+"$ci_explain_dir/csserve" -post http://127.0.0.1:18980/explain -data "$ci_query_body" \
+	| grep -q 'shard 1'
+"$ci_explain_dir/csserve" -get http://127.0.0.1:18980/stats \
+	| grep -q '"fanned_out":'
+"$ci_explain_dir/csserve" -get http://127.0.0.1:18980/stats \
+	| grep -q '"shard_requests":'
+"$ci_explain_dir/csserve" -get http://127.0.0.1:18980/readyz | grep -q '"ready":true'

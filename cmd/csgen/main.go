@@ -4,6 +4,15 @@
 // Usage:
 //
 //	csgen -dir ./data -scale 0.1 -seed 42
+//	csgen -dir ./data -scale 0.1 -shards 4   # sharded layout + shards.json
+//
+// With -shards N the root receives one full database directory per shard
+// (shard-000 ... shard-N-1) plus a shards.json manifest: lineitem and
+// orders are horizontally partitioned on chunk-aligned row ranges
+// (byte-identical to row-slicing the single-directory output), customer is
+// replicated into every shard so shard-local joins see the full inner
+// table. Serve each shard with csserve -dir root/shard-00k and front them
+// with csserve -coordinator.
 package main
 
 import (
@@ -11,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"matstore"
 	"matstore/internal/tpch"
@@ -23,6 +33,7 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "TPC-H scale factor (1.0 = 6M lineitem rows; the paper used 10)")
 	seed := flag.Uint64("seed", 42, "generator seed")
 	parallelism := flag.Int("parallelism", 0, "generation workers (0 = one per CPU; output is byte-identical at every count)")
+	shards := flag.Int("shards", 0, "write a sharded layout with this many shards (0 = single directory)")
 	flag.Parse()
 
 	cfg := tpch.Config{Scale: *scale, Seed: *seed, Workers: *parallelism}
@@ -31,6 +42,27 @@ func main() {
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		log.Fatal(err)
 	}
+
+	if *shards > 0 {
+		m, err := tpch.GenerateSharded(*dir, cfg, *shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for k, d := range m.Dirs {
+			db, err := matstore.Open(filepath.Join(*dir, d))
+			if err != nil {
+				log.Fatal(err)
+			}
+			li, _ := m.Placement(tpch.LineitemProj)
+			fmt.Printf("shard %d (%s): projections %v, lineitem rows [%d,%d)\n",
+				k, d, db.Projections(), li.Ranges[k].Start, li.Ranges[k].End)
+			db.Close()
+		}
+		fmt.Println("manifest:", filepath.Join(*dir, "shards.json"))
+		fmt.Println("done")
+		return
+	}
+
 	if err := tpch.Generate(*dir, cfg); err != nil {
 		log.Fatal(err)
 	}

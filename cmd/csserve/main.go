@@ -19,7 +19,22 @@
 //
 // Client mode (for scripts and CI environments without curl): -get URL
 // performs a GET, -post URL with -data BODY performs a POST; either prints
-// the response body and exits.
+// the response body and exits. A 503 with a Retry-After header (the
+// service's shed signal) is retried with bounded backoff (-retries).
+//
+// Coordinator mode serves a csgen -shards layout by scatter-gather over
+// shard engines instead of executing locally:
+//
+//	csgen   -dir ./data -shards 2
+//	csserve -dir ./data/shard-000 -addr :9101 &
+//	csserve -dir ./data/shard-001 -addr :9102 &
+//	csserve -coordinator -dir ./data -addr :8088 \
+//	        -shard-endpoints http://localhost:9101,http://localhost:9102
+//
+// The coordinator loads only shards.json and per-shard meta.json, fans
+// /query, /join and /explain out over the endpoints in parallel, and merges
+// partials with the executor's deterministic merge contract, so responses
+// are byte-identical to a single engine over the un-sharded directory.
 package main
 
 import (
@@ -31,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -56,13 +72,25 @@ func main() {
 	spillDir := flag.String("spill-dir", "", "directory for spill temp files (default: .spill under -dir)")
 	faultSpec := flag.String("faults", "", "debug: arm fault-injection sites, e.g. 'spill.write=error:3,spill.read=slow' (sites: spill.create spill.write spill.read cache.demote cache.rehydrate mem.reserve; modes: error short slow[:afterN])")
 	calibrate := flag.Bool("calibrate", false, "refit the cost-model constants to this machine from the mixed workload before serving")
+	minCostUS := flag.Float64("result-cache-min-cost-us", 0, "only cache results whose modeled cost exceeds this many µs (0 = cache everything; cheap queries re-execute faster than they amortize cache space)")
+	coordinator := flag.Bool("coordinator", false, "scatter-gather mode: -dir is a csgen -shards root; fan /query, /join, /explain out over -shard-endpoints and merge")
+	shardEndpoints := flag.String("shard-endpoints", "", "coordinator mode: comma-separated shard base URLs, one per shard in shard order")
+	shardTimeoutMS := flag.Int("shard-timeout-ms", 0, "coordinator mode: per-shard fan-out timeout in milliseconds (0 = 30000)")
 	get := flag.String("get", "", "client mode: GET this URL, print the body, exit")
 	post := flag.String("post", "", "client mode: POST -data to this URL, print the body, exit")
 	data := flag.String("data", "", "client mode: POST body for -post")
+	retries := flag.Int("retries", 5, "client mode: max retries after a 503 with Retry-After")
 	flag.Parse()
 
 	if *get != "" || *post != "" {
-		if err := client(*get, *post, *data); err != nil {
+		if err := client(*get, *post, *data, *retries); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *coordinator {
+		if err := serveCoordinator(*dir, *addr, *shardEndpoints, *shardTimeoutMS); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -104,14 +132,15 @@ func main() {
 		memoryBytes <<= 20
 	}
 	srv := service.New(db, service.Config{
-		MaxConcurrent:     *maxConc,
-		WorkerBudget:      *budget,
-		BuildCacheBytes:   buildBytes,
-		PlanCacheEntries:  *planEntries,
-		ResultCacheBytes:  resultBytes,
-		GrantSliceMicros:  *sliceUS,
-		MemoryBudgetBytes: memoryBytes,
-		SpillDir:          *spillDir,
+		MaxConcurrent:        *maxConc,
+		WorkerBudget:         *budget,
+		BuildCacheBytes:      buildBytes,
+		PlanCacheEntries:     *planEntries,
+		ResultCacheBytes:     resultBytes,
+		GrantSliceMicros:     *sliceUS,
+		MemoryBudgetBytes:    memoryBytes,
+		SpillDir:             *spillDir,
+		ResultCacheMinCostUS: *minCostUS,
 	})
 	cfg := srv.Config()
 	log.Printf("serving %s on %s (worker budget %d, admission limit %d, memory budget %d MiB, projections %v)",
@@ -156,29 +185,99 @@ func customerRows(db *matstore.DB) int64 {
 	return 300
 }
 
+// serveCoordinator runs the scatter-gather front-end over shard engines:
+// metadata-only startup (shards.json + per-shard meta.json), then the same
+// endpoint surface and graceful-drain behavior as a shard engine.
+func serveCoordinator(dir, addr, endpoints string, timeoutMS int) error {
+	if endpoints == "" {
+		return fmt.Errorf("-coordinator requires -shard-endpoints")
+	}
+	var eps []string
+	for _, e := range strings.Split(endpoints, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			eps = append(eps, strings.TrimRight(e, "/"))
+		}
+	}
+	coord, err := service.NewCoordinator(dir, eps, service.CoordinatorConfig{
+		ShardTimeout: time.Duration(timeoutMS) * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("coordinating %s on %s over %d shards: %v", dir, addr, len(eps), eps)
+	log.Print(coord)
+
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		log.Printf("received %v, draining in-flight requests", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		return hs.Shutdown(ctx)
+	}
+}
+
 // client is the curl-free HTTP helper for scripts: one GET or POST, body to
-// stdout, non-2xx status as an error.
-func client(get, post, data string) error {
-	var (
-		resp *http.Response
-		err  error
-	)
-	if get != "" {
-		resp, err = http.Get(get)
-	} else {
-		resp, err = http.Post(post, "application/json", strings.NewReader(data))
+// stdout, non-2xx status as an error. A 503 carrying a Retry-After header —
+// the service's load-shed backpressure signal — is retried up to retries
+// times, honoring the advertised delay (capped at 5s per attempt, with a
+// small default when the header is absent or unparsable).
+func client(get, post, data string, retries int) error {
+	do := func() (*http.Response, error) {
+		if get != "" {
+			return http.Get(get)
+		}
+		return http.Post(post, "application/json", strings.NewReader(data))
 	}
-	if err != nil {
-		return err
+	for attempt := 0; ; attempt++ {
+		resp, err := do()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < retries {
+			delay := retryAfterDelay(resp.Header.Get("Retry-After"))
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "csserve: HTTP 503, retrying in %s (%d/%d)\n", delay, attempt+1, retries)
+			time.Sleep(delay)
+			continue
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(body)
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("HTTP %d", resp.StatusCode)
+		}
+		return nil
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
+}
+
+// retryAfterDelay converts a Retry-After header value into a bounded sleep:
+// the advertised seconds clamped to [100ms, 5s], or 250ms when absent.
+func retryAfterDelay(h string) time.Duration {
+	d := 250 * time.Millisecond
+	if secs, err := strconv.Atoi(strings.TrimSpace(h)); err == nil {
+		d = time.Duration(secs) * time.Second
 	}
-	os.Stdout.Write(body)
-	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
 	}
-	return nil
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
 }

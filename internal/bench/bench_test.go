@@ -40,6 +40,9 @@ func TestMain(m *testing.M) {
 	if envDir != "" {
 		os.RemoveAll(envDir)
 	}
+	if coordRoot != "" {
+		os.RemoveAll(coordRoot)
+	}
 	os.Exit(code)
 }
 

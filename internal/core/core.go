@@ -243,6 +243,12 @@ type Stats struct {
 	// result-iteration pass (prevents dead-code elimination in benchmarks
 	// and doubles as a cheap cross-strategy equivalence probe).
 	OutputChecksum int64
+	// AggState is the query's final merged aggregator (aggregating queries
+	// only): the mergeable per-group statistics behind the emitted rows,
+	// which a shard exports so a scatter-gather coordinator can absorb
+	// disjoint-range partials and re-emit. Emitted aggregate values do not
+	// merge across shards (AVG loses its count); these statistics do.
+	AggState *operators.Aggregator
 }
 
 // Executor runs queries against projections through a shared buffer pool.
@@ -287,6 +293,7 @@ func (e *Executor) RunPlan(pl *plan.Plan, s Strategy, parallelism int, observe b
 	stats.Groups = runStats.Groups
 	stats.Workers = runStats.Workers
 	stats.Morsels = runStats.Morsels
+	stats.AggState = runStats.AggState
 
 	if !e.Opt.SkipOutputIteration {
 		stats.OutputChecksum = drainResult(res)

@@ -156,6 +156,42 @@ func (a *Aggregator) Merge(other *Aggregator) {
 	a.RunsIn += other.RunsIn
 }
 
+// GroupStats is one group's mergeable aggregate state in wire form: the
+// Sum/Count/Min/Max statistics a shard exports for key so a coordinator can
+// absorb partials from disjoint row ranges and re-emit — the network form
+// of the same Merge contract the morsel executor uses in memory. Emitted
+// aggregate VALUES cannot merge across shards (AVG loses its count), so the
+// wire format ships the statistics, never the emitted rows.
+type GroupStats struct {
+	Key   int64 `json:"key"`
+	Sum   int64 `json:"sum"`
+	Count int64 `json:"count"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+}
+
+// ExportGroups returns the aggregator's per-group state sorted by key —
+// the partial a shard ships to the coordinator.
+func (a *Aggregator) ExportGroups() []GroupStats {
+	out := make([]GroupStats, 0, len(a.m))
+	for k, st := range a.m {
+		out = append(out, GroupStats{Key: k, Sum: st.Sum, Count: st.Count, Min: st.Min, Max: st.Max})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// AbsorbGroups merges exported per-group partials into the aggregator,
+// exactly as Merge would absorb the aggregator they came from.
+func (a *Aggregator) AbsorbGroups(gs []GroupStats) {
+	for _, g := range gs {
+		if g.Count == 0 {
+			continue
+		}
+		a.add(g.Key, encoding.RunStats{Sum: g.Sum, Count: g.Count, Min: g.Min, Max: g.Max})
+	}
+}
+
 // Emit materializes the aggregate result, sorted by key, with the given
 // output column names. These are the only tuples an LM aggregation plan
 // ever constructs.

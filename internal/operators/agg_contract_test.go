@@ -1,0 +1,116 @@
+package operators
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Merge-contract invariants in isolation: the scatter-gather coordinator
+// re-merges shard partials with exactly this contract (Aggregator.Merge in
+// wire form via ExportGroups/AbsorbGroups), so these tests pin the
+// properties the distributed merge depends on — partition- and
+// order-insensitivity, and export/absorb ≡ Merge — independent of any
+// executor or HTTP machinery.
+
+// contractKeys/contractVals is a small stream with repeated keys, negative
+// values and a key whose values straddle any partition boundary.
+var (
+	contractKeys = []int64{3, 1, 3, 2, 1, 3, 2, 2, 1, 3, 5, 5, 1, 2, 3, 4}
+	contractVals = []int64{10, -4, 7, 0, 22, -9, 5, 5, 1, 3, 100, -100, 8, 2, 6, 41}
+)
+
+var contractFns = []AggFunc{AggSum, AggCount, AggAvg, AggMin, AggMax}
+
+// buildPartials splits the stream at the given cut points into independent
+// per-partition aggregators — what each shard (or morsel) computes locally.
+func buildPartials(fn AggFunc, cuts []int) []*Aggregator {
+	var parts []*Aggregator
+	prev := 0
+	for _, cut := range append(cuts, len(contractKeys)) {
+		a := NewAggregator(fn)
+		a.AddBatch(contractKeys[prev:cut], contractVals[prev:cut])
+		parts = append(parts, a)
+		prev = cut
+	}
+	return parts
+}
+
+func singleShot(fn AggFunc) *Aggregator {
+	a := NewAggregator(fn)
+	a.AddBatch(contractKeys, contractVals)
+	return a
+}
+
+// TestAggregatorMergeOrderAndPartitionInvariance pins the contract: merging
+// ANY partition of the input, in ANY merge order, emits exactly the
+// single-shot result for every aggregate function (AVG included, the
+// function that breaks if emitted values are merged instead of statistics).
+func TestAggregatorMergeOrderAndPartitionInvariance(t *testing.T) {
+	partitions := [][]int{{8}, {4, 8, 12}, {1, 2, 3, 5, 13}}
+	orders := [][]int{nil, {3, 1, 0, 2}, {2, 3, 0, 1}}
+	for _, fn := range contractFns {
+		want := singleShot(fn).Emit("k", "v")
+		for _, cuts := range partitions {
+			for _, order := range orders {
+				parts := buildPartials(fn, cuts)
+				if order != nil && len(order) != len(parts) {
+					continue
+				}
+				merged := NewAggregator(fn)
+				if order == nil {
+					for _, p := range parts {
+						merged.Merge(p)
+					}
+				} else {
+					for _, i := range order {
+						merged.Merge(parts[i])
+					}
+				}
+				got := merged.Emit("k", "v")
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%v cuts=%v order=%v: merged emit %+v, single-shot %+v",
+						fn, cuts, order, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestExportAbsorbGroupsEqualsMerge pins the wire form: absorbing every
+// partial's exported GroupStats into a fresh aggregator emits exactly what
+// in-memory Merge emits — the coordinator's cross-shard merge IS the
+// executor's merge.
+func TestExportAbsorbGroupsEqualsMerge(t *testing.T) {
+	for _, fn := range contractFns {
+		want := singleShot(fn).Emit("k", "v")
+		absorbed := NewAggregator(fn)
+		for _, p := range buildPartials(fn, []int{4, 8, 12}) {
+			absorbed.AbsorbGroups(p.ExportGroups())
+		}
+		got := absorbed.Emit("k", "v")
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: absorb-exported emit %+v, want %+v", fn, got, want)
+		}
+	}
+}
+
+// TestExportGroupsSortedAndStable: exports are sorted by key and carry the
+// exact per-key statistics, and zero-count groups are ignored on absorb.
+func TestExportGroupsSortedAndStable(t *testing.T) {
+	a := NewAggregator(AggSum)
+	a.AddTuple(7, 3)
+	a.AddTuple(-2, 10)
+	a.AddTuple(7, -1)
+	gs := a.ExportGroups()
+	if len(gs) != 2 || gs[0].Key != -2 || gs[1].Key != 7 {
+		t.Fatalf("exported groups %+v, want keys [-2 7]", gs)
+	}
+	if gs[1].Sum != 2 || gs[1].Count != 2 || gs[1].Min != -1 || gs[1].Max != 3 {
+		t.Errorf("key 7 stats %+v", gs[1])
+	}
+	b := NewAggregator(AggSum)
+	b.AbsorbGroups([]GroupStats{{Key: 9, Count: 0, Sum: 999}})
+	if b.Groups() != 0 {
+		t.Error("zero-count group was absorbed")
+	}
+}

@@ -33,6 +33,11 @@ type RunStats struct {
 	Groups            int
 	Workers           int
 	Morsels           int
+	// AggState is the run's final merged aggregator (aggregating plans
+	// only). It holds the per-group mergeable statistics behind the emitted
+	// result — the partial a shard exports so a scatter-gather coordinator
+	// can absorb disjoint-range partials and re-emit.
+	AggState *operators.Aggregator
 	// Join carries the join-specific counters of a join tree (zero for
 	// selection/aggregation plans).
 	Join operators.JoinStats
@@ -249,6 +254,7 @@ func mergePartials(s Spec, parts []*partial, stats *RunStats) *rows.Result {
 		}
 		res := agg.Emit(s.OutNames[0], s.OutNames[1])
 		stats.Groups = agg.Groups()
+		stats.AggState = agg
 		stats.TuplesConstructed += int64(res.NumRows())
 		return res
 	}

@@ -1,0 +1,88 @@
+package positions
+
+import "testing"
+
+// Shard-boundary concat invariant: the scatter-gather coordinator
+// concatenates per-shard position partials in shard order exactly as the
+// morsel executor concatenates per-morsel partials in block order. Splitting
+// the position space at a shard boundary and concatenating the pieces must
+// reproduce the unsplit set bit for bit, for every representation mix — the
+// property that makes shard-order row concat equal global row order.
+
+// setsEqual compares two position sets by exhaustive run iteration.
+func setsEqual(a, b Set) bool {
+	if a.Count() != b.Count() {
+		return false
+	}
+	ra, rb := a.Runs(), b.Runs()
+	for {
+		x, okA := ra.Next()
+		y, okB := rb.Next()
+		if okA != okB {
+			return false
+		}
+		if !okA {
+			return true
+		}
+		if x != y {
+			return false
+		}
+	}
+}
+
+// clip returns the subset of s inside [lo, hi) — what one shard holds of a
+// global position set.
+func clip(s Set, lo, hi int64) Set {
+	b := NewBuilder(Range{Start: lo, End: hi})
+	it := s.Runs()
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		o := r.Intersect(Range{Start: lo, End: hi})
+		if !o.Empty() {
+			b.AddRange(o)
+		}
+	}
+	return b.Build()
+}
+
+// TestConcatAcrossShardBoundaries: for several global sets and several
+// shard carvings, concatenating the per-shard clips in shard order equals
+// the unsplit set.
+func TestConcatAcrossShardBoundaries(t *testing.T) {
+	globals := map[string]Set{
+		"ranges": NewRanges(Range{Start: 10, End: 300}, Range{Start: 500, End: 700}, Range{Start: 1000, End: 1024}),
+		"list":   NewList(1, 63, 64, 65, 200, 511, 512, 513, 900, 1023),
+		"dense":  NewRanges(Range{Start: 0, End: 1024}),
+	}
+	carvings := [][]int64{
+		{0, 512, 1024},
+		{0, 64, 128, 1024},
+		{0, 256, 512, 768, 1024},
+		{0, 1024}, // one shard: concat of one piece is the piece
+	}
+	for name, g := range globals {
+		for _, cuts := range carvings {
+			var parts []Set
+			for i := 0; i+1 < len(cuts); i++ {
+				parts = append(parts, clip(g, cuts[i], cuts[i+1]))
+			}
+			got := Concat(parts...)
+			if !setsEqual(got, g) {
+				t.Errorf("%s carved at %v: concat %v != original %v", name, cuts, got, g)
+			}
+		}
+	}
+}
+
+// TestConcatEmptyShards: shards holding no matching positions (pruned or
+// empty-range shards) drop out of the concat without disturbing order.
+func TestConcatEmptyShards(t *testing.T) {
+	g := NewRanges(Range{Start: 100, End: 200})
+	got := Concat(Empty{}, clip(g, 0, 512), Empty{}, clip(g, 512, 1024), Empty{})
+	if !setsEqual(got, g) {
+		t.Errorf("concat with empty shards = %v, want %v", got, g)
+	}
+}

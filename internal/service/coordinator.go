@@ -1,0 +1,814 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"matstore"
+	"matstore/internal/operators"
+	"matstore/internal/storage"
+)
+
+// Scatter-gather coordinator: one process fronting N shard engines, each an
+// ordinary csserve over one shard directory of a csgen -shards layout. The
+// coordinator loads ONLY metadata at startup (shards.json plus every
+// shard's per-projection meta.json) — shard data is never touched here —
+// and serves the same /query, /join and /explain endpoints by fanning
+// requests out over the shard HTTP endpoints in parallel and merging the
+// partials with the exact deterministic contract the morsel executor uses
+// in memory:
+//
+//   - selection/join row partials concatenate in shard order (shard order
+//     IS global row order, so this is rows.Result.Append across the wire);
+//     row counts and output checksums add;
+//   - aggregation partials ship mergeable per-group statistics
+//     (operators.GroupStats, requested via partial=true) which the
+//     coordinator absorbs into a fresh Aggregator and re-emits sorted by
+//     key — emitted aggregate values do not merge (AVG loses its count),
+//     the statistics do;
+//   - explain trees concatenate with per-shard global row-range headers.
+//
+// Because the merge contract is the executor's, coordinator responses are
+// byte-identical to the single-process engine at every shard count.
+//
+// Routing: sharded projections fan out to every shard whose row range is
+// non-empty, minus shards whose column min/max statistics refute every
+// predicate (zone-map pruning lifted to shard granularity); replicated
+// projections round-robin to a single shard. Joins run shard-local against
+// the replicated right side (left sharded) or route to one shard (left
+// replicated); a sharded right side requires key partitioning, which this
+// layout does not do — those requests are rejected up front.
+
+// DefaultShardTimeout bounds one shard request when the config leaves it 0.
+const DefaultShardTimeout = 30 * time.Second
+
+// CoordinatorConfig tunes a Coordinator.
+type CoordinatorConfig struct {
+	// ShardTimeout is the per-shard fan-out timeout (0 = 30s). A shard that
+	// misses it turns the whole request into 504.
+	ShardTimeout time.Duration
+	// Client overrides the HTTP client used for shard requests (nil = a
+	// default client; the per-request timeout still comes from ShardTimeout).
+	Client *http.Client
+}
+
+// shardNode is one shard's routing state: its endpoint plus the
+// per-projection catalog records read at startup.
+type shardNode struct {
+	url   string
+	metas map[string]storage.ProjectionMeta
+}
+
+// Coordinator fans requests over shard engines and merges the partials.
+type Coordinator struct {
+	manifest *storage.ShardManifest
+	shards   []shardNode
+	client   *http.Client
+	timeout  time.Duration
+
+	queries       atomic.Int64
+	fannedOut     atomic.Int64 // requests that went to more than one shard
+	routedSingle  atomic.Int64 // requests answered by exactly one shard
+	shardRequests atomic.Int64 // total shard HTTP requests issued
+	prunedShards  atomic.Int64 // shards skipped by min/max statistics
+	shardErrors   atomic.Int64 // shard requests that failed or timed out
+	aggMerges     atomic.Int64 // partial aggregations absorbed and re-emitted
+	rr            atomic.Int64 // round-robin cursor for replicated routing
+}
+
+// NewCoordinator loads the shard manifest and every shard's projection
+// metadata from a csgen -shards root and binds shard k to endpoints[k]
+// (base URLs such as http://127.0.0.1:9101). No shard data is read.
+func NewCoordinator(root string, endpoints []string, cfg CoordinatorConfig) (*Coordinator, error) {
+	m, err := storage.LoadShardManifest(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(endpoints) != m.NumShards {
+		return nil, fmt.Errorf("service: manifest has %d shards but %d endpoints given", m.NumShards, len(endpoints))
+	}
+	c := &Coordinator{
+		manifest: m,
+		client:   cfg.Client,
+		timeout:  cfg.ShardTimeout,
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	if c.timeout <= 0 {
+		c.timeout = DefaultShardTimeout
+	}
+	for k, ep := range endpoints {
+		dir := filepath.Join(root, m.Dirs[k])
+		projs, err := storage.ListProjectionDirs(dir)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", k, err)
+		}
+		node := shardNode{url: ep, metas: make(map[string]storage.ProjectionMeta, len(projs))}
+		for _, p := range projs {
+			meta, err := storage.ReadProjectionMeta(filepath.Join(dir, p))
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", k, err)
+			}
+			node.metas[p] = meta
+		}
+		c.shards = append(c.shards, node)
+	}
+	return c, nil
+}
+
+// Manifest returns the loaded shard manifest.
+func (c *Coordinator) Manifest() *storage.ShardManifest { return c.manifest }
+
+// httpError carries a fan-out failure back to the front-end: a status, a
+// response body (the failing shard's, when there is one) and an optional
+// Retry-After value to propagate.
+type httpError struct {
+	status     int
+	body       []byte
+	message    string
+	retryAfter string
+}
+
+func (e *httpError) write(w http.ResponseWriter) {
+	if e.retryAfter != "" {
+		w.Header().Set("Retry-After", e.retryAfter)
+	}
+	if len(e.body) > 0 {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(e.status)
+		_, _ = w.Write(e.body)
+		return
+	}
+	writeError(w, e.status, errors.New(e.message))
+}
+
+// shardReply is one shard's raw fan-out result.
+type shardReply struct {
+	shard      int
+	status     int
+	body       []byte
+	retryAfter string
+	err        error
+}
+
+// fanout POSTs body to path on the given shards in parallel, each under the
+// per-shard timeout, and returns the replies in shard order. The error
+// return folds per-shard failures into one front-end failure, scanned in
+// shard order so the mapping is deterministic: a transport fault is 502, a
+// timeout 504, a shard 503 propagates as 503 carrying the LARGEST
+// Retry-After any shedding shard advertised (retrying sooner than the
+// slowest shard recovers would just shed again), and any other non-200
+// shard status (400, 500) passes through with the shard's body.
+func (c *Coordinator) fanout(ctx context.Context, path string, body any, shards []int) ([]shardReply, *httpError) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, &httpError{status: http.StatusInternalServerError, message: err.Error()}
+	}
+	replies := make([]shardReply, len(shards))
+	var wg sync.WaitGroup
+	for i, k := range shards {
+		wg.Add(1)
+		go func(i, k int) {
+			defer wg.Done()
+			replies[i] = c.callShard(ctx, path, raw, k)
+		}(i, k)
+	}
+	wg.Wait()
+
+	var shed *httpError
+	for _, r := range replies {
+		switch {
+		case r.err != nil:
+			c.shardErrors.Add(1)
+			status := http.StatusBadGateway
+			if errors.Is(r.err, context.DeadlineExceeded) {
+				status = http.StatusGatewayTimeout
+			}
+			return nil, &httpError{status: status, message: fmt.Sprintf("shard %d: %v", r.shard, r.err)}
+		case r.status == http.StatusServiceUnavailable:
+			c.shardErrors.Add(1)
+			if shed == nil || retryAfterSeconds(r.retryAfter) > retryAfterSeconds(shed.retryAfter) {
+				shed = &httpError{status: r.status, body: r.body, retryAfter: r.retryAfter}
+			}
+		case r.status != http.StatusOK:
+			c.shardErrors.Add(1)
+			return nil, &httpError{status: r.status, body: r.body}
+		}
+	}
+	if shed != nil {
+		return nil, shed
+	}
+	return replies, nil
+}
+
+func (c *Coordinator) callShard(ctx context.Context, path string, body []byte, k int) shardReply {
+	c.shardRequests.Add(1)
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.shards[k].url+path, bytes.NewReader(body))
+	if err != nil {
+		return shardReply{shard: k, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			err = ctx.Err()
+		}
+		return shardReply{shard: k, err: err}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return shardReply{shard: k, err: err}
+	}
+	return shardReply{shard: k, status: resp.StatusCode, body: raw, retryAfter: resp.Header.Get("Retry-After")}
+}
+
+func retryAfterSeconds(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// shardsFor routes a request over a projection: a sharded projection fans
+// out to every shard whose row range is non-empty and whose column min/max
+// statistics cannot refute the predicates (shard-level zone-map pruning); a
+// replicated projection round-robins to one shard. At least one shard is
+// always returned so fully-pruned requests still produce a well-formed
+// empty result.
+func (c *Coordinator) shardsFor(proj string, filters []matstore.Filter) ([]int, error) {
+	pl, ok := c.manifest.Placement(proj)
+	if !ok {
+		return nil, fmt.Errorf("projection %q not in shard manifest", proj)
+	}
+	if !pl.Sharded {
+		return []int{int(c.rr.Add(1)-1) % len(c.shards)}, nil
+	}
+	var out []int
+	for k, r := range pl.Ranges {
+		if r.Len() == 0 {
+			continue
+		}
+		if c.pruneShard(k, proj, filters) {
+			c.prunedShards.Add(1)
+			continue
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		out = []int{0}
+	}
+	return out, nil
+}
+
+// pruneShard reports that shard k provably holds no row of proj matching
+// every filter, using the per-shard catalog min/max (the same test the
+// executor's zone index applies per block, lifted to shard granularity).
+// Conservative: unknown columns and non-interval predicates never prune.
+func (c *Coordinator) pruneShard(k int, proj string, filters []matstore.Filter) bool {
+	meta, ok := c.shards[k].metas[proj]
+	if !ok {
+		return false
+	}
+	for _, f := range filters {
+		lo, hi, ok := f.Pred.Interval()
+		if !ok {
+			continue
+		}
+		for _, cm := range meta.Columns {
+			if cm.Name != f.Col {
+				continue
+			}
+			if hi < cm.Min || lo > cm.Max {
+				return true
+			}
+			break
+		}
+	}
+	return false
+}
+
+// Handler returns the coordinator's HTTP mux: the same endpoint surface as
+// a shard engine, so clients (and the csserve client mode) are oblivious to
+// whether they talk to one engine or a fleet.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) { c.handleQuery(w, r) })
+	mux.HandleFunc("/join", func(w http.ResponseWriter, r *http.Request) { c.handleJoin(w, r) })
+	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) { c.handleExplain(w, r) })
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) { c.handleStats(w, r) })
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": "coordinator"})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) { c.handleReady(w, r) })
+	return mux
+}
+
+// resolveLimit applies the request limit convention (0 = the default cap,
+// negative = all rows) once at the coordinator; shards always receive an
+// explicit limit.
+func resolveLimit(limit int) int {
+	if limit == 0 {
+		return defaultRowLimit
+	}
+	return limit
+}
+
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.queries.Add(1)
+	filters, err := parseWhereList(req.Where)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	shards, err := c.shardsFor(req.Projection, filters)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(shards) == 1 {
+		// Single-shard routes (replicated projections, fully-pruned or
+		// one-shard layouts) pass through: the shard's response IS the
+		// global response.
+		c.routedSingle.Add(1)
+		c.passthrough(w, r.Context(), "/query", req, shards[0])
+		return
+	}
+	c.fannedOut.Add(1)
+
+	aggregating := req.GroupBy != "" && req.AggCol != ""
+	var fn operators.AggFunc
+	if aggregating && req.Agg != "" {
+		if fn, err = operators.ParseAggFunc(req.Agg); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	lim := resolveLimit(req.Limit)
+	shardReq := req
+	shardReq.Partial = true
+	// Limit pushdown: shard order is global row order, so the first lim
+	// global rows come from the shards' first lim rows. Aggregations need
+	// every group regardless of the row limit.
+	shardReq.Limit = lim
+	if aggregating {
+		shardReq.Limit = -1
+	}
+	replies, herr := c.fanout(r.Context(), "/query", shardReq, shards)
+	if herr != nil {
+		herr.write(w)
+		return
+	}
+	parts := make([]*QueryResponse, len(replies))
+	for i, rep := range replies {
+		parts[i] = new(QueryResponse)
+		if err := json.Unmarshal(rep.body, parts[i]); err != nil {
+			writeError(w, http.StatusBadGateway, fmt.Errorf("shard %d: bad response: %w", rep.shard, err))
+			return
+		}
+	}
+	var resp *QueryResponse
+	if aggregating {
+		resp = mergeAggParts(parts, fn, lim)
+		c.aggMerges.Add(1)
+	} else {
+		resp = mergeRowParts(parts, lim)
+	}
+	resp.Wall = time.Since(start).Nanoseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req JoinRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.queries.Add(1)
+	filters, err := parseWhereList(req.Where)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	leftPl, lok := c.manifest.Placement(req.Left)
+	rightPl, rok := c.manifest.Placement(req.Right)
+	if !lok || !rok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("join tables %q, %q must both be in the shard manifest", req.Left, req.Right))
+		return
+	}
+	// Shard-local join correctness: every shard probes its slice of the
+	// outer table against the FULL inner table, so the inner side must be
+	// replicated (or there is only one shard and locality is trivial).
+	if rightPl.Sharded && c.manifest.NumShards > 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(
+			"join right side %q is sharded: shard-local joins need a replicated right side (key-partitioned joins unsupported)", req.Right))
+		return
+	}
+	var shards []int
+	if leftPl.Sharded {
+		if shards, err = c.shardsFor(req.Left, filters); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		shards = []int{int(c.rr.Add(1)-1) % len(c.shards)}
+	}
+	if len(shards) == 1 {
+		c.routedSingle.Add(1)
+		c.passthrough(w, r.Context(), "/join", req, shards[0])
+		return
+	}
+	c.fannedOut.Add(1)
+
+	lim := resolveLimit(req.Limit)
+	shardReq := req
+	shardReq.Limit = lim
+	replies, herr := c.fanout(r.Context(), "/join", shardReq, shards)
+	if herr != nil {
+		herr.write(w)
+		return
+	}
+	parts := make([]*QueryResponse, len(replies))
+	for i, rep := range replies {
+		parts[i] = new(QueryResponse)
+		if err := json.Unmarshal(rep.body, parts[i]); err != nil {
+			writeError(w, http.StatusBadGateway, fmt.Errorf("shard %d: bad response: %w", rep.shard, err))
+			return
+		}
+	}
+	resp := mergeRowParts(parts, lim)
+	resp.Wall = time.Since(start).Nanoseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleExplain(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var raw json.RawMessage
+	if !decodeBody(w, r, &raw) {
+		return
+	}
+	c.queries.Add(1)
+	var probe struct {
+		Projection string `json:"projection"`
+		Left       string `json:"left"`
+		Right      string `json:"right"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	outer := probe.Projection
+	if probe.Right != "" {
+		outer = probe.Left
+	}
+	pl, ok := c.manifest.Placement(outer)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("projection %q not in shard manifest", outer))
+		return
+	}
+	// Explain fans to every shard holding rows — no pruning, the point is
+	// to see each shard's plan — and concatenates the trees under per-shard
+	// global row-range headers.
+	var shards []int
+	if pl.Sharded {
+		for k, rg := range pl.Ranges {
+			if rg.Len() > 0 {
+				shards = append(shards, k)
+			}
+		}
+		if len(shards) == 0 {
+			shards = []int{0}
+		}
+	} else {
+		shards = []int{int(c.rr.Add(1)-1) % len(c.shards)}
+	}
+	if len(shards) == 1 {
+		c.routedSingle.Add(1)
+		c.passthrough(w, r.Context(), "/explain", raw, shards[0])
+		return
+	}
+	c.fannedOut.Add(1)
+	replies, herr := c.fanout(r.Context(), "/explain", raw, shards)
+	if herr != nil {
+		herr.write(w)
+		return
+	}
+	merged := ExplainResponse{}
+	var tree bytes.Buffer
+	for i, rep := range replies {
+		var ex ExplainResponse
+		if err := json.Unmarshal(rep.body, &ex); err != nil {
+			writeError(w, http.StatusBadGateway, fmt.Errorf("shard %d: bad response: %w", rep.shard, err))
+			return
+		}
+		k := shards[i]
+		rg := pl.Ranges[k]
+		fmt.Fprintf(&tree, "── shard %d: %s rows [%d,%d) @ %s ──\n%s",
+			k, outer, rg.Start, rg.End, c.shards[k].url, ex.Tree)
+		if i == 0 {
+			merged.Strategy = ex.Strategy
+		}
+		merged.ModeledUS += ex.ModeledUS
+		merged.Workers += ex.Workers
+		// RowCount sums shard partials; for aggregations this counts
+		// per-shard groups, an upper bound on the merged group count.
+		merged.RowCount += ex.RowCount
+	}
+	merged.Tree = tree.String()
+	merged.Wall = time.Since(start).Nanoseconds()
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// passthrough forwards one request to a single shard and relays the
+// response verbatim (status, Retry-After, body).
+func (c *Coordinator) passthrough(w http.ResponseWriter, ctx context.Context, path string, body any, shard int) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	rep := c.callShard(ctx, path, raw, shard)
+	if rep.err != nil {
+		c.shardErrors.Add(1)
+		status := http.StatusBadGateway
+		if errors.Is(rep.err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		writeError(w, status, fmt.Errorf("shard %d: %w", shard, rep.err))
+		return
+	}
+	if rep.status != http.StatusOK {
+		c.shardErrors.Add(1)
+	}
+	if rep.retryAfter != "" {
+		w.Header().Set("Retry-After", rep.retryAfter)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(rep.status)
+	_, _ = w.Write(rep.body)
+}
+
+// mergeRowParts merges selection/join partials: rows concatenate in shard
+// order (shard order is global row order) truncated to the limit, row
+// counts and checksums add (each shard's checksum folds ALL its output
+// rows, so the sum equals the single-engine fold), cache-hit flags AND
+// (the merged response came from caches only if every partial did), and
+// execution counters sum.
+func mergeRowParts(parts []*QueryResponse, limit int) *QueryResponse {
+	out := &QueryResponse{
+		Columns:        parts[0].Columns,
+		Strategy:       parts[0].Strategy,
+		Rows:           [][]int64{},
+		ResultCacheHit: true,
+		PlanCacheHit:   true,
+		BuildCacheHit:  true,
+	}
+	for _, p := range parts {
+		take := p.Rows
+		if limit > 0 {
+			if room := limit - len(out.Rows); len(take) > room {
+				take = take[:room]
+			}
+		}
+		out.Rows = append(out.Rows, take...)
+		out.RowCount += p.RowCount
+		out.Checksum += p.Checksum
+		out.Workers += p.Workers
+		out.Morsels += p.Morsels
+		if p.Queued > out.Queued {
+			out.Queued = p.Queued
+		}
+		out.EstCostUS += p.EstCostUS
+		out.ResultCacheHit = out.ResultCacheHit && p.ResultCacheHit
+		out.PlanCacheHit = out.PlanCacheHit && p.PlanCacheHit
+		out.BuildCacheHit = out.BuildCacheHit && p.BuildCacheHit
+		out.Partitions += p.Partitions
+		out.Probes += p.Probes
+		out.BuildTuples += p.BuildTuples
+		out.DeferredFetches += p.DeferredFetches
+		out.ReservedBytes += p.ReservedBytes
+		out.Spilled = out.Spilled || p.Spilled
+		out.SpilledPartitions += p.SpilledPartitions
+		out.SpillBytes += p.SpillBytes
+	}
+	return out
+}
+
+// mergeAggParts merges aggregation partials: every shard's exported
+// per-group statistics are absorbed into one fresh Aggregator — the wire
+// form of the executor's Aggregator.Merge — and re-emitted sorted by key,
+// identical to aggregating the un-sharded table. The checksum is recomputed
+// by folding the merged output exactly as the engine's result drain does.
+func mergeAggParts(parts []*QueryResponse, fn operators.AggFunc, limit int) *QueryResponse {
+	agg := operators.NewAggregator(fn)
+	for _, p := range parts {
+		agg.AbsorbGroups(p.Groups)
+	}
+	cols := parts[0].Columns
+	res := agg.Emit(cols[0], cols[1])
+	n := res.NumRows()
+	var checksum int64
+	for i := 0; i < n; i++ {
+		for c := range res.Cols {
+			checksum += res.Cols[c][i]
+		}
+	}
+	shown := n
+	if limit > 0 && shown > limit {
+		shown = limit
+	}
+	rows := make([][]int64, shown)
+	for i := range rows {
+		rows[i] = res.Row(i)
+	}
+	out := &QueryResponse{
+		Columns:        cols,
+		Strategy:       parts[0].Strategy,
+		Rows:           rows,
+		RowCount:       n,
+		Checksum:       checksum,
+		ResultCacheHit: true,
+		PlanCacheHit:   true,
+	}
+	for _, p := range parts {
+		out.Workers += p.Workers
+		out.Morsels += p.Morsels
+		if p.Queued > out.Queued {
+			out.Queued = p.Queued
+		}
+		out.EstCostUS += p.EstCostUS
+		out.ResultCacheHit = out.ResultCacheHit && p.ResultCacheHit
+		out.PlanCacheHit = out.PlanCacheHit && p.PlanCacheHit
+	}
+	return out
+}
+
+// CoordinatorStats is the coordinator's /stats snapshot: its own fan-out
+// counters, every shard's live Stats, and a field-wise numeric sum of the
+// shard snapshots.
+type CoordinatorStats struct {
+	NumShards     int      `json:"num_shards"`
+	Endpoints     []string `json:"endpoints"`
+	Queries       int64    `json:"queries"`
+	FannedOut     int64    `json:"fanned_out"`
+	RoutedSingle  int64    `json:"routed_single"`
+	ShardRequests int64    `json:"shard_requests"`
+	PrunedShards  int64    `json:"pruned_shards"`
+	ShardErrors   int64    `json:"shard_errors"`
+	AggMerges     int64    `json:"agg_merges"`
+	// Shards holds each shard's own /stats document (null for a shard that
+	// did not answer); ShardTotals is their field-wise numeric sum.
+	Shards      []json.RawMessage `json:"shards"`
+	ShardTotals map[string]any    `json:"shard_totals"`
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := CoordinatorStats{
+		NumShards:     c.manifest.NumShards,
+		Queries:       c.queries.Load(),
+		FannedOut:     c.fannedOut.Load(),
+		RoutedSingle:  c.routedSingle.Load(),
+		ShardRequests: c.shardRequests.Load(),
+		PrunedShards:  c.prunedShards.Load(),
+		ShardErrors:   c.shardErrors.Load(),
+		AggMerges:     c.aggMerges.Load(),
+		Shards:        make([]json.RawMessage, len(c.shards)),
+		ShardTotals:   map[string]any{},
+	}
+	var wg sync.WaitGroup
+	for k := range c.shards {
+		st.Endpoints = append(st.Endpoints, c.shards[k].url)
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), c.timeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.shards[k].url+"/stats", nil)
+			if err != nil {
+				return
+			}
+			resp, err := c.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil || resp.StatusCode != http.StatusOK {
+				return
+			}
+			st.Shards[k] = raw
+		}(k)
+	}
+	wg.Wait()
+	for _, raw := range st.Shards {
+		if raw == nil {
+			continue
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			continue
+		}
+		sumJSONNumbers(st.ShardTotals, doc)
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// sumJSONNumbers folds src's numeric fields into dst, recursing through
+// nested objects — the shard-count-agnostic way to aggregate shard /stats
+// documents without hand-maintaining a field list.
+func sumJSONNumbers(dst map[string]any, src map[string]any) {
+	for k, v := range src {
+		switch sv := v.(type) {
+		case float64:
+			cur, _ := dst[k].(float64)
+			dst[k] = cur + sv
+		case map[string]any:
+			sub, ok := dst[k].(map[string]any)
+			if !ok {
+				sub = map[string]any{}
+				dst[k] = sub
+			}
+			sumJSONNumbers(sub, sv)
+		}
+	}
+}
+
+// handleReady reports coordinator readiness: ready only when EVERY shard's
+// /readyz answers 200, so a load balancer stops routing to the coordinator
+// while any shard drains or sheds — a scatter-gather request needs all of
+// them.
+func (c *Coordinator) handleReady(w http.ResponseWriter, r *http.Request) {
+	type shardReady struct {
+		Shard int    `json:"shard"`
+		URL   string `json:"url"`
+		Ready bool   `json:"ready"`
+	}
+	out := make([]shardReady, len(c.shards))
+	var wg sync.WaitGroup
+	for k := range c.shards {
+		out[k] = shardReady{Shard: k, URL: c.shards[k].url}
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), c.timeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.shards[k].url+"/readyz", nil)
+			if err != nil {
+				return
+			}
+			resp, err := c.client.Do(req)
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+			out[k].Ready = resp.StatusCode == http.StatusOK
+		}(k)
+	}
+	wg.Wait()
+	ready := true
+	for _, s := range out {
+		ready = ready && s.Ready
+	}
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"ready": ready, "shards": out})
+}
+
+// sortedProjections returns the manifest's projection names sorted (log and
+// test helper).
+func (c *Coordinator) sortedProjections() []string {
+	names := make([]string, 0, len(c.manifest.Projections))
+	for name := range c.manifest.Projections {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders a one-line coordinator description.
+func (c *Coordinator) String() string {
+	return fmt.Sprintf("service.Coordinator{shards=%d, projections=%v, timeout=%s}",
+		c.manifest.NumShards, c.sortedProjections(), c.timeout)
+}

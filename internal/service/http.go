@@ -9,6 +9,7 @@ import (
 
 	"matstore"
 	"matstore/internal/memory"
+	"matstore/internal/operators"
 )
 
 // HTTP front-end: JSON endpoints over a Server. Every request runs through
@@ -37,6 +38,12 @@ type QueryRequest struct {
 	Strategy    string   `json:"strategy,omitempty"`
 	Parallelism int      `json:"parallelism,omitempty"`
 	Limit       int      `json:"limit,omitempty"`
+	// Partial marks a scatter-gather shard request: an aggregating query
+	// answers with the mergeable per-group statistics (groups) instead of
+	// emitted rows, because emitted aggregate values do not merge across
+	// shards (AVG loses its count). Selections are unaffected — their row
+	// partials concatenate and their checksums add.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // JoinRequest is the /join (and join /explain) body.
@@ -72,6 +79,10 @@ type QueryResponse struct {
 	ResultCacheHit bool `json:"result_cache_hit"`
 	PlanCacheHit   bool `json:"plan_cache_hit"`
 	BuildCacheHit  bool `json:"build_cache_hit"`
+	// Groups is a partial aggregation's exported per-group mergeable
+	// statistics (set only for partial=true aggregating requests, which omit
+	// rows); the coordinator absorbs every shard's groups and re-emits.
+	Groups []operators.GroupStats `json:"groups,omitempty"`
 	// Join-only counters.
 	Partitions      int   `json:"partitions,omitempty"`
 	Probes          int64 `json:"probes,omitempty"`
@@ -190,6 +201,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := baseResponse(out.Res, out.Stats, out.Info, req.Limit)
 	resp.Strategy = out.Stats.Strategy.String()
+	if req.Partial && out.Stats.AggState != nil {
+		// Shard partial of an aggregation: ship the mergeable group
+		// statistics, not the emitted rows.
+		resp.Groups = out.Stats.AggState.ExportGroups()
+		resp.Rows = nil
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

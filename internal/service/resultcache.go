@@ -32,6 +32,11 @@ type ResultCacheStats struct {
 	Entries       int   `json:"entries"`
 	Bytes         int64 `json:"bytes"`
 	Capacity      int64 `json:"capacity"`
+	// CostSkips counts responses refused admission because their modeled
+	// cost fell below the configured threshold: re-executing a cheap query
+	// costs less than the cache space (and the evictions) its result would
+	// consume, so only expensive results are worth remembering.
+	CostSkips int64 `json:"cost_skips"`
 	// Negative-cache counters: zero-row responses kept in their own small
 	// byte-accounted LRU so heavy result traffic can't evict them (and their
 	// tiny entries can't be used to churn the main cache).
@@ -48,6 +53,10 @@ type resultEntry struct {
 	projs []string // projections the query read
 	gens  []uint64 // generation of each at source-run start
 	bytes int64
+	// costUS is the analytical model's total cost estimate for the source
+	// run (0 when unavailable) — the admission signal for the cost
+	// threshold.
+	costUS float64
 
 	res       *matstore.Result
 	selStats  *matstore.Stats
@@ -62,11 +71,16 @@ type resultEntry struct {
 type resultCache struct {
 	mu       sync.Mutex
 	capBytes int64
-	bytes    int64
-	entries  map[string]*list.Element // of *resultEntry
-	lru      *list.List
-	gens     map[string]uint64
-	stats    ResultCacheStats
+	// minCostUS is the admission threshold: responses whose modeled cost is
+	// below it are not cached (0 admits everything). Entries with no cost
+	// estimate are always admitted — an unknown cost is no evidence the
+	// query is cheap.
+	minCostUS float64
+	bytes     int64
+	entries   map[string]*list.Element // of *resultEntry
+	lru       *list.List
+	gens      map[string]uint64
+	stats     ResultCacheStats
 
 	negCap     int64
 	negBytes   int64
@@ -157,6 +171,10 @@ func (c *resultCache) put(e *resultEntry) {
 	defer c.mu.Unlock()
 	if !c.currentLocked(e) {
 		return // invalidated while the source run executed
+	}
+	if c.minCostUS > 0 && e.costUS > 0 && e.costUS < c.minCostUS {
+		c.stats.CostSkips++
+		return
 	}
 	if e.res != nil && e.res.NumRows() == 0 {
 		c.putNegativeLocked(e)

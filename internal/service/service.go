@@ -74,6 +74,11 @@ type Config struct {
 	// ResultCacheBytes bounds the served-response cache (0 = the 32 MiB
 	// default, negative = cache disabled).
 	ResultCacheBytes int64
+	// ResultCacheMinCostUS is the cache's cost-aware admission threshold:
+	// only responses whose modeled cost estimate is at least this many µs
+	// are cached (0 = cache everything). Cheap queries re-execute faster
+	// than their results amortize cache space and evictions.
+	ResultCacheMinCostUS float64
 	// GrantSliceMicros is the modeled cost (µs) one worker is expected to
 	// absorb when sizing admission grants (0 = the 100 µs default, negative
 	// = cost-aware sizing disabled; every grant uses the uniform fair share).
@@ -151,6 +156,7 @@ func New(db *matstore.DB, cfg Config) *Server {
 	}
 	if cfg.ResultCacheBytes > 0 {
 		s.results = newResultCache(cfg.ResultCacheBytes)
+		s.results.minCostUS = cfg.ResultCacheMinCostUS
 	}
 	if cfg.MemoryBudgetBytes > 0 {
 		s.mem = memory.New(cfg.MemoryBudgetBytes, 0)
@@ -381,7 +387,8 @@ func (c *Session) Select(ctx context.Context, projection string, q matstore.Quer
 	if s.results != nil {
 		s.results.put(&resultEntry{
 			key: key, projs: []string{projection}, gens: gens,
-			bytes: resultBytes(key, res), res: res, selStats: stats,
+			bytes: resultBytes(key, res), costUS: info.EstCostUS,
+			res: res, selStats: stats,
 		})
 	}
 	return &SelectResult{Res: res, Stats: stats, Info: info}, nil
@@ -469,7 +476,8 @@ func (c *Session) Join(ctx context.Context, left, right string, q matstore.JoinQ
 	if s.results != nil {
 		s.results.put(&resultEntry{
 			key: key, projs: projs, gens: gens,
-			bytes: resultBytes(key, res), res: res, joinStats: stats,
+			bytes: resultBytes(key, res), costUS: info.EstCostUS,
+			res: res, joinStats: stats,
 		})
 	}
 	return &JoinResult{Res: res, Stats: stats, Info: info}, nil

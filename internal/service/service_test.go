@@ -53,6 +53,9 @@ func TestMain(m *testing.M) {
 	if dataDir != "" {
 		os.RemoveAll(dataDir)
 	}
+	if shardedRoot != "" {
+		os.RemoveAll(shardedRoot)
+	}
 	os.Exit(code)
 }
 

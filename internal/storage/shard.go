@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"matstore/internal/positions"
+)
+
+// Shard-aware layout: a sharded database root holds one full projection
+// directory tree per shard (shard-000, shard-001, ...) plus a shards.json
+// manifest describing how each projection's global row space maps onto the
+// shards. A shard directory is an ordinary database directory — every
+// existing open/serve path works on it unchanged — and the manifest is the
+// per-shard metadata a scatter-gather coordinator loads at startup so
+// planning (routing, pruning, position remapping) never touches shard data.
+//
+// Projections come in two placements:
+//
+//   - sharded: the rows are horizontally partitioned into chunk-aligned
+//     global row ranges, shard k holding rows [Ranges[k].Start,
+//     Ranges[k].End). Positions inside a shard are shard-local (they start
+//     at 0); Ranges[k].Start is the offset that remaps them into the global
+//     position space.
+//   - replicated: every shard holds the full projection (the co-located
+//     build side of scatter-gather joins). Queries over a replicated
+//     projection route to a single shard.
+
+// ShardManifestFile names the manifest at a sharded database root.
+const ShardManifestFile = "shards.json"
+
+// ShardPlacement describes one projection's distribution over the shards.
+type ShardPlacement struct {
+	// Sharded reports horizontal row-range partitioning; false means the
+	// projection is fully replicated in every shard.
+	Sharded bool `json:"sharded"`
+	// Ranges[k] is shard k's global row range (sharded projections only;
+	// empty ranges mean the shard holds no rows of this projection).
+	Ranges []positions.Range `json:"ranges,omitempty"`
+}
+
+// ShardManifest is the coordinator-held metadata of a sharded database.
+type ShardManifest struct {
+	// NumShards is the shard count; Dirs[k] is shard k's directory name
+	// relative to the root.
+	NumShards int      `json:"num_shards"`
+	Dirs      []string `json:"dirs"`
+	// Projections maps projection name to its placement.
+	Projections map[string]ShardPlacement `json:"projections"`
+}
+
+// ShardDirName returns the canonical directory name of shard k.
+func ShardDirName(k int) string { return fmt.Sprintf("shard-%03d", k) }
+
+// WriteShardManifest writes the manifest at the database root.
+func WriteShardManifest(root string, m *ShardManifest) error {
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(root, ShardManifestFile), raw, 0o644)
+}
+
+// LoadShardManifest reads the manifest at a sharded database root.
+func LoadShardManifest(root string) (*ShardManifest, error) {
+	raw, err := os.ReadFile(filepath.Join(root, ShardManifestFile))
+	if err != nil {
+		return nil, err
+	}
+	var m ShardManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Join(root, ShardManifestFile), err)
+	}
+	if m.NumShards != len(m.Dirs) {
+		return nil, fmt.Errorf("storage: manifest has %d shards but %d dirs", m.NumShards, len(m.Dirs))
+	}
+	for name, pl := range m.Projections {
+		if pl.Sharded && len(pl.Ranges) != m.NumShards {
+			return nil, fmt.Errorf("storage: projection %s has %d ranges for %d shards", name, len(pl.Ranges), m.NumShards)
+		}
+	}
+	return &m, nil
+}
+
+// Placement returns the named projection's placement.
+func (m *ShardManifest) Placement(name string) (ShardPlacement, bool) {
+	pl, ok := m.Projections[name]
+	return pl, ok
+}
+
+// GlobalRowStart returns the global position offset of shard k's rows of a
+// projection: shard-local positions remap into the global position space by
+// adding it. Replicated projections are global everywhere (offset 0).
+func (m *ShardManifest) GlobalRowStart(name string, k int) int64 {
+	pl, ok := m.Projections[name]
+	if !ok || !pl.Sharded || k >= len(pl.Ranges) {
+		return 0
+	}
+	return pl.Ranges[k].Start
+}
+
+// ShardRanges carves the global row space [0, n) into shards contiguous
+// row ranges aligned to align-position boundaries (the executor chunk size,
+// so shard-local positions stay block- and chunk-local). The ideal even
+// split rounds UP to the alignment, so early shards absorb the rounding and
+// trailing shards may be empty for tiny tables; when the table is too small
+// for even one aligned row per shard the alignment degrades in powers of
+// two (never below 64, the position-bitmap word size) so small datasets
+// still fan out.
+func ShardRanges(n int64, shards int, align int64) []positions.Range {
+	if shards < 1 {
+		shards = 1
+	}
+	if align < 64 {
+		align = 64
+	}
+	// Degrade alignment until at least (shards-1) shards get rows, or the
+	// word-size floor is hit.
+	for align > 64 && n < align*int64(shards) {
+		align /= 2
+	}
+	per := (n + int64(shards) - 1) / int64(shards)
+	per = (per + align - 1) / align * align
+	if per < align {
+		per = align
+	}
+	out := make([]positions.Range, shards)
+	start := int64(0)
+	for k := 0; k < shards; k++ {
+		end := start + per
+		if end > n {
+			end = n
+		}
+		if start > n {
+			start = n
+		}
+		out[k] = positions.Range{Start: start, End: end}
+		start = end
+	}
+	return out
+}
+
+// ReadProjectionMeta reads a projection directory's catalog record without
+// opening its column files — the coordinator's startup path: per-shard
+// min/max, tuple counts and encodings for routing and pruning, no shard
+// data touched.
+func ReadProjectionMeta(dir string) (ProjectionMeta, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return ProjectionMeta{}, err
+	}
+	var meta ProjectionMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return ProjectionMeta{}, fmt.Errorf("%s: %w", dir, err)
+	}
+	return meta, nil
+}
+
+// ListProjectionDirs lists the projection directory names under a database
+// directory (any subdirectory holding a meta.json), sorted.
+func ListProjectionDirs(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, e.Name(), metaFile)); err != nil {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	return names, nil
+}

@@ -1,0 +1,82 @@
+package tpch
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"matstore/internal/datasource"
+	"matstore/internal/exec"
+	"matstore/internal/storage"
+)
+
+// Sharded generation: csgen -shards N writes one full database directory
+// per shard under the root plus a shards.json manifest. The fact tables
+// (lineitem, orders) are horizontally partitioned on chunk-aligned global
+// row ranges — shard k's projection holds exactly rows [Ranges[k].Start,
+// Ranges[k].End) of the single-directory output, re-encoded from position 0,
+// byte-identical to row-slicing that output — while the dimension table
+// (customer, the join build side) is replicated into every shard so
+// shard-local joins see the full inner table. Buffers are generated ONCE
+// from the carving-stable per-slab PRNG streams and replayed clipped per
+// shard, so sharded generation costs one generation pass regardless of N.
+
+// GenerateSharded writes an N-shard database under root and returns the
+// manifest it wrote. N = 1 produces a single shard holding everything
+// (still under shard-000, with a manifest — the degenerate layout the
+// coordinator treats identically).
+func GenerateSharded(root string, cfg Config, shards int) (*storage.ShardManifest, error) {
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("tpch: scale must be positive, got %v", cfg.Scale)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("tpch: shard count must be >= 1, got %d", shards)
+	}
+	workers := exec.Resolve(cfg.Workers)
+
+	// One generation pass for every table.
+	slabs, err := genLineitemShards(cfg)
+	if err != nil {
+		return nil, err
+	}
+	custkey, shipdate, err := genOrders(cfg)
+	if err != nil {
+		return nil, err
+	}
+	nation, err := genCustomer(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	liRanges := storage.ShardRanges(cfg.LineitemRows(), shards, datasource.DefaultChunkSize)
+	ordRanges := storage.ShardRanges(cfg.OrdersRows(), shards, datasource.DefaultChunkSize)
+
+	m := &storage.ShardManifest{
+		NumShards: shards,
+		Projections: map[string]storage.ShardPlacement{
+			LineitemProj: {Sharded: true, Ranges: liRanges},
+			OrdersProj:   {Sharded: true, Ranges: ordRanges},
+			CustomerProj: {Sharded: false},
+		},
+	}
+	for k := 0; k < shards; k++ {
+		shardDir := filepath.Join(root, storage.ShardDirName(k))
+		if err := os.MkdirAll(shardDir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := writeLineitem(filepath.Join(shardDir, LineitemProj), slabs, workers, liRanges[k]); err != nil {
+			return nil, err
+		}
+		if err := writeOrders(filepath.Join(shardDir, OrdersProj), custkey, shipdate, workers, ordRanges[k]); err != nil {
+			return nil, err
+		}
+		if err := writeCustomer(filepath.Join(shardDir, CustomerProj), cfg.CustomerRows(), nation, workers); err != nil {
+			return nil, err
+		}
+		m.Dirs = append(m.Dirs, storage.ShardDirName(k))
+	}
+	if err := storage.WriteShardManifest(root, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,174 @@
+package tpch
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"matstore/internal/encoding"
+	"matstore/internal/storage"
+)
+
+// sliceProjection rewrites rows [lo, hi) of every column of src as a new
+// projection directory — the independent row-slicing reference the sharded
+// generator is pinned against. Values are read back decompressed from the
+// single-directory output and re-encoded through a fresh ColumnWriter from
+// position 0, exactly what "slice the single-directory generation" means.
+func sliceProjection(t *testing.T, src *storage.Projection, dst, name string, sortKey []string, lo, hi int64) {
+	t.Helper()
+	var specs []storage.ColumnSpec
+	for _, cm := range src.Meta.Columns {
+		k, err := encoding.ParseKind(cm.Encoding)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, storage.ColumnSpec{Name: cm.Name, Encoding: k})
+	}
+	_, err := storage.WriteProjectionParallel(dst, name, sortKey, specs, 1,
+		func(col int, w *storage.ColumnWriter) error {
+			vals := decompress(t, src, specs[col].Name)
+			for _, v := range vals[lo:hi] {
+				if err := w.Append(v); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// filesEqual compares two projection directories byte for byte (column
+// files and meta.json).
+func filesEqual(t *testing.T, a, b string) {
+	t.Helper()
+	ents, err := os.ReadDir(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bents, err := os.ReadDir(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != len(bents) {
+		t.Fatalf("%s has %d files, %s has %d", a, len(ents), b, len(bents))
+	}
+	for _, e := range ents {
+		av, err := os.ReadFile(filepath.Join(a, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bv, err := os.ReadFile(filepath.Join(b, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(av, bv) {
+			t.Errorf("%s differs between %s and %s (%d vs %d bytes)", e.Name(), a, b, len(av), len(bv))
+		}
+	}
+}
+
+// TestGenerateShardedByteIdenticalToSlicing pins csgen -shards output:
+// every shard's lineitem and orders directories are byte-identical to
+// row-slicing the single-directory generation at the manifest's ranges, and
+// the replicated customer directory is byte-identical to the single-
+// directory customer, at shard counts 1, 2 and 4.
+func TestGenerateShardedByteIdenticalToSlicing(t *testing.T) {
+	cfg := Config{Scale: 0.002, Seed: 11}
+	single := t.TempDir()
+	if err := Generate(single, cfg); err != nil {
+		t.Fatal(err)
+	}
+	db, err := storage.OpenDB(single, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	for _, shards := range []int{1, 2, 4} {
+		root := t.TempDir()
+		m, err := GenerateSharded(root, cfg, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NumShards != shards || len(m.Dirs) != shards {
+			t.Fatalf("manifest: %d shards, %d dirs", m.NumShards, len(m.Dirs))
+		}
+		loaded, err := storage.LoadShardManifest(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(loaded.Projections) != 3 {
+			t.Fatalf("manifest projections = %d", len(loaded.Projections))
+		}
+
+		for _, proj := range []string{LineitemProj, OrdersProj} {
+			pl, ok := m.Placement(proj)
+			if !ok || !pl.Sharded {
+				t.Fatalf("%s not sharded in manifest", proj)
+			}
+			src, err := db.Projection(proj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Ranges must tile [0, n) without gaps.
+			var covered int64
+			for k, r := range pl.Ranges {
+				if r.Start != covered {
+					t.Fatalf("%s shard %d starts at %d, want %d", proj, k, r.Start, covered)
+				}
+				covered = r.End
+			}
+			if covered != src.TupleCount() {
+				t.Fatalf("%s ranges cover %d rows, want %d", proj, covered, src.TupleCount())
+			}
+			for k, r := range pl.Ranges {
+				ref := filepath.Join(t.TempDir(), "ref")
+				sliceProjection(t, src, ref, proj, src.Meta.SortKey, r.Start, r.End)
+				filesEqual(t, ref, filepath.Join(root, m.Dirs[k], proj))
+			}
+		}
+
+		// Replicated customer: every shard's copy equals the single-dir one.
+		for _, d := range m.Dirs {
+			filesEqual(t, filepath.Join(single, CustomerProj), filepath.Join(root, d, CustomerProj))
+		}
+
+		// Every shard directory opens as an ordinary database.
+		for _, d := range m.Dirs {
+			sdb, err := storage.OpenDB(filepath.Join(root, d), 0)
+			if err != nil {
+				t.Fatalf("shard %s does not open: %v", d, err)
+			}
+			sdb.Close()
+		}
+	}
+}
+
+// TestShardRangesAligned checks the chunk alignment and degradation rules.
+func TestShardRangesAligned(t *testing.T) {
+	rs := storage.ShardRanges(1<<20, 4, 1<<16)
+	for k, r := range rs {
+		if r.Start%(1<<16) != 0 {
+			t.Errorf("shard %d starts at %d, not chunk-aligned", k, r.Start)
+		}
+	}
+	if rs[3].End != 1<<20 {
+		t.Errorf("last shard ends at %d", rs[3].End)
+	}
+	// Tiny table: alignment degrades (to >= 64) so multiple shards get rows.
+	small := storage.ShardRanges(6000, 2, 1<<16)
+	if small[0].Len() == 0 || small[1].Len() == 0 {
+		t.Errorf("tiny table did not fan out: %+v", small)
+	}
+	for k, r := range small {
+		if r.Start%64 != 0 {
+			t.Errorf("small shard %d start %d not word-aligned", k, r.Start)
+		}
+	}
+	if small[0].End != small[1].Start || small[1].End != 6000 {
+		t.Errorf("small ranges do not tile: %+v", small)
+	}
+}

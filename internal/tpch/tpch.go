@@ -31,6 +31,7 @@ import (
 
 	"matstore/internal/encoding"
 	"matstore/internal/exec"
+	"matstore/internal/positions"
 	"matstore/internal/storage"
 )
 
@@ -166,6 +167,36 @@ func (c *colRuns) replay(w *storage.ColumnWriter) error {
 	return nil
 }
 
+// replayClip appends only rows [lo, hi) of the run sequence (row indices
+// local to this buffer) — the horizontal-slicing primitive of sharded
+// generation. Clipping run boundaries cannot perturb the output bytes:
+// AppendRun coalesces adjacent equal values, so a clipped replay is
+// indistinguishable from appending the sliced values one by one.
+func (c *colRuns) replayClip(w *storage.ColumnWriter, lo, hi int64) error {
+	cur := int64(0)
+	for i, v := range c.vals {
+		n := c.lens[i]
+		start, end := cur, cur+n
+		cur = end
+		if end <= lo {
+			continue
+		}
+		if start >= hi {
+			break
+		}
+		if start < lo {
+			start = lo
+		}
+		if end > hi {
+			end = hi
+		}
+		if err := w.AppendRun(v, end-start); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // linenumWeights is the TPC-H LINENUM frequency: an order has 1..7 line
 // items uniformly, so P(linenum = k) ∝ 8-k. LINENUM < 7 therefore selects
 // 27/28 ≈ 96.4% of rows — the paper's fixed 96% predicate.
@@ -198,6 +229,18 @@ type liShard struct {
 // seed-per-shard PRNG streams and each column file is written by its own
 // task, so the files are byte-identical at every cfg.Workers.
 func GenerateLineitem(dir string, cfg Config) error {
+	shards, err := genLineitemShards(cfg)
+	if err != nil {
+		return err
+	}
+	n := cfg.LineitemRows()
+	return writeLineitem(dir, shards, exec.Resolve(cfg.Workers), positions.Range{Start: 0, End: n})
+}
+
+// genLineitemShards generates the lineitem row space as (flag, day-range)
+// slabs, in parallel from seed-per-shard PRNG streams. Slab order defines
+// the global row order.
+func genLineitemShards(cfg Config) ([]*liShard, error) {
 	n := cfg.LineitemRows()
 	// RETURNFLAG shares: A≈25%, N≈50%, R≈25% (encoded 0,1,2).
 	flagRows := [3]int64{n / 4, n / 2, n - n/4 - n/2}
@@ -216,9 +259,26 @@ func GenerateLineitem(dir string, cfg Config) error {
 		shards[i].generate(cfg, flagRows[shards[i].flag])
 		return nil
 	}); err != nil {
-		return err
+		return nil, err
 	}
+	return shards, nil
+}
 
+// rows returns the slab's row count.
+func (s *liShard) rows() int64 {
+	var n int64
+	for _, l := range s.flagRuns.lens {
+		n += l
+	}
+	return n
+}
+
+// writeLineitem writes the global row range clip of the generated slabs as
+// a lineitem projection directory. The full range reproduces the
+// single-directory output; a sub-range is byte-identical to row-slicing it
+// (the ColumnWriter re-encodes from the slice's first row, exactly as a
+// slicing rewrite would).
+func writeLineitem(dir string, shards []*liShard, workers int, clip positions.Range) error {
 	_, err := storage.WriteProjectionParallel(dir, LineitemProj,
 		[]string{ColRetflag, ColShipdate, ColLinenum},
 		[]storage.ColumnSpec{
@@ -231,17 +291,27 @@ func GenerateLineitem(dir string, cfg Config) error {
 		},
 		workers,
 		func(col int, w *storage.ColumnWriter) error {
+			cursor := int64(0) // global row of the next slab's first row
 			for _, s := range shards {
+				rows := s.rows()
+				slab := positions.Range{Start: cursor, End: cursor + rows}
+				cursor += rows
+				o := slab.Intersect(clip)
+				if o.Empty() {
+					continue
+				}
+				// Slab-local sub-range to emit.
+				lo, hi := o.Start-slab.Start, o.End-slab.Start
 				var err error
 				switch col {
 				case 0:
-					err = s.flagRuns.replay(w)
+					err = s.flagRuns.replayClip(w, lo, hi)
 				case 1:
-					err = s.dateRuns.replay(w)
+					err = s.dateRuns.replayClip(w, lo, hi)
 				case 2, 3, 4:
-					err = s.lnRuns.replay(w)
+					err = s.lnRuns.replayClip(w, lo, hi)
 				default:
-					for _, q := range s.qty {
+					for _, q := range s.qty[lo:hi] {
 						if err = w.Append(q); err != nil {
 							break
 						}
@@ -334,14 +404,26 @@ func rowShards(n int64) []int64 {
 // shards generate in parallel from seed-per-shard streams; the two column
 // files are written by independent tasks.
 func GenerateOrders(dir string, cfg Config) error {
+	custkey, shipdate, err := genOrders(cfg)
+	if err != nil {
+		return err
+	}
+	n := cfg.OrdersRows()
+	return writeOrders(dir, custkey, shipdate, exec.Resolve(cfg.Workers), positions.Range{Start: 0, End: n})
+}
+
+// genOrders generates the orders row space into fixed-size row-shard
+// buffers (carving-stable PRNG streams, so content is independent of worker
+// count and of how the rows are later sliced).
+func genOrders(cfg Config) (custkey, shipdate [][]int64, err error) {
 	n := cfg.OrdersRows()
 	nCust := cfg.CustomerRows()
 	if nCust == 0 {
-		return fmt.Errorf("tpch: scale %v yields no customers", cfg.Scale)
+		return nil, nil, fmt.Errorf("tpch: scale %v yields no customers", cfg.Scale)
 	}
 	starts := rowShards(n)
-	custkey := make([][]int64, len(starts))
-	shipdate := make([][]int64, len(starts))
+	custkey = make([][]int64, len(starts))
+	shipdate = make([][]int64, len(starts))
 	workers := exec.Resolve(cfg.Workers)
 	if err := exec.Run(workers, len(starts), func(i int) error {
 		start := starts[i]
@@ -359,8 +441,14 @@ func GenerateOrders(dir string, cfg Config) error {
 		custkey[i], shipdate[i] = ck, sd
 		return nil
 	}); err != nil {
-		return err
+		return nil, nil, err
 	}
+	return custkey, shipdate, nil
+}
+
+// writeOrders writes the global row range clip of the generated buffers as
+// an orders projection directory.
+func writeOrders(dir string, custkey, shipdate [][]int64, workers int, clip positions.Range) error {
 	_, err := storage.WriteProjectionParallel(dir, OrdersProj, nil,
 		[]storage.ColumnSpec{
 			{Name: ColCustkey, Encoding: encoding.Plain},
@@ -372,22 +460,45 @@ func GenerateOrders(dir string, cfg Config) error {
 			if col == 1 {
 				cols = shipdate
 			}
-			for _, vals := range cols {
-				for _, v := range vals {
-					if err := w.Append(v); err != nil {
-						return err
-					}
-				}
-			}
-			return nil
+			return appendClipped(w, cols, clip)
 		})
 	return err
+}
+
+// appendClipped appends rows [clip.Start, clip.End) of the concatenated
+// buffers to a column writer.
+func appendClipped(w *storage.ColumnWriter, bufs [][]int64, clip positions.Range) error {
+	cursor := int64(0)
+	for _, vals := range bufs {
+		seg := positions.Range{Start: cursor, End: cursor + int64(len(vals))}
+		cursor = seg.End
+		o := seg.Intersect(clip)
+		if o.Empty() {
+			continue
+		}
+		for _, v := range vals[o.Start-seg.Start : o.End-seg.Start] {
+			if err := w.Append(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // GenerateCustomer writes the customer projection: CUSTKEY is the primary
 // key (equal to the row position) and NATIONCODE is uniform over 25
 // nations.
 func GenerateCustomer(dir string, cfg Config) error {
+	nation, err := genCustomer(cfg)
+	if err != nil {
+		return err
+	}
+	return writeCustomer(dir, cfg.CustomerRows(), nation, exec.Resolve(cfg.Workers))
+}
+
+// genCustomer generates the NATIONCODE buffers (CUSTKEY is the row position
+// and needs no buffer).
+func genCustomer(cfg Config) ([][]int64, error) {
 	n := cfg.CustomerRows()
 	starts := rowShards(n)
 	nation := make([][]int64, len(starts))
@@ -406,8 +517,14 @@ func GenerateCustomer(dir string, cfg Config) error {
 		nation[i] = nc
 		return nil
 	}); err != nil {
-		return err
+		return nil, err
 	}
+	return nation, nil
+}
+
+// writeCustomer writes the full customer projection (customer is the
+// scatter-gather replicated table, so there is no clipped variant).
+func writeCustomer(dir string, n int64, nation [][]int64, workers int) error {
 	_, err := storage.WriteProjectionParallel(dir, CustomerProj, []string{ColCustkey},
 		[]storage.ColumnSpec{
 			{Name: ColCustkey, Encoding: encoding.Plain},
