@@ -148,3 +148,39 @@ done
 "$ci_explain_dir/csserve" -get http://127.0.0.1:18980/stats \
 	| grep -q '"shard_requests":'
 "$ci_explain_dir/csserve" -get http://127.0.0.1:18980/readyz | grep -q '"ready":true'
+
+# Key-partitioned smoke: regenerate the 2-shard layout hash-partitioned on
+# the orders/customer join key. The join must fan out shard-local with no
+# inner replication (the copartitioned_joins counter), and a group-by on the
+# partition key must take the finalized-row pushdown instead of the
+# statistics wire (the finalized_aggs counter).
+ci_keypart_root="$ci_explain_dir/keypart"
+go run ./cmd/csgen -dir "$ci_keypart_root" -scale 0.001 -seed 7 -shards 2 \
+	-partition-key orders.custkey,customer.custkey
+"$ci_explain_dir/csserve" -dir "$ci_keypart_root/shard-000" -addr 127.0.0.1:18984 \
+	-worker-budget 2 -max-concurrent 4 &
+ci_kp0_pid=$!
+"$ci_explain_dir/csserve" -dir "$ci_keypart_root/shard-001" -addr 127.0.0.1:18985 \
+	-worker-budget 2 -max-concurrent 4 &
+ci_kp1_pid=$!
+"$ci_explain_dir/csserve" -coordinator -dir "$ci_keypart_root" -addr 127.0.0.1:18983 \
+	-shard-endpoints http://127.0.0.1:18984,http://127.0.0.1:18985 &
+ci_kpcoord_pid=$!
+trap 'kill "$ci_serve_pid" "$ci_shard0_pid" "$ci_shard1_pid" "$ci_coord_pid" "$ci_kp0_pid" "$ci_kp1_pid" "$ci_kpcoord_pid" 2>/dev/null; rm -rf "$ci_explain_dir"' EXIT
+for i in $(seq 1 50); do
+	if "$ci_explain_dir/csserve" -get http://127.0.0.1:18983/readyz >/dev/null 2>&1; then
+		break
+	fi
+	sleep 0.1
+done
+"$ci_explain_dir/csserve" -post http://127.0.0.1:18983/join -data "$ci_join_body" \
+	| grep -q '"row_count"'
+"$ci_explain_dir/csserve" -get http://127.0.0.1:18983/stats \
+	| grep -q '"copartitioned_joins":1'
+"$ci_explain_dir/csserve" -post http://127.0.0.1:18983/query \
+	-data '{"projection":"orders","groupby":"custkey","aggcol":"shipdate","agg":"min","limit":-1}' \
+	| grep -q '"row_count"'
+"$ci_explain_dir/csserve" -get http://127.0.0.1:18983/stats \
+	| grep -q '"finalized_aggs":1'
+"$ci_explain_dir/csserve" -get http://127.0.0.1:18983/stats \
+	| grep -q '"rowid_merges":'

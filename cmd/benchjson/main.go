@@ -1,9 +1,10 @@
 // Command benchjson converts `go test -bench` text output (read from stdin)
 // into a JSON perf record: benchmark name → {ns_op, allocs_op, b_op,
-// samples, p50/p95/p99 µs tail latency when the benchmark reports them}. With -count > 1 runs, the minimum ns/op across samples is kept
-// (the least-noise estimate on a shared CI box) along with every sample, so
-// BENCH_<PR>.json files checked in per PR form a perf trajectory that can be
-// diffed mechanically.
+// samples, p50/p95/p99 µs tail latency, plus any other testing.B.ReportMetric
+// units under "metrics"}. With -count > 1 runs, the minimum ns/op across
+// samples is kept (the least-noise estimate on a shared CI box) along with
+// every sample, so BENCH_<PR>.json files checked in per PR form a perf
+// trajectory that can be diffed mechanically.
 //
 // Usage:
 //
@@ -16,29 +17,57 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"regexp"
 	"strconv"
+	"strings"
 )
-
-// benchLine matches e.g.
-//
-//	BenchmarkFilterPlain-4   	     300	     47420 ns/op	    8768 B/op	       4 allocs/op
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) model_ms/op)?(?:\s+[0-9.]+ p\d+_us)*(?:\s+([0-9]+) B/op)?(?:\s+([0-9]+) allocs/op)?`)
-
-// metricRe pulls testing.B.ReportMetric outputs such as `123 p95_us` off the
-// same line (order-independent; ReportMetric units sort alphabetically).
-var metricRe = regexp.MustCompile(`\s([0-9.]+) (p50_us|p95_us|p99_us)`)
 
 // Entry is the recorded result for one benchmark.
 type Entry struct {
-	NsOp     float64   `json:"ns_op"`               // minimum across samples
-	AllocsOp *int64    `json:"allocs_op,omitempty"` // from the min-ns sample
-	BOp      *int64    `json:"b_op,omitempty"`
-	P50US    *float64  `json:"p50_us,omitempty"` // tail latency, min-ns sample
-	P95US    *float64  `json:"p95_us,omitempty"`
-	P99US    *float64  `json:"p99_us,omitempty"`
-	Samples  []float64 `json:"samples_ns_op"`
+	NsOp     float64  `json:"ns_op"`               // minimum across samples
+	AllocsOp *int64   `json:"allocs_op,omitempty"` // from the min-ns sample
+	BOp      *int64   `json:"b_op,omitempty"`
+	P50US    *float64 `json:"p50_us,omitempty"` // tail latency, min-ns sample
+	P95US    *float64 `json:"p95_us,omitempty"`
+	P99US    *float64 `json:"p99_us,omitempty"`
+	// Metrics holds every other ReportMetric unit on the min-ns sample's
+	// line (e.g. build_tuples, shard_resp_bytes, model_ms/op).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Samples []float64          `json:"samples_ns_op"`
+}
+
+// parseBenchLine tokenizes one `go test -bench` result line:
+//
+//	BenchmarkFilterPlain-4   300   47420 ns/op   123 build_tuples   8768 B/op   4 allocs/op
+//
+// i.e. a Benchmark name (GOMAXPROCS suffix stripped), an iteration count,
+// then (value, unit) pairs in any order — which is how ReportMetric renders
+// custom units (sorted alphabetically, interleaved with the built-ins).
+func parseBenchLine(line string) (name string, metrics map[string]float64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	name = fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", nil, false
+	}
+	metrics = map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if _, ok := metrics["ns/op"]; !ok {
+		return "", nil, false
+	}
+	return name, metrics, true
 }
 
 func main() {
@@ -51,44 +80,47 @@ func main() {
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line) // pass the raw output through for the log
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+		name, metrics, ok := parseBenchLine(line)
+		if !ok {
 			continue
 		}
-		name := m[1]
-		ns, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			continue
-		}
+		ns := metrics["ns/op"]
 		e := entries[name]
 		if e == nil {
 			e = &Entry{NsOp: ns}
 			entries[name] = e
 		}
 		e.Samples = append(e.Samples, ns)
-		if ns <= e.NsOp || len(e.Samples) == 1 {
-			e.NsOp = ns
-			if m[4] != "" {
-				b, _ := strconv.ParseInt(m[4], 10, 64)
+		if ns > e.NsOp && len(e.Samples) > 1 {
+			continue
+		}
+		// This sample is the new minimum: its line's metrics become the
+		// entry's recorded values.
+		e.NsOp = ns
+		e.BOp, e.AllocsOp = nil, nil
+		e.P50US, e.P95US, e.P99US = nil, nil, nil
+		e.Metrics = nil
+		for unit, v := range metrics {
+			v := v
+			switch unit {
+			case "ns/op":
+			case "B/op":
+				b := int64(v)
 				e.BOp = &b
-			}
-			if m[5] != "" {
-				a, _ := strconv.ParseInt(m[5], 10, 64)
+			case "allocs/op":
+				a := int64(v)
 				e.AllocsOp = &a
-			}
-			for _, mm := range metricRe.FindAllStringSubmatch(line, -1) {
-				v, err := strconv.ParseFloat(mm[1], 64)
-				if err != nil {
-					continue
+			case "p50_us":
+				e.P50US = &v
+			case "p95_us":
+				e.P95US = &v
+			case "p99_us":
+				e.P99US = &v
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
 				}
-				switch mm[2] {
-				case "p50_us":
-					e.P50US = &v
-				case "p95_us":
-					e.P95US = &v
-				case "p99_us":
-					e.P99US = &v
-				}
+				e.Metrics[unit] = v
 			}
 		}
 	}

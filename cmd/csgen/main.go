@@ -5,14 +5,22 @@
 //
 //	csgen -dir ./data -scale 0.1 -seed 42
 //	csgen -dir ./data -scale 0.1 -shards 4   # sharded layout + shards.json
+//	csgen -dir ./data -scale 0.1 -shards 4 \
+//	      -partition-key orders.custkey,customer.custkey
 //
 // With -shards N the root receives one full database directory per shard
 // (shard-000 ... shard-N-1) plus a shards.json manifest: lineitem and
 // orders are horizontally partitioned on chunk-aligned row ranges
 // (byte-identical to row-slicing the single-directory output), customer is
 // replicated into every shard so shard-local joins see the full inner
-// table. Serve each shard with csserve -dir root/shard-00k and front them
-// with csserve -coordinator.
+// table. -partition-key table.col hash-partitions a table on that column
+// instead (rows land on shard HashKey(col) mod N, in global row order, with
+// a hidden _rowid column recording each row's global index): projections
+// partitioned on both sides of a join key are co-partitioned, so the
+// coordinator fans the join out shard-locally with no inner replication,
+// and a group-by on the partition key finalizes on the shards. Serve each
+// shard with csserve -dir root/shard-00k and front them with csserve
+// -coordinator.
 package main
 
 import (
@@ -34,6 +42,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "generator seed")
 	parallelism := flag.Int("parallelism", 0, "generation workers (0 = one per CPU; output is byte-identical at every count)")
 	shards := flag.Int("shards", 0, "write a sharded layout with this many shards (0 = single directory)")
+	partitionKey := flag.String("partition-key", "",
+		"comma-separated table.column list to hash-partition by key instead of range-slicing (needs -shards)")
 	flag.Parse()
 
 	cfg := tpch.Config{Scale: *scale, Seed: *seed, Workers: *parallelism}
@@ -43,8 +53,17 @@ func main() {
 		log.Fatal(err)
 	}
 
+	keys, err := tpch.ParsePartitionKeys(*partitionKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(keys) > 0 && *shards <= 0 {
+		log.Fatal("-partition-key needs -shards")
+	}
+
 	if *shards > 0 {
-		m, err := tpch.GenerateSharded(*dir, cfg, *shards)
+		layout := tpch.ShardLayout{PartitionKeys: keys}
+		m, err := tpch.GenerateShardedLayout(*dir, cfg, *shards, layout)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,9 +73,18 @@ func main() {
 				log.Fatal(err)
 			}
 			li, _ := m.Placement(tpch.LineitemProj)
-			fmt.Printf("shard %d (%s): projections %v, lineitem rows [%d,%d)\n",
-				k, d, db.Projections(), li.Ranges[k].Start, li.Ranges[k].End)
+			if li.KeyPartitioned() {
+				fmt.Printf("shard %d (%s): projections %v, lineitem hash(%s) mod %d == %d\n",
+					k, d, db.Projections(), li.Partition.Column, li.Partition.Shards, k)
+			} else {
+				fmt.Printf("shard %d (%s): projections %v, lineitem rows [%d,%d)\n",
+					k, d, db.Projections(), li.Ranges[k].Start, li.Ranges[k].End)
+			}
 			db.Close()
+		}
+		for _, t := range layout.PartitionedTables() {
+			pl, _ := m.Placement(t)
+			fmt.Printf("partitioned: %s on %s (%s mod %d)\n", t, pl.Partition.Column, pl.Partition.Hash, pl.Partition.Shards)
 		}
 		fmt.Println("manifest:", filepath.Join(*dir, "shards.json"))
 		fmt.Println("done")

@@ -20,7 +20,9 @@
 // Client mode (for scripts and CI environments without curl): -get URL
 // performs a GET, -post URL with -data BODY performs a POST; either prints
 // the response body and exits. A 503 with a Retry-After header (the
-// service's shed signal) is retried with bounded backoff (-retries).
+// service's shed signal) and a 502 (a coordinator's shard transport fault)
+// are retried with the same bounded backoff (-retries), counted in
+// retries_503/retries_502 stats printed to stderr.
 //
 // Coordinator mode serves a csgen -shards layout by scatter-gather over
 // shard engines instead of executing locally:
@@ -79,7 +81,7 @@ func main() {
 	get := flag.String("get", "", "client mode: GET this URL, print the body, exit")
 	post := flag.String("post", "", "client mode: POST -data to this URL, print the body, exit")
 	data := flag.String("data", "", "client mode: POST body for -post")
-	retries := flag.Int("retries", 5, "client mode: max retries after a 503 with Retry-After")
+	retries := flag.Int("retries", 5, "client mode: max retries after a transient 503 (Retry-After) or 502 (shard transport fault)")
 	flag.Parse()
 
 	if *get != "" || *post != "" {
@@ -229,10 +231,13 @@ func serveCoordinator(dir, addr, endpoints string, timeoutMS int) error {
 }
 
 // client is the curl-free HTTP helper for scripts: one GET or POST, body to
-// stdout, non-2xx status as an error. A 503 carrying a Retry-After header —
-// the service's load-shed backpressure signal — is retried up to retries
-// times, honoring the advertised delay (capped at 5s per attempt, with a
-// small default when the header is absent or unparsable).
+// stdout, non-2xx status as an error. Two transient statuses retry up to
+// retries times with the same bounded backoff: a 503 carrying a Retry-After
+// header (the service's load-shed backpressure signal, honoring the
+// advertised delay capped at 5s per attempt) and a 502 (the coordinator's
+// shard-transport-fault signal — the shard process may be mid-restart, so a
+// brief retry rides out the blip). Retries are counted per status and
+// reported to stderr as retries_502/retries_503 when any occurred.
 func client(get, post, data string, retries int) error {
 	do := func() (*http.Response, error) {
 		if get != "" {
@@ -240,16 +245,30 @@ func client(get, post, data string, retries int) error {
 		}
 		return http.Post(post, "application/json", strings.NewReader(data))
 	}
+	retries502, retries503 := 0, 0
+	defer func() {
+		if retries502+retries503 > 0 {
+			fmt.Fprintf(os.Stderr, "csserve: retries_502=%d retries_503=%d\n", retries502, retries503)
+		}
+	}()
 	for attempt := 0; ; attempt++ {
 		resp, err := do()
 		if err != nil {
 			return err
 		}
-		if resp.StatusCode == http.StatusServiceUnavailable && attempt < retries {
+		transient := resp.StatusCode == http.StatusServiceUnavailable ||
+			resp.StatusCode == http.StatusBadGateway
+		if transient && attempt < retries {
 			delay := retryAfterDelay(resp.Header.Get("Retry-After"))
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			fmt.Fprintf(os.Stderr, "csserve: HTTP 503, retrying in %s (%d/%d)\n", delay, attempt+1, retries)
+			if resp.StatusCode == http.StatusBadGateway {
+				retries502++
+			} else {
+				retries503++
+			}
+			fmt.Fprintf(os.Stderr, "csserve: HTTP %d, retrying in %s (%d/%d)\n",
+				resp.StatusCode, delay, attempt+1, retries)
 			time.Sleep(delay)
 			continue
 		}

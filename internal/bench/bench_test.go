@@ -43,6 +43,9 @@ func TestMain(m *testing.M) {
 	if coordRoot != "" {
 		os.RemoveAll(coordRoot)
 	}
+	if kpBenchRoot != "" {
+		os.RemoveAll(kpBenchRoot)
+	}
 	os.Exit(code)
 }
 

@@ -33,6 +33,15 @@ func HashKey(k int64) uint64 {
 	return x
 }
 
+// PartitionOf maps a key to its shard under the key-partitioned storage
+// layout (storage.PartitionHashName): HashKey reduced modulo the shard
+// count. Modulo rather than a mask — shard counts need not be powers of
+// two. Generation and coordination must agree on this function exactly, or
+// co-partitioned joins would probe the wrong shard.
+func PartitionOf(key int64, shards int) int {
+	return int(HashKey(key) % uint64(shards))
+}
+
 // NextPow2 returns the smallest power of two >= n (minimum 1).
 func NextPow2(n int) int {
 	p := 1

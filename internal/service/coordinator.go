@@ -29,26 +29,39 @@ import (
 // partials with the exact deterministic contract the morsel executor uses
 // in memory:
 //
-//   - selection/join row partials concatenate in shard order (shard order
-//     IS global row order, so this is rows.Result.Append across the wire);
-//     row counts and output checksums add;
+//   - range-sharded selection/join row partials concatenate in shard order
+//     (shard order IS global row order, so this is rows.Result.Append
+//     across the wire); row counts and output checksums add;
+//   - key-partitioned partials arrive tagged with each row's global row id
+//     (the hidden storage.RowIDColumn, requested via rowids=true) and are
+//     k-way merged by ascending row id — each shard's rows are a
+//     global-order subsequence, so the merge restores exactly the global
+//     interleaving;
 //   - aggregation partials ship mergeable per-group statistics
 //     (operators.GroupStats, requested via partial=true) which the
 //     coordinator absorbs into a fresh Aggregator and re-emits sorted by
 //     key — emitted aggregate values do not merge (AVG loses its count),
-//     the statistics do;
-//   - explain trees concatenate with per-shard global row-range headers.
+//     the statistics do. When the group-by key IS the partition key the
+//     statistics wire is skipped entirely: group keys are disjoint across
+//     shards, so shards ship finalized rows that concat and sort by key
+//     (the finalization pushdown);
+//   - explain trees concatenate with per-shard row-range (or hash-scheme)
+//     headers.
 //
 // Because the merge contract is the executor's, coordinator responses are
 // byte-identical to the single-process engine at every shard count.
 //
 // Routing: sharded projections fan out to every shard whose row range is
-// non-empty, minus shards whose column min/max statistics refute every
-// predicate (zone-map pruning lifted to shard granularity); replicated
-// projections round-robin to a single shard. Joins run shard-local against
-// the replicated right side (left sharded) or route to one shard (left
-// replicated); a sharded right side requires key partitioning, which this
-// layout does not do — those requests are rejected up front.
+// non-empty (key-partitioned projections: every shard), minus shards whose
+// column min/max statistics refute every predicate (zone-map pruning lifted
+// to shard granularity); replicated projections round-robin to a single
+// shard. Joins run shard-local against the replicated right side (left
+// sharded) or route to one shard (left replicated); a sharded right side is
+// accepted only when both sides are CO-PARTITIONED — hash-partitioned on
+// the join keys under the same scheme with equal shard counts — in which
+// case the join fans out as N shard-local joins with no inner replication;
+// any other sharded right side is rejected up front with a 400 naming the
+// incompatibility.
 
 // DefaultShardTimeout bounds one shard request when the config leaves it 0.
 const DefaultShardTimeout = 30 * time.Second
@@ -84,6 +97,9 @@ type Coordinator struct {
 	prunedShards  atomic.Int64 // shards skipped by min/max statistics
 	shardErrors   atomic.Int64 // shard requests that failed or timed out
 	aggMerges     atomic.Int64 // partial aggregations absorbed and re-emitted
+	copartJoins   atomic.Int64 // joins fanned out co-partitioned (no inner replication)
+	finalizedAggs atomic.Int64 // partition-key aggregations merged from finalized rows
+	rowidMerges   atomic.Int64 // key-partitioned fan-outs k-way merged by row id
 	rr            atomic.Int64 // round-robin cursor for replicated routing
 }
 
@@ -246,11 +262,11 @@ func retryAfterSeconds(s string) int {
 }
 
 // shardsFor routes a request over a projection: a sharded projection fans
-// out to every shard whose row range is non-empty and whose column min/max
-// statistics cannot refute the predicates (shard-level zone-map pruning); a
-// replicated projection round-robins to one shard. At least one shard is
-// always returned so fully-pruned requests still produce a well-formed
-// empty result.
+// out to every shard holding rows (a non-empty row range, or any shard of a
+// key-partitioned placement) whose column min/max statistics cannot refute
+// the predicates (shard-level zone-map pruning); a replicated projection
+// round-robins to one shard. At least one shard is always returned so
+// fully-pruned requests still produce a well-formed empty result.
 func (c *Coordinator) shardsFor(proj string, filters []matstore.Filter) ([]int, error) {
 	pl, ok := c.manifest.Placement(proj)
 	if !ok {
@@ -260,8 +276,8 @@ func (c *Coordinator) shardsFor(proj string, filters []matstore.Filter) ([]int, 
 		return []int{int(c.rr.Add(1)-1) % len(c.shards)}, nil
 	}
 	var out []int
-	for k, r := range pl.Ranges {
-		if r.Len() == 0 {
+	for k := range c.shards {
+		if !pl.KeyPartitioned() && (k >= len(pl.Ranges) || pl.Ranges[k].Len() == 0) {
 			continue
 		}
 		if c.pruneShard(k, proj, filters) {
@@ -356,9 +372,16 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	c.fannedOut.Add(1)
 
+	pl, _ := c.manifest.Placement(req.Projection)
+	keyPart := pl.KeyPartitioned()
 	aggregating := req.GroupBy != "" && req.AggCol != ""
+	// Finalization pushdown: when the group-by key IS the partition key,
+	// group keys are disjoint across shards — no group spans two shards — so
+	// each shard's finalized rows are the global answer for its groups. No
+	// statistics wire, no AbsorbGroups pass.
+	finalized := aggregating && keyPart && req.GroupBy == pl.Partition.Column
 	var fn operators.AggFunc
-	if aggregating && req.Agg != "" {
+	if aggregating && !finalized && req.Agg != "" {
 		if fn, err = operators.ParseAggFunc(req.Agg); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -366,13 +389,24 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	lim := resolveLimit(req.Limit)
 	shardReq := req
-	shardReq.Partial = true
-	// Limit pushdown: shard order is global row order, so the first lim
-	// global rows come from the shards' first lim rows. Aggregations need
-	// every group regardless of the row limit.
+	// Limit pushdown: each shard's rows are a global-order prefix source
+	// (range shards: shard order is global order; key-partitioned shards:
+	// a global-order subsequence, so any of the first lim global rows has
+	// fewer than lim predecessors on its own shard). Finalized aggregations
+	// push the limit too — shards emit sorted by key, and the global
+	// smallest lim keys are among the union of per-shard smallest lim.
+	// Statistics-merged aggregations need every group regardless.
 	shardReq.Limit = lim
-	if aggregating {
+	switch {
+	case finalized:
+		// Plain aggregation on each shard: finalized rows, sorted by key.
+	case aggregating:
+		shardReq.Partial = true
 		shardReq.Limit = -1
+	case keyPart:
+		shardReq.RowIDs = true
+	default:
+		shardReq.Partial = true
 	}
 	replies, herr := c.fanout(r.Context(), "/query", shardReq, shards)
 	if herr != nil {
@@ -388,10 +422,17 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	var resp *QueryResponse
-	if aggregating {
+	switch {
+	case finalized:
+		resp = mergeFinalizedAggParts(parts, lim)
+		c.finalizedAggs.Add(1)
+	case aggregating:
 		resp = mergeAggParts(parts, fn, lim)
 		c.aggMerges.Add(1)
-	} else {
+	case keyPart:
+		resp = mergeRowIDParts(parts, lim)
+		c.rowidMerges.Add(1)
+	default:
 		resp = mergeRowParts(parts, lim)
 	}
 	resp.Wall = time.Since(start).Nanoseconds()
@@ -417,11 +458,16 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Shard-local join correctness: every shard probes its slice of the
-	// outer table against the FULL inner table, so the inner side must be
-	// replicated (or there is only one shard and locality is trivial).
-	if rightPl.Sharded && c.manifest.NumShards > 1 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf(
-			"join right side %q is sharded: shard-local joins need a replicated right side (key-partitioned joins unsupported)", req.Right))
+	// outer table against everything its key could match. Two ways to get
+	// that: the inner side is replicated (every shard holds the full inner
+	// table), or both sides are CO-PARTITIONED on the join keys — the same
+	// hash scheme with equal shard counts puts every matching inner row on
+	// the probing row's own shard, so no replication is needed. Anything
+	// else with a sharded right side cannot run shard-local (or there is
+	// only one shard and locality is trivial).
+	copart := copartitioned(leftPl, rightPl, req.LeftKey, req.RightKey)
+	if rightPl.Sharded && c.manifest.NumShards > 1 && !copart {
+		writeError(w, http.StatusBadRequest, copartitionError(req, leftPl, rightPl))
 		return
 	}
 	var shards []int
@@ -439,10 +485,16 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.fannedOut.Add(1)
+	if copart {
+		c.copartJoins.Add(1)
+	}
 
 	lim := resolveLimit(req.Limit)
 	shardReq := req
 	shardReq.Limit = lim
+	if leftPl.KeyPartitioned() {
+		shardReq.RowIDs = true
+	}
 	replies, herr := c.fanout(r.Context(), "/join", shardReq, shards)
 	if herr != nil {
 		herr.write(w)
@@ -456,7 +508,13 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	resp := mergeRowParts(parts, lim)
+	var resp *QueryResponse
+	if leftPl.KeyPartitioned() {
+		resp = mergeRowIDParts(parts, lim)
+		c.rowidMerges.Add(1)
+	} else {
+		resp = mergeRowParts(parts, lim)
+	}
 	resp.Wall = time.Since(start).Nanoseconds()
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -488,9 +546,14 @@ func (c *Coordinator) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	// Explain fans to every shard holding rows — no pruning, the point is
 	// to see each shard's plan — and concatenates the trees under per-shard
-	// global row-range headers.
+	// global row-range (or hash-scheme) headers.
 	var shards []int
-	if pl.Sharded {
+	switch {
+	case pl.KeyPartitioned():
+		for k := range c.shards {
+			shards = append(shards, k)
+		}
+	case pl.Sharded:
 		for k, rg := range pl.Ranges {
 			if rg.Len() > 0 {
 				shards = append(shards, k)
@@ -499,7 +562,7 @@ func (c *Coordinator) handleExplain(w http.ResponseWriter, r *http.Request) {
 		if len(shards) == 0 {
 			shards = []int{0}
 		}
-	} else {
+	default:
 		shards = []int{int(c.rr.Add(1)-1) % len(c.shards)}
 	}
 	if len(shards) == 1 {
@@ -522,9 +585,14 @@ func (c *Coordinator) handleExplain(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		k := shards[i]
-		rg := pl.Ranges[k]
-		fmt.Fprintf(&tree, "── shard %d: %s rows [%d,%d) @ %s ──\n%s",
-			k, outer, rg.Start, rg.End, c.shards[k].url, ex.Tree)
+		if pl.KeyPartitioned() {
+			fmt.Fprintf(&tree, "── shard %d: %s hash(%s) mod %d == %d @ %s ──\n%s",
+				k, outer, pl.Partition.Column, pl.Partition.Shards, k, c.shards[k].url, ex.Tree)
+		} else {
+			rg := pl.Ranges[k]
+			fmt.Fprintf(&tree, "── shard %d: %s rows [%d,%d) @ %s ──\n%s",
+				k, outer, rg.Start, rg.End, c.shards[k].url, ex.Tree)
+		}
 		if i == 0 {
 			merged.Strategy = ex.Strategy
 		}
@@ -568,6 +636,46 @@ func (c *Coordinator) passthrough(w http.ResponseWriter, ctx context.Context, pa
 	_, _ = w.Write(rep.body)
 }
 
+// copartitioned reports whether a join's two sides are co-partitioned on
+// its join keys: both hash-partitioned on exactly those keys under the same
+// hash scheme with equal shard counts, so shard k's left rows can only
+// match shard k's right rows.
+func copartitioned(leftPl, rightPl storage.ShardPlacement, leftKey, rightKey string) bool {
+	return leftPl.KeyPartitioned() && rightPl.KeyPartitioned() &&
+		leftPl.Partition.Column == leftKey &&
+		rightPl.Partition.Column == rightKey &&
+		leftPl.Partition.Shards == rightPl.Partition.Shards &&
+		leftPl.Partition.Hash == rightPl.Partition.Hash
+}
+
+// copartitionError explains exactly why a sharded right side cannot join
+// shard-locally: which projection lacks compatible partitioning, on which
+// column, and any shard-count or hash-scheme mismatch.
+func copartitionError(req JoinRequest, leftPl, rightPl storage.ShardPlacement) error {
+	desc := func(name, key string, pl storage.ShardPlacement) string {
+		switch {
+		case pl.KeyPartitioned() && pl.Partition.Column != key:
+			return fmt.Sprintf("%q is partitioned on %q, not its join key %q", name, pl.Partition.Column, key)
+		case pl.KeyPartitioned():
+			return fmt.Sprintf("%q is partitioned on %q into %d shards (%s)", name, pl.Partition.Column, pl.Partition.Shards, pl.Partition.Hash)
+		case pl.Sharded:
+			return fmt.Sprintf("%q is range-sharded with no partition key", name)
+		default:
+			return fmt.Sprintf("%q is replicated", name)
+		}
+	}
+	detail := desc(req.Left, req.LeftKey, leftPl) + "; " + desc(req.Right, req.RightKey, rightPl)
+	if leftPl.KeyPartitioned() && rightPl.KeyPartitioned() && leftPl.Partition.Shards != rightPl.Partition.Shards {
+		detail += fmt.Sprintf("; shard counts differ (%d vs %d)", leftPl.Partition.Shards, rightPl.Partition.Shards)
+	}
+	return fmt.Errorf(
+		"join right side %q is sharded without co-partitioning on the join keys (%s.%s = %s.%s): %s. "+
+			"Shard-local joins need the right side replicated, or both sides hash-partitioned on the join keys "+
+			"with equal shard counts (csgen -shards N -partition-key %s.%s,%s.%s)",
+		req.Right, req.Left, req.LeftKey, req.Right, req.RightKey, detail,
+		req.Left, req.LeftKey, req.Right, req.RightKey)
+}
+
 // mergeRowParts merges selection/join partials: rows concatenate in shard
 // order (shard order is global row order) truncated to the limit, row
 // counts and checksums add (each shard's checksum folds ALL its output
@@ -591,25 +699,97 @@ func mergeRowParts(parts []*QueryResponse, limit int) *QueryResponse {
 			}
 		}
 		out.Rows = append(out.Rows, take...)
-		out.RowCount += p.RowCount
-		out.Checksum += p.Checksum
-		out.Workers += p.Workers
-		out.Morsels += p.Morsels
-		if p.Queued > out.Queued {
-			out.Queued = p.Queued
+		sumPartCounters(out, p)
+	}
+	return out
+}
+
+// sumPartCounters folds one shard partial's counters into the merged
+// response: row counts, checksums and execution counters add, queue time
+// takes the max (shards queue concurrently), cache-hit flags AND, spill
+// flags OR.
+func sumPartCounters(out, p *QueryResponse) {
+	out.RowCount += p.RowCount
+	out.Checksum += p.Checksum
+	out.Workers += p.Workers
+	out.Morsels += p.Morsels
+	if p.Queued > out.Queued {
+		out.Queued = p.Queued
+	}
+	out.EstCostUS += p.EstCostUS
+	out.ResultCacheHit = out.ResultCacheHit && p.ResultCacheHit
+	out.PlanCacheHit = out.PlanCacheHit && p.PlanCacheHit
+	out.BuildCacheHit = out.BuildCacheHit && p.BuildCacheHit
+	out.Partitions += p.Partitions
+	out.Probes += p.Probes
+	out.BuildTuples += p.BuildTuples
+	out.DeferredFetches += p.DeferredFetches
+	out.ReservedBytes += p.ReservedBytes
+	out.Spilled = out.Spilled || p.Spilled
+	out.SpilledPartitions += p.SpilledPartitions
+	out.SpillBytes += p.SpillBytes
+}
+
+// mergeRowIDParts merges key-partitioned selection/join partials: each
+// shard's rows are a global-order subsequence tagged with global row ids,
+// so a k-way merge by ascending row id restores exactly the global row
+// order (every global row lives on exactly one shard — ids never collide
+// across partials). Counters fold as in mergeRowParts.
+func mergeRowIDParts(parts []*QueryResponse, limit int) *QueryResponse {
+	out := &QueryResponse{
+		Columns:        parts[0].Columns,
+		Strategy:       parts[0].Strategy,
+		Rows:           [][]int64{},
+		ResultCacheHit: true,
+		PlanCacheHit:   true,
+		BuildCacheHit:  true,
+	}
+	idx := make([]int, len(parts))
+	for limit <= 0 || len(out.Rows) < limit {
+		best := -1
+		for p, part := range parts {
+			if idx[p] >= len(part.Rows) || idx[p] >= len(part.RowIDs) {
+				continue
+			}
+			if best < 0 || part.RowIDs[idx[p]] < parts[best].RowIDs[idx[best]] {
+				best = p
+			}
 		}
-		out.EstCostUS += p.EstCostUS
-		out.ResultCacheHit = out.ResultCacheHit && p.ResultCacheHit
-		out.PlanCacheHit = out.PlanCacheHit && p.PlanCacheHit
-		out.BuildCacheHit = out.BuildCacheHit && p.BuildCacheHit
-		out.Partitions += p.Partitions
-		out.Probes += p.Probes
-		out.BuildTuples += p.BuildTuples
-		out.DeferredFetches += p.DeferredFetches
-		out.ReservedBytes += p.ReservedBytes
-		out.Spilled = out.Spilled || p.Spilled
-		out.SpilledPartitions += p.SpilledPartitions
-		out.SpillBytes += p.SpillBytes
+		if best < 0 {
+			break
+		}
+		out.Rows = append(out.Rows, parts[best].Rows[idx[best]])
+		idx[best]++
+	}
+	for _, p := range parts {
+		sumPartCounters(out, p)
+	}
+	return out
+}
+
+// mergeFinalizedAggParts merges a partition-key aggregation: group keys are
+// disjoint across shards, so the shards' finalized rows (each sorted by
+// key) concat in shard order and one coordinator-side sort by the group-key
+// column restores the global key order — no statistics shipped, no
+// AbsorbGroups pass, and the payload is the final rows instead of
+// per-group sum/count/min/max. Row counts and checksums add exactly
+// because no group spans two shards.
+func mergeFinalizedAggParts(parts []*QueryResponse, limit int) *QueryResponse {
+	out := &QueryResponse{
+		Columns:        parts[0].Columns,
+		Strategy:       parts[0].Strategy,
+		Rows:           [][]int64{},
+		ResultCacheHit: true,
+		PlanCacheHit:   true,
+		BuildCacheHit:  true,
+	}
+	for _, p := range parts {
+		out.Rows = append(out.Rows, p.Rows...)
+		sumPartCounters(out, p)
+	}
+	sort.Slice(out.Rows, func(i, j int) bool { return out.Rows[i][0] < out.Rows[j][0] })
+	if limit > 0 && len(out.Rows) > limit {
+		out.Rows = out.Rows[:limit]
 	}
 	return out
 }
@@ -676,6 +856,14 @@ type CoordinatorStats struct {
 	PrunedShards  int64    `json:"pruned_shards"`
 	ShardErrors   int64    `json:"shard_errors"`
 	AggMerges     int64    `json:"agg_merges"`
+	// CopartJoins counts joins fanned out shard-local with no inner
+	// replication (both sides co-partitioned on the join keys); the ci smoke
+	// greps it. FinalizedAggs counts partition-key aggregations merged from
+	// finalized shard rows (no statistics wire); RowIDMerges counts
+	// key-partitioned fan-outs restored to global row order by row id.
+	CopartJoins   int64 `json:"copartitioned_joins"`
+	FinalizedAggs int64 `json:"finalized_aggs"`
+	RowIDMerges   int64 `json:"rowid_merges"`
 	// Shards holds each shard's own /stats document (null for a shard that
 	// did not answer); ShardTotals is their field-wise numeric sum.
 	Shards      []json.RawMessage `json:"shards"`
@@ -692,6 +880,9 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		PrunedShards:  c.prunedShards.Load(),
 		ShardErrors:   c.shardErrors.Load(),
 		AggMerges:     c.aggMerges.Load(),
+		CopartJoins:   c.copartJoins.Load(),
+		FinalizedAggs: c.finalizedAggs.Load(),
+		RowIDMerges:   c.rowidMerges.Load(),
 		Shards:        make([]json.RawMessage, len(c.shards)),
 		ShardTotals:   map[string]any{},
 	}

@@ -26,6 +26,10 @@ var (
 	shardedOnce sync.Once
 	shardedRoot string
 	shardedErr  error
+
+	keypartOnce sync.Once
+	keypartRoot string
+	keypartErr  error
 )
 
 // shardedData generates one sharded layout per shard count, from the SAME
@@ -54,6 +58,37 @@ func shardedData(t *testing.T) string {
 	return shardedRoot
 }
 
+// keypartData generates one MIXED layout per shard count from the same
+// generator config: orders and customer hash-partitioned on custkey (their
+// join key), lineitem still range-sharded — the composition the coordinator
+// must route per projection.
+func keypartData(t *testing.T) string {
+	t.Helper()
+	keypartOnce.Do(func() {
+		keypartRoot, keypartErr = os.MkdirTemp("", "matstore-keypart-test")
+		if keypartErr != nil {
+			return
+		}
+		layout := tpch.ShardLayout{PartitionKeys: map[string]string{
+			tpch.OrdersProj:   tpch.ColCustkey,
+			tpch.CustomerProj: tpch.ColCustkey,
+		}}
+		for _, n := range []int{1, 2, 4} {
+			dir := fmt.Sprintf("%s/s%d", keypartRoot, n)
+			if keypartErr = os.MkdirAll(dir, 0o755); keypartErr != nil {
+				return
+			}
+			if _, keypartErr = tpch.GenerateShardedLayout(dir, tpch.Config{Scale: 0.002, Seed: 5}, n, layout); keypartErr != nil {
+				return
+			}
+		}
+	})
+	if keypartErr != nil {
+		t.Fatal(keypartErr)
+	}
+	return keypartRoot
+}
+
 // fleet is a running scatter-gather deployment: one engine per shard behind
 // httptest plus a coordinator fronting them.
 type fleet struct {
@@ -66,7 +101,17 @@ type fleet struct {
 // 12k-row test tables split into many morsels.
 func newFleet(t *testing.T, shards int, coordCfg service.CoordinatorConfig) *fleet {
 	t.Helper()
-	root := fmt.Sprintf("%s/s%d", shardedData(t), shards)
+	return newFleetAt(t, fmt.Sprintf("%s/s%d", shardedData(t), shards), shards, coordCfg)
+}
+
+// newKeypartFleet boots a fleet over the mixed key-partitioned layout.
+func newKeypartFleet(t *testing.T, shards int, coordCfg service.CoordinatorConfig) *fleet {
+	t.Helper()
+	return newFleetAt(t, fmt.Sprintf("%s/s%d", keypartData(t), shards), shards, coordCfg)
+}
+
+func newFleetAt(t *testing.T, root string, shards int, coordCfg service.CoordinatorConfig) *fleet {
+	t.Helper()
 	var endpoints []string
 	for k := 0; k < shards; k++ {
 		db, err := matstore.Open(fmt.Sprintf("%s/shard-%03d", root, k),
@@ -170,6 +215,16 @@ func TestCoordinatorExplain(t *testing.T) {
 		`{"left":"orders","right":"customer","leftkey":"custkey","rightkey":"custkey","leftout":["shipdate"],"rightout":["nationcode"],"rightstrategy":"right-materialized"}`, &jex)
 	if !strings.Contains(jex.Tree, "shard 1") {
 		t.Errorf("join explain did not fan out:\n%s", jex.Tree)
+	}
+
+	// Key-partitioned projections label each shard with its hash scheme
+	// instead of a row range.
+	kfl := newKeypartFleet(t, 2, service.CoordinatorConfig{})
+	var kex service.ExplainResponse
+	postJSON(t, kfl.URL+"/explain",
+		`{"projection":"orders","output":["custkey"],"where":["custkey<100"],"strategy":"lm-parallel"}`, &kex)
+	if !strings.Contains(kex.Tree, "hash(custkey) mod 2 == 1") {
+		t.Errorf("key-partitioned explain lacks hash-scheme headers:\n%s", kex.Tree)
 	}
 }
 
@@ -329,6 +384,143 @@ func TestCoordinatorRejectsShardedRightJoin(t *testing.T) {
 	_ = json.NewDecoder(resp.Body).Decode(&e)
 	if !strings.Contains(e["error"], "replicated") {
 		t.Errorf("error %q does not explain the replication requirement", e["error"])
+	}
+}
+
+// TestCoordinatorKeyPartitionedDifferential is the key-partitioned half of
+// the tentpole acceptance suite: selections merged back into global row
+// order by row id, co-partitioned joins running shard-local with NO inner
+// replication, partition-key aggregations merged from finalized shard rows,
+// and non-partition-key aggregations still taking the statistics wire — all
+// byte-identical to the single-process engine at shard counts {1,2,4} ×
+// parallelism {1,4}, over a mixed layout (lineitem stays range-sharded).
+func TestCoordinatorKeyPartitionedDifferential(t *testing.T) {
+	single := singleEngine(t)
+	type req struct {
+		name string
+		path string
+		body string // %d is the parallelism slot
+	}
+	reqs := []req{
+		{"sel-orders", "/query", `{"projection":"orders","output":["custkey","shipdate"],"where":["custkey<100"],"strategy":"lm-parallel","parallelism":%d,"limit":-1}`},
+		{"sel-orders-em", "/query", `{"projection":"orders","output":["shipdate"],"where":["shipdate<1500"],"strategy":"em-pipelined","parallelism":%d,"limit":-1}`},
+		{"sel-limit", "/query", `{"projection":"orders","output":["custkey","shipdate"],"where":["custkey<200"],"strategy":"lm-parallel","parallelism":%d,"limit":7}`},
+		{"sel-customer", "/query", `{"projection":"customer","output":["custkey","nationcode"],"where":["custkey<50"],"strategy":"lm-parallel","parallelism":%d,"limit":-1}`},
+		{"sel-lineitem-range", "/query", `{"projection":"lineitem","output":["shipdate","linenum"],"where":["shipdate<400"],"strategy":"lm-parallel","parallelism":%d,"limit":-1}`},
+		{"agg-finalized-min", "/query", `{"projection":"orders","groupby":"custkey","aggcol":"shipdate","agg":"min","strategy":"lm-parallel","parallelism":%d,"limit":-1}`},
+		{"agg-finalized-sum", "/query", `{"projection":"orders","groupby":"custkey","aggcol":"shipdate","agg":"sum","where":["shipdate<1500"],"strategy":"lm-parallel","parallelism":%d,"limit":-1}`},
+		{"agg-finalized-limit", "/query", `{"projection":"orders","groupby":"custkey","aggcol":"shipdate","agg":"avg","parallelism":%d,"limit":11}`},
+		{"agg-stats-wire", "/query", `{"projection":"orders","groupby":"shipdate","aggcol":"custkey","agg":"count","where":["shipdate<600"],"parallelism":%d,"limit":-1}`},
+		{"join-copart", "/join", `{"left":"orders","right":"customer","leftkey":"custkey","rightkey":"custkey","leftout":["shipdate"],"rightout":["nationcode"],"where":["custkey<120"],"rightstrategy":"right-materialized","parallelism":%d,"limit":-1}`},
+		{"join-copart-limit", "/join", `{"left":"orders","right":"customer","leftkey":"custkey","rightkey":"custkey","leftout":["shipdate"],"rightout":["nationcode"],"rightstrategy":"right-multicolumn","parallelism":%d,"limit":9}`},
+	}
+	for _, shards := range []int{1, 2, 4} {
+		fl := newKeypartFleet(t, shards, service.CoordinatorConfig{})
+		for _, r := range reqs {
+			for _, par := range []int{1, 4} {
+				body := fmt.Sprintf(r.body, par)
+				var want, got service.QueryResponse
+				postJSON(t, single+r.path, body, &want)
+				postJSON(t, fl.URL+r.path, body, &got)
+				label := fmt.Sprintf("keypart shards=%d par=%d %s", shards, par, r.name)
+				if !reflect.DeepEqual(got.Columns, want.Columns) {
+					t.Errorf("%s: columns %v, want %v", label, got.Columns, want.Columns)
+				}
+				if !reflect.DeepEqual(got.Rows, want.Rows) {
+					t.Errorf("%s: rows differ (%d vs %d shown)", label, len(got.Rows), len(want.Rows))
+				}
+				if got.RowCount != want.RowCount || got.Checksum != want.Checksum {
+					t.Errorf("%s: rows/checksum %d/%d, want %d/%d",
+						label, got.RowCount, got.Checksum, want.RowCount, want.Checksum)
+				}
+			}
+		}
+		// Multi-shard fleets must have exercised every key-partitioned merge
+		// path: row-id merges, finalized-aggregation pushdowns, and
+		// co-partitioned joins with no inner replication.
+		if shards > 1 {
+			var st service.CoordinatorStats
+			getJSON(t, fl.URL+"/stats", &st)
+			if st.RowIDMerges == 0 {
+				t.Errorf("shards=%d: no row-id merges recorded", shards)
+			}
+			if st.FinalizedAggs == 0 {
+				t.Errorf("shards=%d: no finalized aggregation pushdowns recorded", shards)
+			}
+			if st.CopartJoins == 0 {
+				t.Errorf("shards=%d: no co-partitioned joins recorded", shards)
+			}
+			if st.AggMerges == 0 {
+				t.Errorf("shards=%d: non-partition-key aggregation skipped the statistics wire", shards)
+			}
+		}
+	}
+}
+
+// TestCoordinatorCopartitionErrors: a sharded right side without compatible
+// partitioning is a 400 whose message names the offending projection, its
+// actual partitioning, and the join key it would need.
+func TestCoordinatorCopartitionErrors(t *testing.T) {
+	fl := newKeypartFleet(t, 2, service.CoordinatorConfig{})
+	post400 := func(t *testing.T, body string) string {
+		t.Helper()
+		resp, err := http.Post(fl.URL+"/join", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("incompatible join: HTTP %d, want 400", resp.StatusCode)
+		}
+		var e map[string]string
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return e["error"]
+	}
+	t.Run("range-sharded right", func(t *testing.T) {
+		// lineitem is range-sharded in the mixed layout: not co-partitionable.
+		msg := post400(t, `{"left":"orders","right":"lineitem","leftkey":"custkey","rightkey":"linenum","leftout":["shipdate"],"rightout":["quantity"]}`)
+		for _, wantSub := range []string{`"lineitem"`, "range-sharded", "replicated", "-partition-key"} {
+			if !strings.Contains(msg, wantSub) {
+				t.Errorf("error %q does not mention %q", msg, wantSub)
+			}
+		}
+	})
+	t.Run("partitioned on the wrong column", func(t *testing.T) {
+		// Both sides are partitioned, but the left joins on shipdate while its
+		// partition key is custkey: the message must name the mismatch.
+		msg := post400(t, `{"left":"orders","right":"customer","leftkey":"shipdate","rightkey":"custkey","leftout":["shipdate"],"rightout":["nationcode"]}`)
+		if !strings.Contains(msg, `partitioned on "custkey", not its join key "shipdate"`) {
+			t.Errorf("error %q does not name the partition-column mismatch", msg)
+		}
+	})
+}
+
+// TestCoordinatorKeyPartitionedAllPruned: a predicate below every shard's
+// key minimum prunes ALL shards of a key-partitioned projection; the
+// coordinator still answers with a well-formed empty response via a
+// single-shard passthrough, so fanned_out stays 0.
+func TestCoordinatorKeyPartitionedAllPruned(t *testing.T) {
+	fl := newKeypartFleet(t, 2, service.CoordinatorConfig{})
+	var got service.QueryResponse
+	postJSON(t, fl.URL+"/query",
+		`{"projection":"orders","output":["custkey","shipdate"],"where":["custkey<0"],"strategy":"lm-parallel","limit":-1}`, &got)
+	if len(got.Rows) != 0 || got.RowCount != 0 || got.Checksum != 0 {
+		t.Errorf("all-pruned query not empty: %d rows shown, count %d, checksum %d",
+			len(got.Rows), got.RowCount, got.Checksum)
+	}
+	if !reflect.DeepEqual(got.Columns, []string{"custkey", "shipdate"}) {
+		t.Errorf("all-pruned response lost its columns: %v", got.Columns)
+	}
+	var st service.CoordinatorStats
+	getJSON(t, fl.URL+"/stats", &st)
+	if st.PrunedShards < 2 {
+		t.Errorf("pruned_shards = %d, want both shards pruned", st.PrunedShards)
+	}
+	if st.FannedOut != 0 {
+		t.Errorf("fanned_out = %d after a fully-pruned query, want 0", st.FannedOut)
+	}
+	if st.RoutedSingle == 0 {
+		t.Error("fully-pruned query did not route to a fallback shard")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"matstore"
 	"matstore/internal/memory"
 	"matstore/internal/operators"
+	"matstore/internal/storage"
 )
 
 // HTTP front-end: JSON endpoints over a Server. Every request runs through
@@ -44,6 +45,12 @@ type QueryRequest struct {
 	// shards (AVG loses its count). Selections are unaffected — their row
 	// partials concatenate and their checksums add.
 	Partial bool `json:"partial,omitempty"`
+	// RowIDs marks a shard request over a key-partitioned projection: the
+	// engine reads the hidden storage.RowIDColumn alongside the requested
+	// outputs and ships each shown row's global row id in rowids (stripping
+	// the column from columns/rows/checksum), so the coordinator can k-way
+	// merge the shards' global-order subsequences back into global row order.
+	RowIDs bool `json:"rowids,omitempty"`
 }
 
 // JoinRequest is the /join (and join /explain) body.
@@ -58,6 +65,9 @@ type JoinRequest struct {
 	RightStrategy string   `json:"rightstrategy,omitempty"`
 	Parallelism   int      `json:"parallelism,omitempty"`
 	Limit         int      `json:"limit,omitempty"`
+	// RowIDs: as in QueryRequest, over the left (outer) projection — the
+	// hidden row-id column rides the left output list through the probe.
+	RowIDs bool `json:"rowids,omitempty"`
 }
 
 // QueryResponse is the /query and /join response.
@@ -83,6 +93,9 @@ type QueryResponse struct {
 	// statistics (set only for partial=true aggregating requests, which omit
 	// rows); the coordinator absorbs every shard's groups and re-emits.
 	Groups []operators.GroupStats `json:"groups,omitempty"`
+	// RowIDs parallels Rows for rowids=true requests: each shown row's
+	// global row id, the coordinator's merge key.
+	RowIDs []int64 `json:"rowids,omitempty"`
 	// Join-only counters.
 	Partitions      int   `json:"partitions,omitempty"`
 	Probes          int64 `json:"probes,omitempty"`
@@ -189,6 +202,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	rowids := req.RowIDs && req.GroupBy == "" && req.AggCol == ""
+	if rowids {
+		q.Output = append(append([]string{}, q.Output...), storage.RowIDColumn)
+	}
 	strat, err := s.strategyFor(req.Strategy, req.Projection, q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -206,6 +223,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// statistics, not the emitted rows.
 		resp.Groups = out.Stats.AggState.ExportGroups()
 		resp.Rows = nil
+	}
+	if rowids {
+		stripRowIDs(resp, out.Res, len(req.Output))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -246,6 +266,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.RowIDs {
+		q.LeftOutput = append(append([]string{}, q.LeftOutput...), storage.RowIDColumn)
+	}
 	rs, err := s.rightStrategyFor(req, q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -266,6 +289,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	resp.Spilled = out.Stats.Join.Spilled
 	resp.SpilledPartitions = out.Stats.Join.SpilledParts
 	resp.SpillBytes = out.Stats.Join.SpillBytes
+	if req.RowIDs {
+		stripRowIDs(resp, out.Res, len(req.LeftOutput))
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -381,6 +407,28 @@ func baseResponse(res *matstore.Result, stats *matstore.Stats, info Info, limit 
 		ResultCacheHit: info.ResultCacheHit,
 		PlanCacheHit:   info.PlanCacheHit,
 		BuildCacheHit:  info.BuildCacheHit,
+	}
+}
+
+// stripRowIDs removes the hidden row-id column (at idx in the output list)
+// from a response: each shown row's id moves into resp.RowIDs, the column
+// name disappears, and the checksum drops the column's total over ALL
+// result rows — the checksum covers every matching row, not just the shown
+// ones — so shard checksums still sum to the single-engine value.
+func stripRowIDs(resp *QueryResponse, res *matstore.Result, idx int) {
+	var total int64
+	for _, v := range res.Cols[idx] {
+		total += v
+	}
+	resp.Checksum -= total
+	cols := make([]string, 0, len(resp.Columns)-1)
+	cols = append(cols, resp.Columns[:idx]...)
+	cols = append(cols, resp.Columns[idx+1:]...)
+	resp.Columns = cols
+	resp.RowIDs = make([]int64, len(resp.Rows))
+	for i, row := range resp.Rows {
+		resp.RowIDs[i] = row[idx]
+		resp.Rows[i] = append(row[:idx], row[idx+1:]...)
 	}
 }
 

@@ -56,6 +56,9 @@ func TestMain(m *testing.M) {
 	if shardedRoot != "" {
 		os.RemoveAll(shardedRoot)
 	}
+	if keypartRoot != "" {
+		os.RemoveAll(keypartRoot)
+	}
 	os.Exit(code)
 }
 

@@ -17,13 +17,21 @@ import (
 // per-shard metadata a scatter-gather coordinator loads at startup so
 // planning (routing, pruning, position remapping) never touches shard data.
 //
-// Projections come in two placements:
+// Projections come in three placements:
 //
-//   - sharded: the rows are horizontally partitioned into chunk-aligned
-//     global row ranges, shard k holding rows [Ranges[k].Start,
-//     Ranges[k].End). Positions inside a shard are shard-local (they start
-//     at 0); Ranges[k].Start is the offset that remaps them into the global
-//     position space.
+//   - range-sharded: the rows are horizontally partitioned into
+//     chunk-aligned global row ranges, shard k holding rows
+//     [Ranges[k].Start, Ranges[k].End). Positions inside a shard are
+//     shard-local (they start at 0); Ranges[k].Start is the offset that
+//     remaps them into the global position space.
+//   - key-partitioned: the rows are hash-partitioned on one column, shard k
+//     holding exactly the rows whose key hashes to k — in global row order
+//     (each shard is the global-order subsequence of its rows). Every
+//     key-partitioned shard projection carries a hidden RowIDColumn with
+//     each row's global row index, which is how a coordinator restores the
+//     global interleaving of shard partials. Two projections partitioned on
+//     their join keys under the same scheme are co-partitioned: the join is
+//     shard-local with no inner replication.
 //   - replicated: every shard holds the full projection (the co-located
 //     build side of scatter-gather joins). Queries over a replicated
 //     projection route to a single shard.
@@ -31,15 +39,45 @@ import (
 // ShardManifestFile names the manifest at a sharded database root.
 const ShardManifestFile = "shards.json"
 
+// PartitionHashName identifies the hash scheme of key-partitioned layouts:
+// operators.HashKey (the 64-bit MurmurHash3 finalizer) reduced modulo the
+// shard count. Recording it per projection lets a coordinator refuse to
+// treat projections partitioned under different schemes as co-partitioned.
+const PartitionHashName = "murmur3-fin64"
+
+// RowIDColumn names the hidden global-row-id column every key-partitioned
+// shard projection carries as its last column: value = the row's global row
+// index in the unsharded projection. Coordinators merge shard partials back
+// into global row order by this column; it is never part of a user schema.
+const RowIDColumn = "_rowid"
+
+// PartitionScheme describes how a key-partitioned projection's rows map to
+// shards: row r lives on shard Hash(key column value at r) mod Shards.
+type PartitionScheme struct {
+	// Column is the partition key column.
+	Column string `json:"column"`
+	// Hash names the hash scheme (PartitionHashName).
+	Hash string `json:"hash"`
+	// Shards is the partition count the layout was generated with.
+	Shards int `json:"shards"`
+}
+
 // ShardPlacement describes one projection's distribution over the shards.
 type ShardPlacement struct {
-	// Sharded reports horizontal row-range partitioning; false means the
-	// projection is fully replicated in every shard.
+	// Sharded reports horizontal partitioning (range- or key-based); false
+	// means the projection is fully replicated in every shard.
 	Sharded bool `json:"sharded"`
-	// Ranges[k] is shard k's global row range (sharded projections only;
-	// empty ranges mean the shard holds no rows of this projection).
+	// Ranges[k] is shard k's global row range (range-sharded projections
+	// only; empty ranges mean the shard holds no rows of this projection).
 	Ranges []positions.Range `json:"ranges,omitempty"`
+	// Partition is the hash-partitioning scheme of a key-partitioned
+	// projection (nil for range-sharded and replicated placements).
+	Partition *PartitionScheme `json:"partition,omitempty"`
 }
+
+// KeyPartitioned reports whether this placement hash-partitions rows on a
+// key column.
+func (p ShardPlacement) KeyPartitioned() bool { return p.Sharded && p.Partition != nil }
 
 // ShardManifest is the coordinator-held metadata of a sharded database.
 type ShardManifest struct {
@@ -77,7 +115,19 @@ func LoadShardManifest(root string) (*ShardManifest, error) {
 		return nil, fmt.Errorf("storage: manifest has %d shards but %d dirs", m.NumShards, len(m.Dirs))
 	}
 	for name, pl := range m.Projections {
-		if pl.Sharded && len(pl.Ranges) != m.NumShards {
+		switch {
+		case pl.Partition != nil:
+			if !pl.Sharded {
+				return nil, fmt.Errorf("storage: projection %s has a partition scheme but is not sharded", name)
+			}
+			if pl.Partition.Column == "" {
+				return nil, fmt.Errorf("storage: projection %s partition scheme names no column", name)
+			}
+			if pl.Partition.Shards != m.NumShards {
+				return nil, fmt.Errorf("storage: projection %s partitioned into %d shards, manifest has %d",
+					name, pl.Partition.Shards, m.NumShards)
+			}
+		case pl.Sharded && len(pl.Ranges) != m.NumShards:
 			return nil, fmt.Errorf("storage: projection %s has %d ranges for %d shards", name, len(pl.Ranges), m.NumShards)
 		}
 	}

@@ -4,33 +4,116 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"matstore/internal/datasource"
+	"matstore/internal/encoding"
 	"matstore/internal/exec"
+	"matstore/internal/operators"
 	"matstore/internal/storage"
 )
 
 // Sharded generation: csgen -shards N writes one full database directory
-// per shard under the root plus a shards.json manifest. The fact tables
-// (lineitem, orders) are horizontally partitioned on chunk-aligned global
-// row ranges — shard k's projection holds exactly rows [Ranges[k].Start,
-// Ranges[k].End) of the single-directory output, re-encoded from position 0,
-// byte-identical to row-slicing that output — while the dimension table
-// (customer, the join build side) is replicated into every shard so
-// shard-local joins see the full inner table. Buffers are generated ONCE
-// from the carving-stable per-slab PRNG streams and replayed clipped per
-// shard, so sharded generation costs one generation pass regardless of N.
+// per shard under the root plus a shards.json manifest. Three placements:
+//
+//   - range-sharded (default for the fact tables): shard k's projection
+//     holds exactly rows [Ranges[k].Start, Ranges[k].End) of the
+//     single-directory output, re-encoded from position 0, byte-identical
+//     to row-slicing that output.
+//   - key-partitioned (csgen -partition-key table.col): shard k holds the
+//     global-order subsequence of rows whose key column hashes to k
+//     (operators.PartitionOf), plus a trailing hidden storage.RowIDColumn
+//     carrying each row's global row index — byte-identical to
+//     hash-filtering the unsharded output. Two projections partitioned on
+//     their join keys are co-partitioned: the coordinator runs the join
+//     shard-locally with no inner replication.
+//   - replicated (default for customer, the join build side): every shard
+//     holds the full projection.
+//
+// Buffers are generated ONCE from the carving-stable per-slab PRNG streams
+// and replayed clipped/filtered per shard, so sharded generation costs one
+// generation pass regardless of N.
 
-// GenerateSharded writes an N-shard database under root and returns the
-// manifest it wrote. N = 1 produces a single shard holding everything
-// (still under shard-000, with a manifest — the degenerate layout the
-// coordinator treats identically).
+// ShardLayout selects non-default placements for sharded generation.
+type ShardLayout struct {
+	// PartitionKeys maps projection name → partition key column: the
+	// projection is hash-partitioned on that column instead of range-sliced
+	// (fact tables) or replicated (customer).
+	PartitionKeys map[string]string
+}
+
+// partitionableColumns lists, per projection, the columns a layout may
+// hash-partition on.
+var partitionableColumns = map[string][]string{
+	LineitemProj: {ColRetflag, ColShipdate, ColLinenum, ColQuantity},
+	OrdersProj:   {ColCustkey, ColOrderShipdate},
+	CustomerProj: {ColCustkey, ColNationcode},
+}
+
+// ParsePartitionKeys parses a comma-separated table.column list (the csgen
+// -partition-key flag) into a ShardLayout partition-key map.
+func ParsePartitionKeys(s string) (map[string]string, error) {
+	out := map[string]string{}
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		dot := strings.IndexByte(item, '.')
+		if dot <= 0 || dot == len(item)-1 {
+			return nil, fmt.Errorf("tpch: partition key %q is not table.column", item)
+		}
+		table, col := item[:dot], item[dot+1:]
+		if _, dup := out[table]; dup {
+			return nil, fmt.Errorf("tpch: duplicate partition key for %q", table)
+		}
+		out[table] = col
+	}
+	return out, nil
+}
+
+// validate checks every partition key against the generated schema.
+func (l ShardLayout) validate() error {
+	for proj, col := range l.PartitionKeys {
+		allowed, ok := partitionableColumns[proj]
+		if !ok {
+			return fmt.Errorf("tpch: unknown projection %q in partition keys", proj)
+		}
+		found := false
+		for _, c := range allowed {
+			if c == col {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("tpch: projection %s cannot partition on %q (partitionable: %s)",
+				proj, col, strings.Join(allowed, ", "))
+		}
+	}
+	return nil
+}
+
+// GenerateSharded writes an N-shard range-sharded database under root and
+// returns the manifest it wrote. N = 1 produces a single shard holding
+// everything (still under shard-000, with a manifest — the degenerate
+// layout the coordinator treats identically).
 func GenerateSharded(root string, cfg Config, shards int) (*storage.ShardManifest, error) {
+	return GenerateShardedLayout(root, cfg, shards, ShardLayout{})
+}
+
+// GenerateShardedLayout writes an N-shard database under root with the
+// given placement layout and returns the manifest it wrote.
+func GenerateShardedLayout(root string, cfg Config, shards int, layout ShardLayout) (*storage.ShardManifest, error) {
 	if cfg.Scale <= 0 {
 		return nil, fmt.Errorf("tpch: scale must be positive, got %v", cfg.Scale)
 	}
 	if shards < 1 {
 		return nil, fmt.Errorf("tpch: shard count must be >= 1, got %d", shards)
+	}
+	if err := layout.validate(); err != nil {
+		return nil, err
 	}
 	workers := exec.Resolve(cfg.Workers)
 
@@ -48,29 +131,71 @@ func GenerateSharded(root string, cfg Config, shards int) (*storage.ShardManifes
 		return nil, err
 	}
 
+	// Per-slab partition ids for a key-partitioned lineitem (computed once,
+	// reused by every shard's filtered replay).
+	var liParts [][]int32
+	if col, ok := layout.PartitionKeys[LineitemProj]; ok {
+		if liParts, err = lineitemPartitions(slabs, col, shards, workers); err != nil {
+			return nil, err
+		}
+	}
+
 	liRanges := storage.ShardRanges(cfg.LineitemRows(), shards, datasource.DefaultChunkSize)
 	ordRanges := storage.ShardRanges(cfg.OrdersRows(), shards, datasource.DefaultChunkSize)
 
 	m := &storage.ShardManifest{
-		NumShards: shards,
-		Projections: map[string]storage.ShardPlacement{
-			LineitemProj: {Sharded: true, Ranges: liRanges},
-			OrdersProj:   {Sharded: true, Ranges: ordRanges},
-			CustomerProj: {Sharded: false},
-		},
+		NumShards:   shards,
+		Projections: map[string]storage.ShardPlacement{},
 	}
+	scheme := func(col string) *storage.PartitionScheme {
+		return &storage.PartitionScheme{Column: col, Hash: storage.PartitionHashName, Shards: shards}
+	}
+	if col, ok := layout.PartitionKeys[LineitemProj]; ok {
+		m.Projections[LineitemProj] = storage.ShardPlacement{Sharded: true, Partition: scheme(col)}
+	} else {
+		m.Projections[LineitemProj] = storage.ShardPlacement{Sharded: true, Ranges: liRanges}
+	}
+	if col, ok := layout.PartitionKeys[OrdersProj]; ok {
+		m.Projections[OrdersProj] = storage.ShardPlacement{Sharded: true, Partition: scheme(col)}
+	} else {
+		m.Projections[OrdersProj] = storage.ShardPlacement{Sharded: true, Ranges: ordRanges}
+	}
+	if col, ok := layout.PartitionKeys[CustomerProj]; ok {
+		m.Projections[CustomerProj] = storage.ShardPlacement{Sharded: true, Partition: scheme(col)}
+	} else {
+		m.Projections[CustomerProj] = storage.ShardPlacement{Sharded: false}
+	}
+
 	for k := 0; k < shards; k++ {
 		shardDir := filepath.Join(root, storage.ShardDirName(k))
 		if err := os.MkdirAll(shardDir, 0o755); err != nil {
 			return nil, err
 		}
-		if err := writeLineitem(filepath.Join(shardDir, LineitemProj), slabs, workers, liRanges[k]); err != nil {
+		liDir := filepath.Join(shardDir, LineitemProj)
+		if liParts != nil {
+			err = writeLineitemPartitioned(liDir, slabs, workers, liParts, int32(k))
+		} else {
+			err = writeLineitem(liDir, slabs, workers, liRanges[k])
+		}
+		if err != nil {
 			return nil, err
 		}
-		if err := writeOrders(filepath.Join(shardDir, OrdersProj), custkey, shipdate, workers, ordRanges[k]); err != nil {
+		ordDir := filepath.Join(shardDir, OrdersProj)
+		if col, ok := layout.PartitionKeys[OrdersProj]; ok {
+			err = writeOrdersPartitioned(ordDir, custkey, shipdate, workers, col, shards, k)
+		} else {
+			err = writeOrders(ordDir, custkey, shipdate, workers, ordRanges[k])
+		}
+		if err != nil {
 			return nil, err
 		}
-		if err := writeCustomer(filepath.Join(shardDir, CustomerProj), cfg.CustomerRows(), nation, workers); err != nil {
+		custDir := filepath.Join(shardDir, CustomerProj)
+		if col, ok := layout.PartitionKeys[CustomerProj]; ok {
+			err = writeCustomerPartitioned(custDir, cfg.CustomerRows(), nation, workers, col, shards, k)
+		} else {
+			err = writeCustomer(custDir, cfg.CustomerRows(), nation, workers)
+		}
+		if err != nil {
 			return nil, err
 		}
 		m.Dirs = append(m.Dirs, storage.ShardDirName(k))
@@ -79,4 +204,231 @@ func GenerateSharded(root string, cfg Config, shards int) (*storage.ShardManifes
 		return nil, err
 	}
 	return m, nil
+}
+
+// PartitionedTables lists the layout's key-partitioned projections, sorted.
+func (l ShardLayout) PartitionedTables() []string {
+	out := make([]string, 0, len(l.PartitionKeys))
+	for t := range l.PartitionKeys {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// expand appends the run sequence value-by-value to dst.
+func (c *colRuns) expand(dst []int64) []int64 {
+	for i, v := range c.vals {
+		for j := int64(0); j < c.lens[i]; j++ {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// replayFiltered appends only the rows whose partition id equals k. Like
+// replayClip, filtering cannot perturb the output bytes: AppendRun coalesces
+// adjacent equal values, so a filtered replay is indistinguishable from
+// appending the surviving values one by one.
+func (c *colRuns) replayFiltered(w *storage.ColumnWriter, part []int32, k int32) error {
+	cur := int64(0)
+	for i, v := range c.vals {
+		n := c.lens[i]
+		run := int64(0)
+		for j := cur; j < cur+n; j++ {
+			if part[j] == k {
+				run++
+				continue
+			}
+			if run > 0 {
+				if err := w.AppendRun(v, run); err != nil {
+					return err
+				}
+				run = 0
+			}
+		}
+		if run > 0 {
+			if err := w.AppendRun(v, run); err != nil {
+				return err
+			}
+		}
+		cur += n
+	}
+	return nil
+}
+
+// keyValues expands one buffered lineitem column of the slab to per-row
+// values (the partition-key stream).
+func (s *liShard) keyValues(col string) ([]int64, error) {
+	switch col {
+	case ColRetflag:
+		return s.flagRuns.expand(nil), nil
+	case ColShipdate:
+		return s.dateRuns.expand(nil), nil
+	case ColLinenum, ColLinenumRLE, ColLinenumBV:
+		return s.lnRuns.expand(nil), nil
+	case ColQuantity:
+		return s.qty, nil
+	}
+	return nil, fmt.Errorf("tpch: lineitem has no column %q", col)
+}
+
+// lineitemPartitions computes each slab's per-row partition ids for a
+// key-partitioned lineitem layout, in parallel over the slabs.
+func lineitemPartitions(slabs []*liShard, col string, shards, workers int) ([][]int32, error) {
+	out := make([][]int32, len(slabs))
+	if err := exec.Run(workers, len(slabs), func(i int) error {
+		vals, err := slabs[i].keyValues(col)
+		if err != nil {
+			return err
+		}
+		pp := make([]int32, len(vals))
+		for j, v := range vals {
+			pp[j] = int32(operators.PartitionOf(v, shards))
+		}
+		out[i] = pp
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// writeLineitemPartitioned writes shard k of a key-partitioned lineitem:
+// the global-order subsequence of rows whose partition id is k, plus the
+// hidden global-row-id column.
+func writeLineitemPartitioned(dir string, shards []*liShard, workers int, parts [][]int32, k int32) error {
+	_, err := storage.WriteProjectionParallel(dir, LineitemProj,
+		[]string{ColRetflag, ColShipdate, ColLinenum},
+		[]storage.ColumnSpec{
+			{Name: ColRetflag, Encoding: encoding.RLE},
+			{Name: ColShipdate, Encoding: encoding.RLE},
+			{Name: ColLinenum, Encoding: encoding.Plain},
+			{Name: ColLinenumRLE, Encoding: encoding.RLE},
+			{Name: ColLinenumBV, Encoding: encoding.BitVector},
+			{Name: ColQuantity, Encoding: encoding.Plain},
+			{Name: storage.RowIDColumn, Encoding: encoding.Plain},
+		},
+		workers,
+		func(col int, w *storage.ColumnWriter) error {
+			cursor := int64(0) // global row of the current slab's first row
+			for si, s := range shards {
+				pp := parts[si]
+				var err error
+				switch col {
+				case 0:
+					err = s.flagRuns.replayFiltered(w, pp, k)
+				case 1:
+					err = s.dateRuns.replayFiltered(w, pp, k)
+				case 2, 3, 4:
+					err = s.lnRuns.replayFiltered(w, pp, k)
+				case 5:
+					for i, q := range s.qty {
+						if pp[i] != k {
+							continue
+						}
+						if err = w.Append(q); err != nil {
+							break
+						}
+					}
+				default:
+					for i := range pp {
+						if pp[i] != k {
+							continue
+						}
+						if err = w.Append(cursor + int64(i)); err != nil {
+							break
+						}
+					}
+				}
+				if err != nil {
+					return err
+				}
+				cursor += int64(len(pp))
+			}
+			return nil
+		})
+	return err
+}
+
+// writeOrdersPartitioned writes shard k of a key-partitioned orders
+// projection (subsequence of rows whose key hashes to k, plus row ids).
+func writeOrdersPartitioned(dir string, custkey, shipdate [][]int64, workers int, keyCol string, shards, k int) error {
+	_, err := storage.WriteProjectionParallel(dir, OrdersProj, nil,
+		[]storage.ColumnSpec{
+			{Name: ColCustkey, Encoding: encoding.Plain},
+			{Name: ColOrderShipdate, Encoding: encoding.Plain},
+			{Name: storage.RowIDColumn, Encoding: encoding.Plain},
+		},
+		workers,
+		func(col int, w *storage.ColumnWriter) error {
+			cursor := int64(0)
+			for bi := range custkey {
+				key := custkey[bi]
+				if keyCol == ColOrderShipdate {
+					key = shipdate[bi]
+				}
+				for i := range key {
+					if operators.PartitionOf(key[i], shards) != k {
+						continue
+					}
+					var v int64
+					switch col {
+					case 0:
+						v = custkey[bi][i]
+					case 1:
+						v = shipdate[bi][i]
+					default:
+						v = cursor + int64(i)
+					}
+					if err := w.Append(v); err != nil {
+						return err
+					}
+				}
+				cursor += int64(len(custkey[bi]))
+			}
+			return nil
+		})
+	return err
+}
+
+// writeCustomerPartitioned writes shard k of a key-partitioned customer
+// projection. CUSTKEY equals the global row position, so partitioning on it
+// needs no buffer; NATIONCODE partitioning reads the generated buffers.
+func writeCustomerPartitioned(dir string, n int64, nation [][]int64, workers int, keyCol string, shards, k int) error {
+	_, err := storage.WriteProjectionParallel(dir, CustomerProj, []string{ColCustkey},
+		[]storage.ColumnSpec{
+			{Name: ColCustkey, Encoding: encoding.Plain},
+			{Name: ColNationcode, Encoding: encoding.Plain},
+			{Name: storage.RowIDColumn, Encoding: encoding.Plain},
+		},
+		workers,
+		func(col int, w *storage.ColumnWriter) error {
+			cursor := int64(0)
+			for _, vals := range nation {
+				for i, nc := range vals {
+					row := cursor + int64(i)
+					key := row
+					if keyCol == ColNationcode {
+						key = nc
+					}
+					if operators.PartitionOf(key, shards) != k {
+						continue
+					}
+					var v int64
+					switch col {
+					case 0, 2:
+						v = row
+					default:
+						v = nc
+					}
+					if err := w.Append(v); err != nil {
+						return err
+					}
+				}
+				cursor += int64(len(vals))
+			}
+			return nil
+		})
+	return err
 }

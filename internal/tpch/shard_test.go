@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"matstore/internal/encoding"
+	"matstore/internal/operators"
 	"matstore/internal/storage"
 )
 
@@ -144,6 +145,175 @@ func TestGenerateShardedByteIdenticalToSlicing(t *testing.T) {
 			}
 			sdb.Close()
 		}
+	}
+}
+
+// filterProjection rewrites the subsequence of src rows whose key column
+// hashes to shard k (operators.PartitionOf), plus a trailing _rowid column
+// carrying each surviving row's global index — the independent
+// hash-filtering reference the key-partitioned generator is pinned against.
+func filterProjection(t *testing.T, src *storage.Projection, dst, name string, sortKey []string, keyCol string, shards, k int) {
+	t.Helper()
+	var specs []storage.ColumnSpec
+	for _, cm := range src.Meta.Columns {
+		kind, err := encoding.ParseKind(cm.Encoding)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, storage.ColumnSpec{Name: cm.Name, Encoding: kind})
+	}
+	specs = append(specs, storage.ColumnSpec{Name: storage.RowIDColumn, Encoding: encoding.Plain})
+	keyVals := decompress(t, src, keyCol)
+	_, err := storage.WriteProjectionParallel(dst, name, sortKey, specs, 1,
+		func(col int, w *storage.ColumnWriter) error {
+			if col == len(specs)-1 {
+				for i := range keyVals {
+					if operators.PartitionOf(keyVals[i], shards) != k {
+						continue
+					}
+					if err := w.Append(int64(i)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			vals := decompress(t, src, specs[col].Name)
+			for i, v := range vals {
+				if operators.PartitionOf(keyVals[i], shards) != k {
+					continue
+				}
+				if err := w.Append(v); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenerateKeyPartitionedByteIdenticalToHashFiltering pins csgen
+// -partition-key output: every shard's partitioned projection directory is
+// byte-identical to hash-filtering the single-directory generation by
+// PartitionOf(key) == shard (with the appended global-row-id column), at
+// shard counts 1, 2 and 4. returnflag has only 3 distinct values, so some
+// shards legitimately receive zero lineitem rows — the empty-projection
+// case rides along.
+func TestGenerateKeyPartitionedByteIdenticalToHashFiltering(t *testing.T) {
+	cfg := Config{Scale: 0.002, Seed: 11}
+	single := t.TempDir()
+	if err := Generate(single, cfg); err != nil {
+		t.Fatal(err)
+	}
+	db, err := storage.OpenDB(single, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	keys := map[string]string{
+		LineitemProj: ColRetflag,
+		OrdersProj:   ColCustkey,
+		CustomerProj: ColCustkey,
+	}
+	for _, shards := range []int{1, 2, 4} {
+		root := t.TempDir()
+		m, err := GenerateShardedLayout(root, cfg, shards, ShardLayout{PartitionKeys: keys})
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := storage.LoadShardManifest(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for proj, keyCol := range keys {
+			pl, ok := loaded.Placement(proj)
+			if !ok || !pl.KeyPartitioned() {
+				t.Fatalf("shards=%d: %s not key-partitioned in manifest: %+v", shards, proj, pl)
+			}
+			if pl.Partition.Column != keyCol || pl.Partition.Shards != shards ||
+				pl.Partition.Hash != storage.PartitionHashName {
+				t.Fatalf("shards=%d: %s scheme = %+v", shards, proj, pl.Partition)
+			}
+			src, err := db.Projection(proj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < shards; k++ {
+				ref := filepath.Join(t.TempDir(), "ref")
+				filterProjection(t, src, ref, proj, src.Meta.SortKey, keyCol, shards, k)
+				filesEqual(t, ref, filepath.Join(root, m.Dirs[k], proj))
+			}
+		}
+		// Every shard directory opens as an ordinary database (including
+		// shards holding zero rows of a partitioned projection).
+		for _, d := range m.Dirs {
+			sdb, err := storage.OpenDB(filepath.Join(root, d), 0)
+			if err != nil {
+				t.Fatalf("shard %s does not open: %v", d, err)
+			}
+			sdb.Close()
+		}
+	}
+}
+
+// TestGenerateMixedLayoutComposes pins layout composition: partitioning
+// orders+customer must leave the range-sharded lineitem shards byte-
+// identical to the all-range layout's.
+func TestGenerateMixedLayoutComposes(t *testing.T) {
+	cfg := Config{Scale: 0.002, Seed: 11}
+	rangeRoot, mixedRoot := t.TempDir(), t.TempDir()
+	if _, err := GenerateSharded(rangeRoot, cfg, 2); err != nil {
+		t.Fatal(err)
+	}
+	m, err := GenerateShardedLayout(mixedRoot, cfg, 2, ShardLayout{PartitionKeys: map[string]string{
+		OrdersProj:   ColCustkey,
+		CustomerProj: ColCustkey,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, _ := m.Placement(OrdersProj)
+	if !li.KeyPartitioned() {
+		t.Fatalf("orders not key-partitioned: %+v", li)
+	}
+	if pl, _ := m.Placement(LineitemProj); pl.KeyPartitioned() || !pl.Sharded {
+		t.Fatalf("lineitem placement changed: %+v", pl)
+	}
+	for _, d := range m.Dirs {
+		filesEqual(t, filepath.Join(rangeRoot, d, LineitemProj), filepath.Join(mixedRoot, d, LineitemProj))
+	}
+}
+
+// TestParsePartitionKeys checks the csgen flag syntax and layout validation.
+func TestParsePartitionKeys(t *testing.T) {
+	keys, err := ParsePartitionKeys(" orders.custkey, customer.custkey ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys[OrdersProj] != ColCustkey || keys[CustomerProj] != ColCustkey {
+		t.Fatalf("keys = %v", keys)
+	}
+	if keys, err = ParsePartitionKeys(""); err != nil || len(keys) != 0 {
+		t.Fatalf("empty spec: %v, %v", keys, err)
+	}
+	for _, bad := range []string{"orders", "orders.", ".custkey", "orders.custkey,orders.shipdate"} {
+		if _, err := ParsePartitionKeys(bad); err == nil {
+			t.Errorf("ParsePartitionKeys(%q) did not fail", bad)
+		}
+	}
+	// Schema validation happens at generation time.
+	cfg := Config{Scale: 0.002, Seed: 11}
+	if _, err := GenerateShardedLayout(t.TempDir(), cfg, 2, ShardLayout{
+		PartitionKeys: map[string]string{"nope": ColCustkey},
+	}); err == nil {
+		t.Error("unknown projection did not fail")
+	}
+	if _, err := GenerateShardedLayout(t.TempDir(), cfg, 2, ShardLayout{
+		PartitionKeys: map[string]string{OrdersProj: "nationcode"},
+	}); err == nil {
+		t.Error("unknown column did not fail")
 	}
 }
 
