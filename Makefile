@@ -28,7 +28,7 @@ bench:
 # snapshot (name → ns/op, allocs/op; min of 3 runs). Not part of the tier-1
 # gate — run it when touching a hot path and check in the updated
 # BENCH_PR<N>.json so the perf trajectory stays diffable.
-BENCH_JSON ?= BENCH_PR9.json
+BENCH_JSON ?= BENCH_PR10.json
 bench-json:
 	{ $(GO) test -run xxx -bench 'Filter|Gather|Extract|SumRange|And|BitmapRunIteration|Builder' \
 		-benchtime 1x -count 3 ./internal/encoding ./internal/storage ./internal/positions ; \
@@ -45,5 +45,9 @@ bench-json:
 	  $(GO) test -run xxx -bench 'BenchmarkJoinFanout(Replicated|Copartitioned)[124]Shard$$' \
 		-benchtime 5x -count 3 ./internal/bench ; \
 	  $(GO) test -run xxx -bench 'BenchmarkAggMerge(Stats|Finalized)[124]Shard$$' \
-		-benchtime 5x -count 3 ./internal/bench ; } \
+		-benchtime 5x -count 3 ./internal/bench ; \
+	  $(GO) test -run xxx -bench 'BenchmarkServerQueryTrace(Off|On)$$' \
+		-benchtime 20x -count 3 ./internal/bench ; \
+	  $(GO) test -run xxx -bench 'BenchmarkSpan(Disabled|Enabled)Path$$|BenchmarkHistogramObserve$$' \
+		-benchtime 1000x -count 3 ./internal/obs ; } \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_JSON)

@@ -149,6 +149,22 @@ done
 	| grep -q '"shard_requests":'
 "$ci_explain_dir/csserve" -get http://127.0.0.1:18980/readyz | grep -q '"ready":true'
 
+# Observability smoke: the coordinator serves Prometheus text with the
+# request-latency histogram and the per-shard fan-out counter, and a
+# `"trace": true` query returns an inline span tree whose grafted shard
+# sub-trees carry per-plan-node spans (the DS1 scan leaf).
+"$ci_explain_dir/csserve" -get http://127.0.0.1:18980/metrics \
+	| grep -q 'cs_request_seconds_bucket'
+"$ci_explain_dir/csserve" -get http://127.0.0.1:18980/metrics \
+	| grep -q 'cs_shard_requests'
+"$ci_explain_dir/csserve" -get http://127.0.0.1:18981/metrics \
+	| grep -q 'cs_request_seconds_bucket'
+# A fresh predicate so the shard result caches (warmed by the smoke above)
+# miss and the trace shows real execution, not just result_cache.lookup hits.
+ci_traced_body='{"projection":"lineitem","output":["shipdate","linenum"],"where":["shipdate<390","linenum<7"],"strategy":"lm-parallel","trace":true}'
+"$ci_explain_dir/csserve" -post http://127.0.0.1:18980/query -data "$ci_traced_body" \
+	| grep -q 'DS1 scan'
+
 # Key-partitioned smoke: regenerate the 2-shard layout hash-partitioned on
 # the orders/customer join key. The join must fan out shard-local with no
 # inner replication (the copartitioned_joins counter), and a group-by on the

@@ -44,8 +44,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -56,12 +56,11 @@ import (
 	"matstore"
 	"matstore/internal/bench"
 	"matstore/internal/faults"
+	"matstore/internal/obs"
 	"matstore/internal/service"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("csserve: ")
 	dir := flag.String("dir", "./data", "database directory")
 	addr := flag.String("addr", ":8088", "listen address")
 	budget := flag.Int("worker-budget", 0, "global worker budget shared by in-flight queries (0 = one per CPU)")
@@ -82,43 +81,50 @@ func main() {
 	post := flag.String("post", "", "client mode: POST -data to this URL, print the body, exit")
 	data := flag.String("data", "", "client mode: POST body for -post")
 	retries := flag.Int("retries", 5, "client mode: max retries after a transient 503 (Retry-After) or 502 (shard transport fault)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) on a separate mux, never on the serving port (\"\" = disabled)")
+	slowQueryUS := flag.Int64("slow-query-us", 0, "log requests whose wall time reaches this many µs as structured slow-query records (0 = disabled)")
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr).With("component", "csserve", "version", obs.Version)
 
 	if *get != "" || *post != "" {
 		if err := client(*get, *post, *data, *retries); err != nil {
-			log.Fatal(err)
+			fatal(logger, "client request failed", err)
 		}
 		return
 	}
 
+	startPprof(*pprofAddr, logger)
+
 	if *coordinator {
-		if err := serveCoordinator(*dir, *addr, *shardEndpoints, *shardTimeoutMS); err != nil {
-			log.Fatal(err)
+		if err := serveCoordinator(*dir, *addr, *shardEndpoints, *shardTimeoutMS, *slowQueryUS, logger); err != nil {
+			fatal(logger, "coordinator failed", err)
 		}
 		return
 	}
 
 	db, err := matstore.Open(*dir)
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "open failed", err)
 	}
 	defer db.Close()
 
 	if *calibrate {
 		rep, err := bench.CalibrateDB(db, bench.MixedWorkload(customerRows(db)))
 		if err != nil {
-			log.Fatalf("calibrate: %v", err)
+			fatal(logger, "calibrate failed", err)
 		}
-		log.Printf("calibrated over %d observations: rms error %.1fµs -> %.1fµs (BIC=%.4f TICTUP=%.4f TICCOL=%.4f FC=%.4f)",
-			rep.Observations, rep.PriorErrUS, rep.FittedErrUS,
-			rep.Fitted.BIC, rep.Fitted.TICTUP, rep.Fitted.TICCOL, rep.Fitted.FC)
+		logger.Info("calibrated", "observations", rep.Observations,
+			"prior_rms_us", rep.PriorErrUS, "fitted_rms_us", rep.FittedErrUS,
+			"bic", rep.Fitted.BIC, "tictup", rep.Fitted.TICTUP,
+			"ticcol", rep.Fitted.TICCOL, "fc", rep.Fitted.FC)
 	}
 
 	if *faultSpec != "" {
 		if err := faults.Parse(*faultSpec); err != nil {
-			log.Fatalf("-faults: %v", err)
+			fatal(logger, "bad -faults spec", err)
 		}
-		log.Printf("fault injection armed: %s", *faultSpec)
+		logger.Info("fault injection armed", "spec", *faultSpec)
 	}
 
 	buildBytes := *buildMB
@@ -143,10 +149,13 @@ func main() {
 		MemoryBudgetBytes:    memoryBytes,
 		SpillDir:             *spillDir,
 		ResultCacheMinCostUS: *minCostUS,
+		Logger:               logger,
+		SlowQueryMicros:      *slowQueryUS,
 	})
 	cfg := srv.Config()
-	log.Printf("serving %s on %s (worker budget %d, admission limit %d, memory budget %d MiB, projections %v)",
-		*dir, *addr, cfg.WorkerBudget, cfg.MaxConcurrent, *memoryMB, db.Projections())
+	logger.Info("serving", "dir", *dir, "addr", *addr,
+		"worker_budget", cfg.WorkerBudget, "admission_limit", cfg.MaxConcurrent,
+		"memory_budget_mb", *memoryMB, "projections", db.Projections())
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -160,19 +169,47 @@ func main() {
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		fatal(logger, "serve failed", err)
 	case sig := <-sigCh:
-		log.Printf("received %v, draining in-flight sessions", sig)
+		logger.Info("draining in-flight sessions", "signal", sig.String())
 		srv.MarkDraining() // /readyz flips to 503 before connections close
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
-			log.Fatalf("shutdown: %v", err)
+			fatal(logger, "shutdown failed", err)
 		}
 		st := srv.Stats()
-		log.Printf("drained: %d queries served (admitted %d, result-cache hits %d)",
-			st.Queries, st.Admission.Admitted, st.ResultCache.Hits)
+		logger.Info("drained", "queries", st.Queries,
+			"admitted", st.Admission.Admitted, "result_cache_hits", st.ResultCache.Hits)
 	}
+}
+
+// fatal logs a structured error line and exits non-zero.
+func fatal(logger *obs.Logger, msg string, err error) {
+	logger.Error(msg, "error", err.Error())
+	os.Exit(1)
+}
+
+// startPprof serves net/http/pprof on its own mux and listener — profiling
+// endpoints are explicitly registered here and never mounted on the serving
+// port, so exposing the query API does not expose profiles.
+func startPprof(addr string, logger *obs.Logger) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	hs := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		logger.Info("pprof listening", "addr", addr)
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			logger.Error("pprof server exited", "error", err.Error())
+		}
+	}()
 }
 
 // customerRows reads the customer cardinality for the workload's join
@@ -190,7 +227,7 @@ func customerRows(db *matstore.DB) int64 {
 // serveCoordinator runs the scatter-gather front-end over shard engines:
 // metadata-only startup (shards.json + per-shard meta.json), then the same
 // endpoint surface and graceful-drain behavior as a shard engine.
-func serveCoordinator(dir, addr, endpoints string, timeoutMS int) error {
+func serveCoordinator(dir, addr, endpoints string, timeoutMS int, slowQueryUS int64, logger *obs.Logger) error {
 	if endpoints == "" {
 		return fmt.Errorf("-coordinator requires -shard-endpoints")
 	}
@@ -201,13 +238,15 @@ func serveCoordinator(dir, addr, endpoints string, timeoutMS int) error {
 		}
 	}
 	coord, err := service.NewCoordinator(dir, eps, service.CoordinatorConfig{
-		ShardTimeout: time.Duration(timeoutMS) * time.Millisecond,
+		ShardTimeout:    time.Duration(timeoutMS) * time.Millisecond,
+		Logger:          logger,
+		SlowQueryMicros: slowQueryUS,
 	})
 	if err != nil {
 		return err
 	}
-	log.Printf("coordinating %s on %s over %d shards: %v", dir, addr, len(eps), eps)
-	log.Print(coord)
+	logger.Info("coordinating", "dir", dir, "addr", addr,
+		"shards", len(eps), "endpoints", eps, "coordinator", coord.String())
 
 	hs := &http.Server{
 		Addr:              addr,
@@ -223,7 +262,7 @@ func serveCoordinator(dir, addr, endpoints string, timeoutMS int) error {
 	case err := <-errCh:
 		return err
 	case sig := <-sigCh:
-		log.Printf("received %v, draining in-flight requests", sig)
+		logger.Info("draining in-flight requests", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		return hs.Shutdown(ctx)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"matstore/internal/model"
+	"matstore/internal/obs"
 	"matstore/internal/operators"
 	"matstore/internal/plan"
 )
@@ -72,6 +73,13 @@ func (ex *Explanation) String() string {
 // returns the rendered tree with modeled vs. observed stats side by side.
 // q.Parallelism controls the observed run exactly as in Select.
 func (db *DB) Explain(projection string, q Query, s Strategy) (*Explanation, error) {
+	return db.ExplainTraced(projection, q, s, nil)
+}
+
+// ExplainTraced is Explain with an optional trace span: the observed run's
+// phase and per-node spans attach under tr (nil = no tracing, identical to
+// Explain).
+func (db *DB) ExplainTraced(projection string, q Query, s Strategy, tr *obs.Span) (*Explanation, error) {
 	p, err := db.inner.Projection(projection)
 	if err != nil {
 		return nil, err
@@ -82,7 +90,7 @@ func (db *DB) Explain(projection string, q Query, s Strategy) (*Explanation, err
 	}
 	consts := db.Constants()
 	consts.AnnotatePlan(pl, true)
-	res, stats, err := db.exec.RunPlan(pl, s, q.Parallelism, true)
+	res, stats, err := db.exec.RunPlanWith(pl, s, q.Parallelism, plan.RunOptions{Observe: true, Trace: tr})
 	if err != nil {
 		return nil, err
 	}
@@ -105,6 +113,12 @@ func (db *DB) Explain(projection string, q Query, s Strategy) (*Explanation, err
 // and returns the rendered tree with modeled vs. observed stats side by
 // side. q.Parallelism controls both join phases exactly as in Join.
 func (db *DB) ExplainJoin(left, right string, q JoinQuery, rs RightStrategy) (*Explanation, error) {
+	return db.ExplainJoinTraced(left, right, q, rs, nil)
+}
+
+// ExplainJoinTraced is ExplainJoin with an optional trace span (see
+// ExplainTraced).
+func (db *DB) ExplainJoinTraced(left, right string, q JoinQuery, rs RightStrategy, tr *obs.Span) (*Explanation, error) {
 	lp, err := db.inner.Projection(left)
 	if err != nil {
 		return nil, err
@@ -125,7 +139,7 @@ func (db *DB) ExplainJoin(left, right string, q JoinQuery, rs RightStrategy) (*E
 	}
 	consts := db.Constants()
 	consts.AnnotatePlan(pl, true)
-	res, stats, err := db.exec.RunJoinPlanWith(pl, q.Parallelism, plan.RunOptions{Observe: true, Spill: spill})
+	res, stats, err := db.exec.RunJoinPlanWith(pl, q.Parallelism, plan.RunOptions{Observe: true, Spill: spill, Trace: tr})
 	if err != nil {
 		return nil, err
 	}

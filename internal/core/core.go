@@ -279,11 +279,17 @@ func (e *Executor) Select(p *storage.Projection, q SelectQuery, s Strategy) (*ro
 // buffer-pool deltas, output iteration). With observe set, every plan node
 // accumulates observed rows/time for EXPLAIN.
 func (e *Executor) RunPlan(pl *plan.Plan, s Strategy, parallelism int, observe bool) (*rows.Result, *Stats, error) {
+	return e.RunPlanWith(pl, s, parallelism, plan.RunOptions{Observe: observe})
+}
+
+// RunPlanWith is RunPlan with the full plan.RunOptions (context, tracing,
+// spill) instead of just the observe flag.
+func (e *Executor) RunPlanWith(pl *plan.Plan, s Strategy, parallelism int, opt plan.RunOptions) (*rows.Result, *Stats, error) {
 	stats := &Stats{Strategy: s}
 	before := e.Pool.Stats()
 	start := time.Now()
 
-	res, runStats, err := pl.Run(parallelism, observe)
+	res, runStats, err := pl.RunWith(parallelism, opt)
 	if err != nil {
 		return nil, nil, err
 	}

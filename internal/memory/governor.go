@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"matstore/internal/faults"
 )
@@ -34,9 +35,10 @@ type Governor struct {
 	waiters    int
 	maxWaiters int
 
-	grants int64
-	waited int64
-	shed   int64
+	grants    int64
+	waited    int64
+	shed      int64
+	waitNanos int64
 }
 
 // New returns a governor over budget bytes. maxWaiters <= 0 uses
@@ -131,6 +133,7 @@ func (g *Governor) Reserve(ctx context.Context, bytes int64) (*Reservation, erro
 	}
 	g.waiters++
 	g.waited++
+	waitStart := time.Now()
 	// Wake the cond.Wait below when the context dies; cond.Wait cannot
 	// observe ctx on its own.
 	stop := context.AfterFunc(ctx, func() { g.cond.Broadcast() })
@@ -138,12 +141,14 @@ func (g *Governor) Reserve(ctx context.Context, bytes int64) (*Reservation, erro
 	for g.reserved+bytes > g.budget {
 		if ctx.Err() != nil {
 			g.waiters--
+			g.waitNanos += time.Since(waitStart).Nanoseconds()
 			g.mu.Unlock()
 			return nil, ctx.Err()
 		}
 		g.cond.Wait()
 	}
 	g.waiters--
+	g.waitNanos += time.Since(waitStart).Nanoseconds()
 	r := g.grantLocked(bytes)
 	g.mu.Unlock()
 	return r, nil
@@ -166,6 +171,9 @@ type Stats struct {
 	Waiters      int   `json:"waiters"`
 	Waited       int64 `json:"waited"`
 	Shed         int64 `json:"shed_count"`
+	// WaitNanos is the cumulative time Reserve calls spent blocked in the
+	// queue (including waits that ended in cancellation).
+	WaitNanos int64 `json:"wait_nanos"`
 }
 
 // Stats snapshots the governor counters.
@@ -180,5 +188,6 @@ func (g *Governor) Stats() Stats {
 		Waiters:      g.waiters,
 		Waited:       g.waited,
 		Shed:         g.shed,
+		WaitNanos:    g.waitNanos,
 	}
 }

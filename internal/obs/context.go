@@ -1,0 +1,21 @@
+package obs
+
+import "context"
+
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the current span. A nil span
+// returns ctx unchanged, so the disabled path allocates nothing.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the current span, or nil when no trace is
+// attached. Nil feeds straight into the nil-safe Span methods.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

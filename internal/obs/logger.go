@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Logger writes structured JSON lines: {"ts":...,"level":...,"msg":...}
+// plus base fields (With) and per-call key/value pairs, in call order —
+// field order is deterministic so smoke tests can grep lines. A nil Logger
+// is a no-op, so instrumented code never branches on "is logging on".
+type Logger struct {
+	mu   *sync.Mutex
+	w    io.Writer
+	base []byte // pre-encoded `,"k":v` pairs stamped on every line
+}
+
+// NewLogger returns a logger writing one JSON object per line to w.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w}
+}
+
+// With returns a logger stamping the given key/value pairs (alternating
+// key, value) on every line. The parent's writer and mutex are shared, so
+// derived loggers interleave safely.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	base := append([]byte(nil), l.base...)
+	return &Logger{mu: l.mu, w: l.w, base: appendKV(base, kv)}
+}
+
+// Info writes a level=info line.
+func (l *Logger) Info(msg string, kv ...any) { l.log("info", msg, kv) }
+
+// Error writes a level=error line.
+func (l *Logger) Error(msg string, kv ...any) { l.log("error", msg, kv) }
+
+func (l *Logger) log(level, msg string, kv []any) {
+	if l == nil {
+		return
+	}
+	buf := make([]byte, 0, 256)
+	buf = append(buf, `{"ts":`...)
+	buf = strconv.AppendQuote(buf, time.Now().UTC().Format(time.RFC3339Nano))
+	buf = append(buf, `,"level":`...)
+	buf = strconv.AppendQuote(buf, level)
+	buf = append(buf, `,"msg":`...)
+	buf = strconv.AppendQuote(buf, msg)
+	buf = append(buf, l.base...)
+	buf = appendKV(buf, kv)
+	buf = append(buf, '}', '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(buf)
+	l.mu.Unlock()
+}
+
+// appendKV encodes alternating key/value pairs as `,"k":v` JSON fragments.
+// Values marshal through encoding/json; a value that fails to marshal is
+// rendered as its error string rather than dropping the line.
+func appendKV(buf []byte, kv []any) []byte {
+	for i := 0; i+1 < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = "badkey"
+		}
+		buf = append(buf, ',')
+		buf = strconv.AppendQuote(buf, key)
+		buf = append(buf, ':')
+		raw, err := json.Marshal(kv[i+1])
+		if err != nil {
+			raw, _ = json.Marshal(err.Error())
+		}
+		buf = append(buf, raw...)
+	}
+	return buf
+}

@@ -180,6 +180,9 @@ type JoinStats struct {
 	SpilledParts int
 	SpillBytes   int64
 	SpillProbes  int64
+	// SpillWriteNanos is the wall time the build spent writing spill frames
+	// (trace/slow-log attribution of disk time vs hash time).
+	SpillWriteNanos int64
 }
 
 // JoinSpec describes one hash join: the outer (left) table's key column

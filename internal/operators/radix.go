@@ -92,9 +92,13 @@ type PartitionedTable struct {
 	// shared build cache's memory budget.
 	SizeBytes int64
 	// SpilledParts and SpillBytes describe the Grace spill share of a
-	// budget-bounded build (zero for fully in-memory builds).
-	SpilledParts int
-	SpillBytes   int64
+	// budget-bounded build (zero for fully in-memory builds);
+	// SpillWriteNanos is the wall time spent in spill frame writes during
+	// the build (a trace/slow-log attribute separating disk time from hash
+	// time).
+	SpilledParts    int
+	SpillBytes      int64
+	SpillWriteNanos int64
 
 	// spill is non-nil for budget-bounded builds (see spill.go): partitions
 	// past spill.resident live in temp files and all payload access defers

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"matstore/internal/datasource"
 	"matstore/internal/encoding"
@@ -82,11 +83,12 @@ type SpillConfig struct {
 // morsels interleave frames under mu; the probe-side load sorts entries by
 // position, so the on-disk frame order never affects results.
 type spillPartition struct {
-	mu      sync.Mutex
-	f       *os.File
-	path    string
-	entries int64
-	bytes   int64
+	mu         sync.Mutex
+	f          *os.File
+	path       string
+	entries    int64
+	bytes      int64
+	writeNanos int64
 }
 
 // spillState marks a table as spill-built: partitions >= resident live on
@@ -158,6 +160,7 @@ func spillAwareWrite(f *os.File, site string, buf []byte) error {
 func (sp *spillPartition) writeFrame(site string, keys, poss []int64, blockBuf []byte) error {
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
+	start := time.Now()
 	encoding.EncodePlainBlock(blockBuf, sp.entries, keys)
 	if err := spillAwareWrite(sp.f, site, blockBuf); err != nil {
 		return err
@@ -168,6 +171,7 @@ func (sp *spillPartition) writeFrame(site string, keys, poss []int64, blockBuf [
 	}
 	sp.entries += int64(len(keys))
 	sp.bytes += 2 * encoding.BlockSize
+	sp.writeNanos += time.Since(start).Nanoseconds()
 	return nil
 }
 
@@ -394,6 +398,7 @@ func BuildPartitionedSpill(ctx context.Context, key *storage.Column, payloadCols
 	rt.SizeBytes = rt.memBytes()
 	for i := resident; i < p; i++ {
 		rt.SpillBytes += rt.spill.parts[i].bytes
+		rt.SpillWriteNanos += rt.spill.parts[i].writeNanos
 	}
 	rt.SpilledParts = p - resident
 	return rt, nil

@@ -58,6 +58,7 @@ func (p *Plan) runJoinBuild(ctx context.Context, build *Node, workers int, stats
 		stats.Join.Spilled = true
 		stats.Join.SpilledParts = rt.SpilledParts
 		stats.Join.SpillBytes = rt.SpillBytes
+		stats.Join.SpillWriteNanos = rt.SpillWriteNanos
 		return rt, nil
 	}
 	p.buildMu.Lock()

@@ -10,6 +10,7 @@ import (
 	"matstore/internal/encoding"
 	"matstore/internal/exec"
 	"matstore/internal/multicol"
+	"matstore/internal/obs"
 	"matstore/internal/operators"
 	"matstore/internal/positions"
 	"matstore/internal/rows"
@@ -89,6 +90,12 @@ type RunOptions struct {
 	// results are byte-identical to in-memory execution; the temp files are
 	// removed when the run returns, on every path.
 	Spill *operators.SpillConfig
+	// Trace is the parent span for this run's phase spans (join build,
+	// morsel execution, merge, spill assembly) plus one synthetic span per
+	// plan node from the Observed counters. Nil (the default) adds no spans
+	// and no clock reads beyond Observe's. Callers that set Trace should
+	// also set Observe, or the node spans will carry zero counters.
+	Trace *obs.Span
 }
 
 // Run executes the plan morsel-parallel across the given worker request
@@ -119,9 +126,21 @@ func (p *Plan) RunWith(parallelism int, opt RunOptions) (*rows.Result, RunStats,
 	var built *operators.PartitionedTable
 	if probe != nil {
 		var err error
+		bspan := opt.Trace.Child("join.build")
 		if built, err = p.runJoinBuild(ctx, probe.Children[1], workers, &stats, observe, opt.Spill); err != nil {
 			return nil, RunStats{}, err
 		}
+		bspan.SetAttr("build_tuples", stats.Join.RightBuildTuples)
+		bspan.SetAttr("partitions", stats.Join.Partitions)
+		if stats.Join.BuildCacheHit {
+			bspan.SetAttr("build_cache_hit", true)
+		}
+		if stats.Join.Spilled {
+			bspan.SetAttr("spilled_parts", stats.Join.SpilledParts)
+			bspan.SetAttr("spill_bytes", stats.Join.SpillBytes)
+			bspan.SetAttr("spill_write_ns", stats.Join.SpillWriteNanos)
+		}
+		bspan.End()
 		// A spill-built table owns temp files; they are removed when the run
 		// finishes, success or not (no-op for in-memory builds, which may be
 		// shared through the build cache).
@@ -133,6 +152,10 @@ func (p *Plan) RunWith(parallelism int, opt RunOptions) (*rows.Result, RunStats,
 	perWorker := exec.AdaptiveMorselsPerWorker(p.ObservedSkew())
 	morsels := exec.MorselsN(extent, p.Spec.ChunkSize, workers, perWorker)
 	parts := make([]*partial, len(morsels))
+	mspan := opt.Trace.Child("morsels")
+	mspan.SetAttr("parallel", true)
+	mspan.SetAttr("workers", workers)
+	mspan.SetAttr("morsels", len(morsels))
 	err := exec.Run(workers, len(morsels), func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -147,6 +170,7 @@ func (p *Plan) RunWith(parallelism int, opt RunOptions) (*rows.Result, RunStats,
 	if err != nil {
 		return nil, RunStats{}, err
 	}
+	mspan.End()
 	if len(parts) == 0 {
 		// Empty projection: no morsels exist, so synthesize one empty
 		// partial and let the merge produce a valid empty result.
@@ -155,6 +179,7 @@ func (p *Plan) RunWith(parallelism int, opt RunOptions) (*rows.Result, RunStats,
 		parts = []*partial{pt}
 	}
 	p.updateSkew(morsels, parts)
+	gspan := opt.Trace.Child("merge")
 	res := mergePartials(p.Spec, parts, &stats)
 	if probe != nil {
 		var pending []int64
@@ -169,14 +194,17 @@ func (p *Plan) RunWith(parallelism int, opt RunOptions) (*rows.Result, RunStats,
 			// Pass B of the Grace join: resolve the probes that routed to
 			// spilled partitions, partition-at-a-time, and re-interleave their
 			// matches at the recorded anchors.
+			aspan := gspan.Child("spill.assemble")
 			if res, pending, err = p.assembleSpillMatches(ctx, probe, built, res, parts, pending, &stats); err != nil {
 				return nil, RunStats{}, err
 			}
+			aspan.End()
 		}
 		if err := p.joinDeferredFetch(probe, built, res, pending, &stats, observe); err != nil {
 			return nil, RunStats{}, err
 		}
 	}
+	gspan.End()
 	if workers > len(morsels) {
 		workers = len(morsels) // a worker without a morsel never runs
 	}
@@ -193,6 +221,9 @@ func (p *Plan) RunWith(parallelism int, opt RunOptions) (*rows.Result, RunStats,
 			p.Root.Obs.Rows.Store(int64(res.NumRows()))
 		}
 	}
+	// Synthetic per-node spans from the final Observed counters (after the
+	// merge and deferred fetch, which still add to them).
+	attachNodeSpans(mspan, p.Root)
 	return res, stats, nil
 }
 

@@ -1,0 +1,28 @@
+package plan
+
+import "matstore/internal/obs"
+
+// attachNodeSpans renders the plan tree's Observed counters as one synthetic
+// span per node under parent, mirroring the tree shape. These spans are
+// accumulators, not wall-clock intervals — a node's Nanos sums its own work
+// across all chunks of all concurrent morsels, so sibling durations overlap
+// and may exceed the parent's wall time. Each carries attr "accum": true so
+// trace consumers (and the strict-nesting test) treat them accordingly.
+func attachNodeSpans(parent *obs.Span, n *Node) {
+	if parent == nil || n == nil {
+		return
+	}
+	sp := parent.Child(n.label())
+	sp.SetAttr("accum", true)
+	sp.SetAttr("rows", n.Obs.Rows.Load())
+	if chunks := n.Obs.Chunks.Load(); chunks > 0 {
+		sp.SetAttr("chunks", chunks)
+	}
+	if n.HasModel {
+		sp.SetAttr("model_us", n.Modeled.Total())
+	}
+	sp.EndDur(n.Obs.Nanos.Load())
+	for _, c := range n.Children {
+		attachNodeSpans(sp, c)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"matstore"
+	"matstore/internal/obs"
 	"matstore/internal/operators"
 	"matstore/internal/storage"
 )
@@ -74,6 +75,12 @@ type CoordinatorConfig struct {
 	// Client overrides the HTTP client used for shard requests (nil = a
 	// default client; the per-request timeout still comes from ShardTimeout).
 	Client *http.Client
+	// Logger receives structured JSON log lines (slow queries, fan-out
+	// failures). Nil disables logging.
+	Logger *obs.Logger
+	// SlowQueryMicros is the slow-query log threshold (0 = disabled), as in
+	// Config.
+	SlowQueryMicros int64
 }
 
 // shardNode is one shard's routing state: its endpoint plus the
@@ -89,6 +96,11 @@ type Coordinator struct {
 	shards   []shardNode
 	client   *http.Client
 	timeout  time.Duration
+
+	start   time.Time
+	metrics *coordMetrics
+	logger  *obs.Logger
+	slowUS  int64
 
 	queries       atomic.Int64
 	fannedOut     atomic.Int64 // requests that went to more than one shard
@@ -118,6 +130,9 @@ func NewCoordinator(root string, endpoints []string, cfg CoordinatorConfig) (*Co
 		manifest: m,
 		client:   cfg.Client,
 		timeout:  cfg.ShardTimeout,
+		start:    time.Now(),
+		logger:   cfg.Logger,
+		slowUS:   cfg.SlowQueryMicros,
 	}
 	if c.client == nil {
 		c.client = &http.Client{}
@@ -141,11 +156,16 @@ func NewCoordinator(root string, endpoints []string, cfg CoordinatorConfig) (*Co
 		}
 		c.shards = append(c.shards, node)
 	}
+	c.metrics = newCoordMetrics(c, c.start)
 	return c, nil
 }
 
 // Manifest returns the loaded shard manifest.
 func (c *Coordinator) Manifest() *storage.ShardManifest { return c.manifest }
+
+// Metrics returns the coordinator's Prometheus registry (the /metrics
+// backing).
+func (c *Coordinator) Metrics() *obs.Registry { return c.metrics.reg }
 
 // httpError carries a fan-out failure back to the front-end: a status, a
 // response body (the failing shard's, when there is one) and an optional
@@ -187,7 +207,12 @@ type shardReply struct {
 // Retry-After any shedding shard advertised (retrying sooner than the
 // slowest shard recovers would just shed again), and any other non-200
 // shard status (400, 500) passes through with the shard's body.
-func (c *Coordinator) fanout(ctx context.Context, path string, body any, shards []int) ([]shardReply, *httpError) {
+// When span is non-nil, each shard call opens a sibling "shard k" child span
+// (the trace mutex makes concurrent sibling creation safe) and the shard's
+// own span tree — returned inline in its traced response body, under the
+// same trace id propagated via X-CS-Trace-Id — is grafted beneath it, so the
+// coordinator's tree embeds every shard's admission and per-plan-node spans.
+func (c *Coordinator) fanout(ctx context.Context, path string, body any, shards []int, tid string, span *obs.Span) ([]shardReply, *httpError) {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return nil, &httpError{status: http.StatusInternalServerError, message: err.Error()}
@@ -198,7 +223,20 @@ func (c *Coordinator) fanout(ctx context.Context, path string, body any, shards 
 		wg.Add(1)
 		go func(i, k int) {
 			defer wg.Done()
-			replies[i] = c.callShard(ctx, path, raw, k)
+			sspan := span.Child("shard " + shardLabel(k))
+			sspan.SetAttr("shard", k)
+			sspan.SetAttr("url", c.shards[k].url)
+			replies[i] = c.callShard(ctx, path, raw, k, tid)
+			if rep := &replies[i]; span != nil && rep.err == nil && rep.status == http.StatusOK {
+				var t struct {
+					Trace *obs.TraceJSON `json:"trace"`
+				}
+				if json.Unmarshal(rep.body, &t) == nil && t.Trace != nil {
+					sspan.SetAttr("shard_trace_id", t.Trace.ID)
+					sspan.Graft(t.Trace.Root)
+				}
+			}
+			sspan.End()
 		}(i, k)
 	}
 	wg.Wait()
@@ -229,8 +267,10 @@ func (c *Coordinator) fanout(ctx context.Context, path string, body any, shards 
 	return replies, nil
 }
 
-func (c *Coordinator) callShard(ctx context.Context, path string, body []byte, k int) shardReply {
+func (c *Coordinator) callShard(ctx context.Context, path string, body []byte, k int, tid string) shardReply {
 	c.shardRequests.Add(1)
+	start := time.Now()
+	defer func() { c.metrics.shardLatency[k].Observe(time.Since(start).Seconds()) }()
 	ctx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.shards[k].url+path, bytes.NewReader(body))
@@ -238,6 +278,9 @@ func (c *Coordinator) callShard(ctx context.Context, path string, body []byte, k
 		return shardReply{shard: k, err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tid != "" {
+		req.Header.Set(TraceIDHeader, tid)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -324,15 +367,54 @@ func (c *Coordinator) pruneShard(k int, proj string, filters []matstore.Filter) 
 // whether they talk to one engine or a fleet.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) { c.handleQuery(w, r) })
-	mux.HandleFunc("/join", func(w http.ResponseWriter, r *http.Request) { c.handleJoin(w, r) })
-	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) { c.handleExplain(w, r) })
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) { c.handleStats(w, r) })
+	m := c.metrics
+	mux.Handle("/query", instrument(m.requests, m.latency, "query", c.handleQuery))
+	mux.Handle("/join", instrument(m.requests, m.latency, "join", c.handleJoin))
+	mux.Handle("/explain", instrument(m.requests, m.latency, "explain", c.handleExplain))
+	mux.Handle("/stats", instrument(m.requests, m.latency, "stats", c.handleStats))
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writePrometheus(w, m.reg)
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": "coordinator"})
+		body := healthBody(c.start)
+		body["role"] = "coordinator"
+		writeJSON(w, http.StatusOK, body)
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) { c.handleReady(w, r) })
 	return mux
+}
+
+// startTrace attaches a new coordinator trace when the request asked for one.
+func (c *Coordinator) startTrace(tid, root string, want bool) *obs.Trace {
+	if !want {
+		return nil
+	}
+	c.metrics.traced.Inc()
+	return obs.NewTrace(tid, root)
+}
+
+// noteSlow is the coordinator's slow-query record (see Server.noteSlow).
+func (c *Coordinator) noteSlow(endpoint, tid, shape string, wall time.Duration, shards int, tr *obs.Trace) {
+	if c.slowUS <= 0 || wall < time.Duration(c.slowUS)*time.Microsecond {
+		return
+	}
+	c.metrics.slow.Inc()
+	kv := []any{"trace_id", tid, "endpoint", endpoint, "shape", shape,
+		"wall_us", wall.Microseconds(), "shards", shards}
+	if tj := tr.JSON(); tj != nil {
+		kv = append(kv, "phases", spanSummary(tj.Root))
+	}
+	c.logger.Info("slow query", kv...)
+}
+
+// logFanoutError records a failed scatter-gather in the structured log.
+func (c *Coordinator) logFanoutError(endpoint, tid string, herr *httpError) {
+	msg := herr.message
+	if msg == "" {
+		msg = string(herr.body)
+	}
+	c.logger.Error("fanout failed", "trace_id", tid, "endpoint", endpoint,
+		"status", herr.status, "error", msg)
 }
 
 // resolveLimit applies the request limit convention (0 = the default cap,
@@ -347,6 +429,7 @@ func resolveLimit(limit int) int {
 
 func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	tid := ensureTraceID(w, r)
 	var req QueryRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -365,12 +448,14 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if len(shards) == 1 {
 		// Single-shard routes (replicated projections, fully-pruned or
 		// one-shard layouts) pass through: the shard's response IS the
-		// global response.
+		// global response (a traced one carries the shard's own span tree
+		// under the propagated trace id).
 		c.routedSingle.Add(1)
-		c.passthrough(w, r.Context(), "/query", req, shards[0])
+		c.passthrough(w, r.Context(), "/query", req, shards[0], tid)
 		return
 	}
 	c.fannedOut.Add(1)
+	tr := c.startTrace(tid, "coordinator.query", req.Trace)
 
 	pl, _ := c.manifest.Placement(req.Projection)
 	keyPart := pl.KeyPartitioned()
@@ -408,8 +493,13 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 	default:
 		shardReq.Partial = true
 	}
-	replies, herr := c.fanout(r.Context(), "/query", shardReq, shards)
+	fspan := tr.Root().Child("fanout")
+	fspan.SetAttr("parallel", true)
+	fspan.SetAttr("shards", len(shards))
+	replies, herr := c.fanout(r.Context(), "/query", shardReq, shards, tid, fspan)
+	fspan.End()
 	if herr != nil {
+		c.logFanoutError("query", tid, herr)
 		herr.write(w)
 		return
 	}
@@ -421,26 +511,39 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	gspan := tr.Root().Child("merge")
 	var resp *QueryResponse
 	switch {
 	case finalized:
 		resp = mergeFinalizedAggParts(parts, lim)
 		c.finalizedAggs.Add(1)
+		gspan.SetAttr("kind", "finalized_agg")
 	case aggregating:
 		resp = mergeAggParts(parts, fn, lim)
 		c.aggMerges.Add(1)
+		gspan.SetAttr("kind", "agg_statistics")
 	case keyPart:
 		resp = mergeRowIDParts(parts, lim)
 		c.rowidMerges.Add(1)
+		gspan.SetAttr("kind", "rowid_kway")
 	default:
 		resp = mergeRowParts(parts, lim)
+		gspan.SetAttr("kind", "concat")
 	}
+	gspan.SetAttr("rows", resp.RowCount)
+	gspan.End()
 	resp.Wall = time.Since(start).Nanoseconds()
+	if tr != nil {
+		tr.Root().End()
+		resp.Trace = tr.JSON()
+	}
+	c.noteSlow("query", tid, req.shape(), time.Since(start), len(shards), tr)
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	tid := ensureTraceID(w, r)
 	var req JoinRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -481,13 +584,14 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(shards) == 1 {
 		c.routedSingle.Add(1)
-		c.passthrough(w, r.Context(), "/join", req, shards[0])
+		c.passthrough(w, r.Context(), "/join", req, shards[0], tid)
 		return
 	}
 	c.fannedOut.Add(1)
 	if copart {
 		c.copartJoins.Add(1)
 	}
+	tr := c.startTrace(tid, "coordinator.join", req.Trace)
 
 	lim := resolveLimit(req.Limit)
 	shardReq := req
@@ -495,8 +599,14 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if leftPl.KeyPartitioned() {
 		shardReq.RowIDs = true
 	}
-	replies, herr := c.fanout(r.Context(), "/join", shardReq, shards)
+	fspan := tr.Root().Child("fanout")
+	fspan.SetAttr("parallel", true)
+	fspan.SetAttr("shards", len(shards))
+	fspan.SetAttr("copartitioned", copart)
+	replies, herr := c.fanout(r.Context(), "/join", shardReq, shards, tid, fspan)
+	fspan.End()
 	if herr != nil {
+		c.logFanoutError("join", tid, herr)
 		herr.write(w)
 		return
 	}
@@ -508,19 +618,30 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	gspan := tr.Root().Child("merge")
 	var resp *QueryResponse
 	if leftPl.KeyPartitioned() {
 		resp = mergeRowIDParts(parts, lim)
 		c.rowidMerges.Add(1)
+		gspan.SetAttr("kind", "rowid_kway")
 	} else {
 		resp = mergeRowParts(parts, lim)
+		gspan.SetAttr("kind", "concat")
 	}
+	gspan.SetAttr("rows", resp.RowCount)
+	gspan.End()
 	resp.Wall = time.Since(start).Nanoseconds()
+	if tr != nil {
+		tr.Root().End()
+		resp.Trace = tr.JSON()
+	}
+	c.noteSlow("join", tid, req.shape(), time.Since(start), len(shards), tr)
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (c *Coordinator) handleExplain(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	tid := ensureTraceID(w, r)
 	var raw json.RawMessage
 	if !decodeBody(w, r, &raw) {
 		return
@@ -530,6 +651,7 @@ func (c *Coordinator) handleExplain(w http.ResponseWriter, r *http.Request) {
 		Projection string `json:"projection"`
 		Left       string `json:"left"`
 		Right      string `json:"right"`
+		Trace      bool   `json:"trace"`
 	}
 	if err := json.Unmarshal(raw, &probe); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -567,12 +689,18 @@ func (c *Coordinator) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(shards) == 1 {
 		c.routedSingle.Add(1)
-		c.passthrough(w, r.Context(), "/explain", raw, shards[0])
+		c.passthrough(w, r.Context(), "/explain", raw, shards[0], tid)
 		return
 	}
 	c.fannedOut.Add(1)
-	replies, herr := c.fanout(r.Context(), "/explain", raw, shards)
+	tr := c.startTrace(tid, "coordinator.explain", probe.Trace)
+	fspan := tr.Root().Child("fanout")
+	fspan.SetAttr("parallel", true)
+	fspan.SetAttr("shards", len(shards))
+	replies, herr := c.fanout(r.Context(), "/explain", raw, shards, tid, fspan)
+	fspan.End()
 	if herr != nil {
+		c.logFanoutError("explain", tid, herr)
 		herr.write(w)
 		return
 	}
@@ -604,18 +732,24 @@ func (c *Coordinator) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	merged.Tree = tree.String()
 	merged.Wall = time.Since(start).Nanoseconds()
+	if tr != nil {
+		tr.Root().End()
+		merged.Trace = tr.JSON()
+	}
 	writeJSON(w, http.StatusOK, merged)
 }
 
 // passthrough forwards one request to a single shard and relays the
-// response verbatim (status, Retry-After, body).
-func (c *Coordinator) passthrough(w http.ResponseWriter, ctx context.Context, path string, body any, shard int) {
+// response verbatim (status, Retry-After, body). A traced request's span
+// tree comes back inside the shard's body under the propagated trace id, so
+// relaying verbatim preserves it.
+func (c *Coordinator) passthrough(w http.ResponseWriter, ctx context.Context, path string, body any, shard int, tid string) {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	rep := c.callShard(ctx, path, raw, shard)
+	rep := c.callShard(ctx, path, raw, shard, tid)
 	if rep.err != nil {
 		c.shardErrors.Add(1)
 		status := http.StatusBadGateway

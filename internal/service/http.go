@@ -6,12 +6,22 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
 
 	"matstore"
 	"matstore/internal/memory"
+	"matstore/internal/obs"
 	"matstore/internal/operators"
 	"matstore/internal/storage"
 )
+
+// TraceIDHeader carries the request's trace id: the coordinator stamps it on
+// shard requests so a shard's span tree grafts into the coordinator's under
+// one id, and every response echoes it for correlation.
+const TraceIDHeader = "X-CS-Trace-Id"
 
 // HTTP front-end: JSON endpoints over a Server. Every request runs through
 // a fresh session and the admission gate.
@@ -51,6 +61,10 @@ type QueryRequest struct {
 	// the column from columns/rows/checksum), so the coordinator can k-way
 	// merge the shards' global-order subsequences back into global row order.
 	RowIDs bool `json:"rowids,omitempty"`
+	// Trace requests a span tree: the response's trace field carries the
+	// request's full timing breakdown (admission, caches, per-plan-node
+	// execution; through the coordinator, each shard's sub-tree).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // JoinRequest is the /join (and join /explain) body.
@@ -68,6 +82,8 @@ type JoinRequest struct {
 	// RowIDs: as in QueryRequest, over the left (outer) projection — the
 	// hidden row-id column rides the left output list through the probe.
 	RowIDs bool `json:"rowids,omitempty"`
+	// Trace: as in QueryRequest.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QueryResponse is the /query and /join response.
@@ -108,16 +124,21 @@ type QueryResponse struct {
 	Spilled           bool  `json:"spilled,omitempty"`
 	SpilledPartitions int   `json:"spilled_partitions,omitempty"`
 	SpillBytes        int64 `json:"spill_bytes,omitempty"`
+	// Trace is the request's span tree, present only when the request asked
+	// for one — omitempty keeps untraced responses byte-identical to before
+	// tracing existed.
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // ExplainResponse is the /explain response.
 type ExplainResponse struct {
-	Strategy  string  `json:"strategy"`
-	Tree      string  `json:"tree"`
-	ModeledUS float64 `json:"modeled_total_us"`
-	Wall      int64   `json:"wall_nanos"`
-	Workers   int     `json:"workers"`
-	RowCount  int     `json:"row_count"`
+	Strategy  string         `json:"strategy"`
+	Tree      string         `json:"tree"`
+	ModeledUS float64        `json:"modeled_total_us"`
+	Wall      int64          `json:"wall_nanos"`
+	Workers   int            `json:"workers"`
+	RowCount  int            `json:"row_count"`
+	Trace     *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 const defaultRowLimit = 100
@@ -125,15 +146,20 @@ const defaultRowLimit = 100
 // Handler returns the server's HTTP mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) { s.handleQuery(w, r) })
-	mux.HandleFunc("/join", func(w http.ResponseWriter, r *http.Request) { s.handleJoin(w, r) })
-	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) { s.handleExplain(w, r) })
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Stats())
+	m := s.metrics
+	mux.Handle("/query", instrument(m.requests, m.latency, "query", s.handleQuery))
+	mux.Handle("/join", instrument(m.requests, m.latency, "join", s.handleJoin))
+	mux.Handle("/explain", instrument(m.requests, m.latency, "explain", s.handleExplain))
+	mux.Handle("/stats", instrument(m.requests, m.latency, "stats",
+		func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, s.Stats())
+		}))
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writePrometheus(w, m.reg)
 	})
 	// Liveness: the process is up and serving HTTP — always 200.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, healthBody(s.start))
 	})
 	// Readiness: 503 while draining (SIGTERM received, connections finishing)
 	// or under memory pressure (requests queued for byte reservations), so a
@@ -151,6 +177,74 @@ func (s *Server) Handler() http.Handler {
 		})
 	})
 	return mux
+}
+
+// statusWriter records the status an instrumented handler wrote so the
+// middleware can label its metrics by outcome.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps an endpoint handler to count requests and observe latency
+// by endpoint × outcome. Shared by the engine server and the coordinator.
+func instrument(requests *obs.CounterVec, latency *obs.HistogramVec, endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		outcome := outcomeOf(status)
+		requests.With(endpoint, outcome).Inc()
+		latency.With(endpoint, outcome).Observe(time.Since(start).Seconds())
+	})
+}
+
+// writePrometheus serves a registry in Prometheus text exposition format.
+func writePrometheus(w http.ResponseWriter, reg *obs.Registry) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WritePrometheus(w)
+}
+
+// healthBody is the enriched /healthz payload both serving processes return.
+func healthBody(start time.Time) map[string]any {
+	return map[string]any{
+		"status":         "ok",
+		"version":        obs.Version,
+		"go":             runtime.Version(),
+		"pid":            os.Getpid(),
+		"uptime_seconds": time.Since(start).Seconds(),
+	}
+}
+
+// ensureTraceID resolves the request's trace id — the propagated
+// X-CS-Trace-Id header when present (a coordinator fan-out), a fresh random
+// id otherwise — and echoes it on the response so every reply is
+// correlatable even when no span tree was requested.
+func ensureTraceID(w http.ResponseWriter, r *http.Request) string {
+	tid := r.Header.Get(TraceIDHeader)
+	if tid == "" {
+		tid = obs.NewTraceID()
+	}
+	w.Header().Set(TraceIDHeader, tid)
+	return tid
 }
 
 func (r QueryRequest) build() (matstore.Query, error) {
@@ -192,7 +286,75 @@ func (s *Server) strategyFor(name, projection string, q matstore.Query) (matstor
 	}
 }
 
+// startTrace attaches a new trace to ctx when the request asked for one.
+func (s *Server) startTrace(ctx context.Context, tid, root string, want bool) (context.Context, *obs.Trace) {
+	if !want {
+		return ctx, nil
+	}
+	s.metrics.traced.Inc()
+	tr := obs.NewTrace(tid, root)
+	return obs.ContextWithSpan(ctx, tr.Root()), tr
+}
+
+// noteSlow emits the structured slow-query record — query shape, trace
+// summary and the modeled-vs-observed delta — once wall time crosses the
+// configured threshold.
+func (s *Server) noteSlow(endpoint, tid, shape string, wall time.Duration, modeledUS float64, tr *obs.Trace) {
+	th := s.cfg.SlowQueryMicros
+	if th <= 0 || wall < time.Duration(th)*time.Microsecond {
+		return
+	}
+	s.metrics.slow.Inc()
+	kv := []any{"trace_id", tid, "endpoint", endpoint, "shape", shape,
+		"wall_us", wall.Microseconds(), "modeled_us", int64(modeledUS),
+		"delta_us", wall.Microseconds() - int64(modeledUS)}
+	if tj := tr.JSON(); tj != nil {
+		kv = append(kv, "phases", spanSummary(tj.Root))
+	}
+	s.logger.Info("slow query", kv...)
+}
+
+// spanSummary renders a compact trace summary: each top-level phase with
+// its duration in µs.
+func spanSummary(root *obs.SpanJSON) string {
+	if root == nil {
+		return ""
+	}
+	var b strings.Builder
+	for i, c := range root.Children {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%dus", c.Name, c.DurNS/1000)
+	}
+	return b.String()
+}
+
+// shape renders the request compactly for the slow-query log.
+func (r QueryRequest) shape() string {
+	sh := "select " + r.Projection
+	if len(r.Where) > 0 {
+		sh += " where " + strings.Join(r.Where, ",")
+	}
+	if r.GroupBy != "" {
+		sh += " groupby " + r.GroupBy
+	}
+	if r.Agg != "" {
+		sh += " agg " + r.Agg
+	}
+	return sh
+}
+
+func (r JoinRequest) shape() string {
+	sh := fmt.Sprintf("join %s x %s on %s=%s", r.Left, r.Right, r.LeftKey, r.RightKey)
+	if len(r.Where) > 0 {
+		sh += " where " + strings.Join(r.Where, ",")
+	}
+	return sh
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	tid := ensureTraceID(w, r)
 	var req QueryRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -211,8 +373,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	out, err := s.NewSession().Select(r.Context(), req.Projection, q, strat)
+	ctx, tr := s.startTrace(r.Context(), tid, "query", req.Trace)
+	out, err := s.NewSession().Select(ctx, req.Projection, q, strat)
 	if err != nil {
+		s.logger.Error("query failed", "trace_id", tid, "endpoint", "query",
+			"shape", req.shape(), "error", err.Error())
 		writeServiceError(w, err)
 		return
 	}
@@ -227,6 +392,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if rowids {
 		stripRowIDs(resp, out.Res, len(req.Output))
 	}
+	if tr != nil {
+		tr.Root().End()
+		resp.Trace = tr.JSON()
+	}
+	s.noteSlow("query", tid, req.shape(), out.Stats.Wall, out.Info.EstCostUS, tr)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -257,6 +427,7 @@ func (r JoinRequest) build() (matstore.JoinQuery, error) {
 }
 
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	tid := ensureTraceID(w, r)
 	var req JoinRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -274,8 +445,11 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	out, err := s.NewSession().Join(r.Context(), req.Left, req.Right, q, rs)
+	ctx, tr := s.startTrace(r.Context(), tid, "join", req.Trace)
+	out, err := s.NewSession().Join(ctx, req.Left, req.Right, q, rs)
 	if err != nil {
+		s.logger.Error("join failed", "trace_id", tid, "endpoint", "join",
+			"shape", req.shape(), "error", err.Error())
 		writeServiceError(w, err)
 		return
 	}
@@ -292,6 +466,11 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if req.RowIDs {
 		stripRowIDs(resp, out.Res, len(req.LeftOutput))
 	}
+	if tr != nil {
+		tr.Root().End()
+		resp.Trace = tr.JSON()
+	}
+	s.noteSlow("join", tid, req.shape(), out.Stats.Stats.Wall, out.Info.EstCostUS, tr)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -313,9 +492,11 @@ func (s *Server) rightStrategyFor(req JoinRequest, q matstore.JoinQuery) (matsto
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	tid := ensureTraceID(w, r)
 	// One body shape for both: the join fields decide which explain runs.
 	var probe struct {
 		Right string `json:"right"`
+		Trace bool   `json:"trace"`
 	}
 	var raw json.RawMessage
 	if !decodeBody(w, r, &raw) {
@@ -325,9 +506,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	ctx, tr := s.startTrace(r.Context(), tid, "explain", probe.Trace)
 	var (
-		ex   *matstore.Explanation
-		info Info
+		ex    *matstore.Explanation
+		info  Info
+		shape string
 	)
 	if probe.Right != "" {
 		var req JoinRequest
@@ -335,6 +518,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		shape = req.shape()
 		q, err := req.build()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
@@ -345,7 +529,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		if ex, info, err = s.NewSession().ExplainJoin(r.Context(), req.Left, req.Right, q, rs); err != nil {
+		if ex, info, err = s.NewSession().ExplainJoin(ctx, req.Left, req.Right, q, rs); err != nil {
+			s.logger.Error("explain failed", "trace_id", tid, "endpoint", "explain",
+				"shape", shape, "error", err.Error())
 			writeServiceError(w, err)
 			return
 		}
@@ -355,6 +541,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		shape = req.shape()
 		q, err := req.build()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
@@ -365,19 +552,27 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		if ex, info, err = s.NewSession().Explain(r.Context(), req.Projection, q, strat); err != nil {
+		if ex, info, err = s.NewSession().Explain(ctx, req.Projection, q, strat); err != nil {
+			s.logger.Error("explain failed", "trace_id", tid, "endpoint", "explain",
+				"shape", shape, "error", err.Error())
 			writeServiceError(w, err)
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, ExplainResponse{
+	resp := ExplainResponse{
 		Strategy:  ex.Strategy.String(),
 		Tree:      ex.String(),
 		ModeledUS: ex.Modeled.Total(),
 		Wall:      ex.Stats.Wall.Nanoseconds(),
 		Workers:   info.Workers,
 		RowCount:  ex.Result.NumRows(),
-	})
+	}
+	if tr != nil {
+		tr.Root().End()
+		resp.Trace = tr.JSON()
+	}
+	s.noteSlow("explain", tid, shape, ex.Stats.Wall, ex.Modeled.Total(), tr)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func baseResponse(res *matstore.Result, stats *matstore.Stats, info Info, limit int) *QueryResponse {
@@ -466,7 +661,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	body := map[string]string{"error": err.Error()}
+	// Echo the trace id (set on the response header before any error can
+	// occur) so a failing request is still correlatable with server logs.
+	if tid := w.Header().Get(TraceIDHeader); tid != "" {
+		body["trace_id"] = tid
+	}
+	writeJSON(w, status, body)
 }
 
 // writeServiceError maps a session error onto an HTTP status: request

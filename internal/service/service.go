@@ -32,6 +32,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,7 @@ import (
 	"matstore/internal/buffer"
 	"matstore/internal/core"
 	"matstore/internal/memory"
+	"matstore/internal/obs"
 	"matstore/internal/operators"
 	"matstore/internal/plan"
 	"matstore/internal/storage"
@@ -93,6 +95,13 @@ type Config struct {
 	// files ("" = the DB's .spill directory). Only used when
 	// MemoryBudgetBytes > 0.
 	SpillDir string
+	// Logger receives structured JSON log lines (slow queries, request
+	// errors). Nil disables logging; all call sites are nil-safe.
+	Logger *obs.Logger
+	// SlowQueryMicros is the slow-query log threshold: a request whose wall
+	// time reaches it is logged with its query shape, trace summary and
+	// modeled-vs-observed delta. 0 disables the slow-query log.
+	SlowQueryMicros int64
 }
 
 // Server serves concurrent queries against one matstore.DB.
@@ -117,6 +126,10 @@ type Server struct {
 	spilledJoins atomic.Int64
 	spilledParts atomic.Int64
 	spillBytes   atomic.Int64
+
+	start   time.Time
+	metrics *serverMetrics
+	logger  *obs.Logger
 }
 
 // New wraps an open DB in a serving layer.
@@ -142,11 +155,13 @@ func New(db *matstore.DB, cfg Config) *Server {
 		cfg.GrantSliceMicros = DefaultGrantSliceMicros
 	}
 	s := &Server{
-		db:    db,
-		exec:  db.Exec(),
-		store: db.Storage(),
-		cfg:   cfg,
-		gov:   newGovernor(cfg.MaxConcurrent, cfg.WorkerBudget, cfg.GrantSliceMicros),
+		db:     db,
+		exec:   db.Exec(),
+		store:  db.Storage(),
+		cfg:    cfg,
+		gov:    newGovernor(cfg.MaxConcurrent, cfg.WorkerBudget, cfg.GrantSliceMicros),
+		start:  time.Now(),
+		logger: cfg.Logger,
 	}
 	if cfg.BuildCacheBytes > 0 {
 		s.builds = operators.NewBuildCache(cfg.BuildCacheBytes)
@@ -170,8 +185,12 @@ func New(db *matstore.DB, cfg Config) *Server {
 			s.builds.EnableDemotion(s.spillDir, 0)
 		}
 	}
+	s.metrics = newServerMetrics(s)
 	return s
 }
+
+// Metrics returns the server's Prometheus registry (the /metrics backing).
+func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
 
 // DB returns the wrapped database.
 func (s *Server) DB() *matstore.DB { return s.db }
@@ -217,10 +236,18 @@ type MemoryStats struct {
 
 // Stats is the /stats snapshot: admission, worker and cache counters.
 type Stats struct {
-	Sessions  int64          `json:"sessions"`
-	Queries   int64          `json:"queries"`
-	Admission AdmissionStats `json:"admission"`
-	Memory    MemoryStats    `json:"memory"`
+	// Process identity: version, runtime, pid and serving uptime.
+	Version       string  `json:"version"`
+	GoVersion     string  `json:"go_version"`
+	PID           int     `json:"pid"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// EndpointRequests counts served HTTP requests per endpoint (all
+	// outcomes summed).
+	EndpointRequests map[string]int64 `json:"endpoint_requests,omitempty"`
+	Sessions         int64            `json:"sessions"`
+	Queries          int64            `json:"queries"`
+	Admission        AdmissionStats   `json:"admission"`
+	Memory           MemoryStats      `json:"memory"`
 	// PlanBuilds counts BuildPlan/BuildJoinPlan invocations; with the plan
 	// cache on it lags Queries by exactly the hit count.
 	PlanBuilds  int64                     `json:"plan_builds"`
@@ -233,11 +260,26 @@ type Stats struct {
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Sessions:   s.sessions.Load(),
-		Queries:    s.queries.Load(),
-		Admission:  s.gov.snapshot(),
-		PlanBuilds: s.planBuilds.Load(),
-		Pool:       s.db.PoolStats(),
+		Version:       obs.Version,
+		GoVersion:     runtime.Version(),
+		PID:           os.Getpid(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Sessions:      s.sessions.Load(),
+		Queries:       s.queries.Load(),
+		Admission:     s.gov.snapshot(),
+		PlanBuilds:    s.planBuilds.Load(),
+		Pool:          s.db.PoolStats(),
+	}
+	if s.metrics != nil {
+		reqs := map[string]int64{}
+		for _, sm := range s.metrics.requests.Snapshot() {
+			if len(sm.Labels) > 0 {
+				reqs[sm.Labels[0].Value] += int64(sm.Value)
+			}
+		}
+		if len(reqs) > 0 {
+			st.EndpointRequests = reqs
+		}
 	}
 	if s.mem != nil {
 		st.Memory = MemoryStats{
@@ -257,6 +299,17 @@ func (s *Server) Stats() Stats {
 		st.BuildCache = s.builds.Stats()
 	}
 	return st
+}
+
+// observeAdmission records an admission outcome on the live instruments:
+// the queue-wait histogram and the grant-width histogram. Both are unlabeled
+// (pre-resolved), so the cost is two allocation-free atomic observations.
+func (s *Server) observeAdmission(ai admitInfo) {
+	if s.metrics == nil {
+		return
+	}
+	s.metrics.queueWait.Observe((ai.AdmissionWait + ai.WorkerWait).Seconds())
+	s.metrics.grants.Observe(float64(ai.Grant))
 }
 
 // RequestError marks a failure attributable to the request itself — unknown
@@ -336,6 +389,8 @@ func (c *Session) Select(ctx context.Context, projection string, q matstore.Quer
 	s := c.srv
 	s.queries.Add(1)
 	info := Info{Session: c.ID}
+	span := obs.SpanFromContext(ctx)
+	traced := span != nil
 
 	var key string
 	if s.results != nil || s.plans != nil {
@@ -343,7 +398,11 @@ func (c *Session) Select(ctx context.Context, projection string, q matstore.Quer
 	}
 	var gens []uint64
 	if s.results != nil {
-		if e, ok := s.results.get(key); ok {
+		cspan := span.Child("result_cache.lookup")
+		e, hit := s.results.get(key)
+		cspan.SetAttr("hit", hit)
+		cspan.End()
+		if hit {
 			info.ResultCacheHit = true
 			return &SelectResult{Res: e.res, Stats: e.selStats, Info: info}, nil
 		}
@@ -353,19 +412,29 @@ func (c *Session) Select(ctx context.Context, projection string, q matstore.Quer
 		info.EstCostUS = est.Total()
 	}
 
+	aspan := span.Child("admission")
 	ai, release, err := s.gov.admit(ctx, q.Parallelism, info.EstCostUS)
+	aspan.End()
 	if err != nil {
 		return nil, err
 	}
 	defer release()
 	info.Workers, info.Queued = ai.Grant, ai.AdmissionWait+ai.WorkerWait
+	aspan.SetAttr("grant", ai.Grant)
+	aspan.SetAttr("queued_ns", info.Queued.Nanoseconds())
+	s.observeAdmission(ai)
 
 	p, err := s.store.Projection(projection)
 	if err != nil {
 		return nil, badRequest(err)
 	}
+	// Traced requests bypass the plan cache on BOTH sides (no get, no put):
+	// the per-node Observed counters must describe exactly this run, and a
+	// cached plan accumulates counters across every traced run that touches
+	// it (the same reason Explain builds fresh trees).
+	pspan := span.Child("plan.build")
 	var pl *plan.Plan
-	if s.plans != nil {
+	if s.plans != nil && !traced {
 		if cached, ok := s.plans.get(key); ok {
 			pl, info.PlanCacheHit = cached, true
 		} else {
@@ -377,10 +446,23 @@ func (c *Session) Select(ctx context.Context, projection string, q matstore.Quer
 	} else if pl, err = s.buildSelect(p, q, strat); err != nil {
 		return nil, badRequest(err)
 	}
+	pspan.SetAttr("cache_hit", info.PlanCacheHit)
+	pspan.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err // cancelled between build and run: the slot releases unused
 	}
-	res, stats, err := s.exec.RunPlan(pl, strat, ai.Grant, false)
+	espan := span.Child("execute")
+	var res *matstore.Result
+	var stats *matstore.Stats
+	if traced {
+		consts := s.db.Constants()
+		consts.AnnotatePlan(pl, true)
+		res, stats, err = s.exec.RunPlanWith(pl, strat, ai.Grant,
+			plan.RunOptions{Ctx: ctx, Observe: true, Trace: espan})
+	} else {
+		res, stats, err = s.exec.RunPlan(pl, strat, ai.Grant, false)
+	}
+	espan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -407,6 +489,8 @@ func (c *Session) Join(ctx context.Context, left, right string, q matstore.JoinQ
 	s := c.srv
 	s.queries.Add(1)
 	info := Info{Session: c.ID}
+	span := obs.SpanFromContext(ctx)
+	traced := span != nil
 
 	var key string
 	if s.results != nil || s.plans != nil {
@@ -415,7 +499,11 @@ func (c *Session) Join(ctx context.Context, left, right string, q matstore.JoinQ
 	var gens []uint64
 	projs := []string{left, right}
 	if s.results != nil {
-		if e, ok := s.results.get(key); ok {
+		cspan := span.Child("result_cache.lookup")
+		e, hit := s.results.get(key)
+		cspan.SetAttr("hit", hit)
+		cspan.End()
+		if hit {
 			info.ResultCacheHit = true
 			return &JoinResult{Res: e.res, Stats: e.joinStats, Info: info}, nil
 		}
@@ -430,24 +518,37 @@ func (c *Session) Join(ctx context.Context, left, right string, q matstore.JoinQ
 	// worker slot). The reservation is held until this request finishes, on
 	// every path out.
 	memEst, _ := s.db.EstimateJoinMemory(right, q, rs)
+	mspan := span.Child("memory.reserve")
 	resv, spillCfg, err := s.admitMemory(ctx, memEst)
+	mspan.End()
 	if err != nil {
 		return nil, err
 	}
 	defer resv.Release()
+	mspan.SetAttr("est_bytes", memEst)
 	if resv != nil {
 		info.ReservedBytes = resv.Bytes()
+		mspan.SetAttr("reserved_bytes", resv.Bytes())
+	}
+	if spillCfg != nil {
+		mspan.SetAttr("spill_mode", true)
 	}
 
+	aspan := span.Child("admission")
 	ai, release, err := s.gov.admit(ctx, q.Parallelism, info.EstCostUS)
+	aspan.End()
 	if err != nil {
 		return nil, err
 	}
 	defer release()
 	info.Workers, info.Queued = ai.Grant, ai.AdmissionWait+ai.WorkerWait
+	aspan.SetAttr("grant", ai.Grant)
+	aspan.SetAttr("queued_ns", info.Queued.Nanoseconds())
+	s.observeAdmission(ai)
 
+	pspan := span.Child("plan.build")
 	var pl *plan.Plan
-	if s.plans != nil {
+	if s.plans != nil && !traced {
 		if cached, ok := s.plans.get(key); ok {
 			pl, info.PlanCacheHit = cached, true
 		} else {
@@ -459,10 +560,19 @@ func (c *Session) Join(ctx context.Context, left, right string, q matstore.JoinQ
 	} else if pl, err = s.buildJoin(left, right, q, rs); err != nil {
 		return nil, badRequest(err)
 	}
+	pspan.SetAttr("cache_hit", info.PlanCacheHit)
+	pspan.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, stats, err := s.exec.RunJoinPlanWith(pl, ai.Grant, plan.RunOptions{Ctx: ctx, Spill: spillCfg})
+	espan := span.Child("execute")
+	if traced {
+		consts := s.db.Constants()
+		consts.AnnotatePlan(pl, true)
+	}
+	res, stats, err := s.exec.RunJoinPlanWith(pl, ai.Grant,
+		plan.RunOptions{Ctx: ctx, Observe: traced, Spill: spillCfg, Trace: espan})
+	espan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -546,16 +656,22 @@ func (s *Server) buildJoin(left, right string, q matstore.JoinQuery, rs matstore
 func (c *Session) Explain(ctx context.Context, projection string, q matstore.Query, strat matstore.Strategy) (*matstore.Explanation, Info, error) {
 	s := c.srv
 	info := Info{Session: c.ID}
+	span := obs.SpanFromContext(ctx)
 	if est, err := s.db.EstimateSelectCost(projection, q, strat); err == nil {
 		info.EstCostUS = est.Total()
 	}
+	aspan := span.Child("admission")
 	ai, release, err := s.gov.admit(ctx, q.Parallelism, info.EstCostUS)
+	aspan.End()
 	if err != nil {
 		return nil, info, err
 	}
 	defer release()
 	s.queries.Add(1)
 	info.Workers, info.Queued = ai.Grant, ai.AdmissionWait+ai.WorkerWait
+	aspan.SetAttr("grant", ai.Grant)
+	aspan.SetAttr("queued_ns", info.Queued.Nanoseconds())
+	s.observeAdmission(ai)
 	p, err := s.store.Projection(projection)
 	if err != nil {
 		return nil, info, badRequest(err)
@@ -564,7 +680,9 @@ func (c *Session) Explain(ctx context.Context, projection string, q matstore.Que
 		return nil, info, badRequest(err)
 	}
 	q.Parallelism = ai.Grant
-	ex, err := s.db.Explain(projection, q, strat)
+	espan := span.Child("execute")
+	ex, err := s.db.ExplainTraced(projection, q, strat, espan)
+	espan.End()
 	return ex, info, err
 }
 
@@ -572,23 +690,31 @@ func (c *Session) Explain(ctx context.Context, projection string, q matstore.Que
 func (c *Session) ExplainJoin(ctx context.Context, left, right string, q matstore.JoinQuery, rs matstore.RightStrategy) (*matstore.Explanation, Info, error) {
 	s := c.srv
 	info := Info{Session: c.ID}
+	span := obs.SpanFromContext(ctx)
 	if est, err := s.db.EstimateJoinCost(left, right, q, rs); err == nil {
 		info.EstCostUS = est.Total()
 	}
+	aspan := span.Child("admission")
 	ai, release, err := s.gov.admit(ctx, q.Parallelism, info.EstCostUS)
+	aspan.End()
 	if err != nil {
 		return nil, info, err
 	}
 	defer release()
 	s.queries.Add(1)
 	info.Workers, info.Queued = ai.Grant, ai.AdmissionWait+ai.WorkerWait
+	aspan.SetAttr("grant", ai.Grant)
+	aspan.SetAttr("queued_ns", info.Queued.Nanoseconds())
+	s.observeAdmission(ai)
 	for _, proj := range []string{left, right} {
 		if _, err := s.store.Projection(proj); err != nil {
 			return nil, info, badRequest(err)
 		}
 	}
 	q.Parallelism = ai.Grant
-	ex, err := s.db.ExplainJoin(left, right, q, rs)
+	espan := span.Child("execute")
+	ex, err := s.db.ExplainJoinTraced(left, right, q, rs, espan)
+	espan.End()
 	return ex, info, err
 }
 
